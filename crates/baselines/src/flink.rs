@@ -1,0 +1,106 @@
+//! Flink baseline (§9.1): an industrial streaming system without Kleene
+//! closure.
+//!
+//! "For each Kleene pattern P, we first determine the length l of the
+//! longest match of P. We then specify a set of fixed-length event
+//! sequence queries that cover all possible lengths up to l. Flink
+//! implements a two-step approach that constructs all event sequences
+//! prior to their aggregation."
+//!
+//! The per-window algorithm therefore (1) buffers every event of the
+//! partition, and at window close (2) **materializes** every sequence
+//! match of every flattened query — all trends up to the flattening cap —
+//! and only then (3) folds them into the aggregate. The materialized
+//! matches are the memory spike that makes Flink's footprint exponential
+//! under skip-till-any-match (Figure 7(b)); the [`Router`] measures it via
+//! its finalize-spike hook.
+//!
+//! Supported semantics (Table 9): skip-till-any-match and contiguous.
+
+use crate::oracle::{trend_cell, visit_any_capped, visit_cont_positional};
+use cogra_core::runtime::EngineConfig;
+use cogra_core::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
+use cogra_events::{Event, TypeRegistry};
+use cogra_query::{compile, Query, QueryError, QueryResult, Semantics, StateId};
+use std::sync::Arc;
+
+/// Per-window Flink state.
+#[derive(Debug)]
+pub struct FlinkWindow {
+    events: Vec<Event>,
+    /// Sequences materialized during finalization (kept so the router's
+    /// spike measurement sees them).
+    constructed: Vec<Vec<(u32, StateId)>>,
+}
+
+impl WindowAlgo for FlinkWindow {
+    fn new(_rt: &QueryRuntime) -> FlinkWindow {
+        FlinkWindow {
+            events: Vec::new(),
+            constructed: Vec::new(),
+        }
+    }
+
+    fn on_event(&mut self, _rt: &QueryRuntime, event: &Event, _binds: &EventBinds) {
+        self.events.push(event.clone());
+    }
+
+    fn final_cell(&mut self, rt: &QueryRuntime) -> Cell {
+        let cap = rt.config.flatten_cap;
+        let mut total: Option<Cell> = None;
+        for drt in &rt.disjuncts {
+            // Step 1: construct all sequences of the flattened workload.
+            let first = self.constructed.len();
+            let constructed = &mut self.constructed;
+            let record = |tr: &[(usize, StateId)]| {
+                constructed.push(tr.iter().map(|&(i, s)| (i as u32, s)).collect());
+            };
+            match rt.query.semantics {
+                Semantics::Any => visit_any_capped(drt, &self.events, cap, record),
+                Semantics::Cont => visit_cont_positional(drt, &self.events, cap, record),
+                Semantics::Next => unreachable!("rejected at construction"),
+            }
+            // Step 2: aggregate the constructed sequences.
+            let mut acc = drt.zero_cell();
+            for seq in &self.constructed[first..] {
+                let trend: Vec<(usize, StateId)> =
+                    seq.iter().map(|&(i, s)| (i as usize, s)).collect();
+                acc.merge(&trend_cell(drt, &self.events, &trend));
+            }
+            match &mut total {
+                None => total = Some(acc),
+                Some(t) => t.merge(&acc),
+            }
+        }
+        total.expect("at least one disjunct")
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.events.iter().map(Event::memory_bytes).sum::<usize>()
+            + self
+                .constructed
+                .iter()
+                .map(|t| t.len() * std::mem::size_of::<(u32, StateId)>() + 24)
+                .sum::<usize>()
+    }
+}
+
+/// The Flink engine.
+pub type FlinkEngine = Router<FlinkWindow>;
+
+/// Build a Flink engine. Fails for skip-till-next-match (Table 9).
+pub fn flink_engine(
+    query: &Query,
+    registry: &TypeRegistry,
+    config: EngineConfig,
+) -> QueryResult<FlinkEngine> {
+    let compiled = compile(query, registry)?;
+    if compiled.semantics == Semantics::Next {
+        return Err(QueryError::compile(
+            "Flink does not support skip-till-next-match (Table 9)",
+        ));
+    }
+    let rt = QueryRuntime::new(compiled, registry).with_config(config);
+    Ok(Router::new(Arc::new(rt), "flink"))
+}

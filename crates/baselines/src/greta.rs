@@ -1,0 +1,165 @@
+//! GRETA baseline (Poppe et al., VLDB 2017; §9.1 of the COGRA paper).
+//!
+//! GRETA captures *all* matched events and their trend relationships as a
+//! graph and computes trend aggregation online on top of it — no trend
+//! construction, but aggregates at the **finest granularity**: one per
+//! matched event. It supports only skip-till-any-match.
+//!
+//! In COGRA's vocabulary, GRETA is the degenerate mixed-grained aggregator
+//! with `Te` = *all* states: every matched event is stored with its
+//! event-grained cell, and every new event scans all stored predecessor
+//! events. Time O(n²) per window, space Θ(n) — the gap to COGRA's
+//! O(n·l)/Θ(l) is exactly what Figures 7–10 measure.
+
+use cogra_core::runtime::DisjunctRuntime;
+use cogra_core::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
+use cogra_events::{Event, TypeRegistry};
+use cogra_query::{compile, Query, QueryResult, Semantics, StateId};
+use std::sync::Arc;
+
+/// A graph node: a matched event with its per-binding aggregate.
+#[derive(Debug)]
+struct Node {
+    event: Event,
+    state: StateId,
+    cell: Cell,
+}
+
+/// Per-disjunct GRETA graph.
+#[derive(Debug)]
+struct Graph {
+    nodes: Vec<Node>,
+    final_acc: Cell,
+    neg_clocks: Vec<cogra_core::runtime::NegClock>,
+}
+
+/// Per-window GRETA state.
+#[derive(Debug)]
+pub struct GretaWindow {
+    graphs: Vec<Graph>,
+}
+
+impl WindowAlgo for GretaWindow {
+    fn new(rt: &QueryRuntime) -> GretaWindow {
+        GretaWindow {
+            graphs: rt
+                .disjuncts
+                .iter()
+                .map(|d| Graph {
+                    nodes: Vec::new(),
+                    final_acc: d.zero_cell(),
+                    neg_clocks: vec![
+                        Default::default();
+                        d.disjunct.automaton.num_negated()
+                    ],
+                })
+                .collect(),
+        }
+    }
+
+    fn on_event(&mut self, rt: &QueryRuntime, event: &Event, binds: &EventBinds) {
+        for ((graph, drt), (states, negs)) in self
+            .graphs
+            .iter_mut()
+            .zip(&rt.disjuncts)
+            .zip(&binds.per_disjunct)
+        {
+            for &n in negs {
+                graph.neg_clocks[n.index()].record(event.time);
+            }
+            for &s in states {
+                let cell = compute_cell(graph, drt, event, s);
+                let Some(cell) = cell else { continue };
+                if s == drt.end() {
+                    graph.final_acc.merge(&cell);
+                }
+                graph.nodes.push(Node {
+                    event: event.clone(),
+                    state: s,
+                    cell,
+                });
+            }
+        }
+    }
+
+    fn final_cell(&mut self, rt: &QueryRuntime) -> Cell {
+        let mut total: Option<Cell> = None;
+        for graph in &self.graphs {
+            match &mut total {
+                None => total = Some(graph.final_acc.clone()),
+                Some(t) => t.merge(&graph.final_acc),
+            }
+        }
+        let _ = rt;
+        total.expect("at least one disjunct")
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .graphs
+                .iter()
+                .map(|g| {
+                    g.final_acc.memory_bytes()
+                        + g.nodes
+                            .iter()
+                            .map(|n| n.event.memory_bytes() + n.cell.memory_bytes())
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
+/// GRETA's per-event aggregate: scan all stored predecessor events
+/// (Definition 7 adjacency, evaluated per pair).
+fn compute_cell(
+    graph: &Graph,
+    drt: &DisjunctRuntime,
+    event: &Event,
+    s: StateId,
+) -> Option<Cell> {
+    let mut cell = drt.zero_cell();
+    if drt.is_start(s) {
+        cell.start_trend();
+    }
+    for src in &drt.pred_sources[s.index()] {
+        for node in &graph.nodes {
+            if node.state != src.from
+                || node.event.time >= event.time
+                || !drt
+                    .disjunct
+                    .adjacency_predicates_pass(src.from, s, &node.event, event)
+            {
+                continue;
+            }
+            let blocked = src
+                .negations
+                .iter()
+                .any(|n| graph.neg_clocks[n.index()].blocked(node.event.time, event.time));
+            if !blocked {
+                cell.merge(&node.cell);
+            }
+        }
+    }
+    if cell.is_zero() {
+        return None;
+    }
+    cell.contribute(drt.feeds.of(s), event);
+    Some(cell)
+}
+
+/// The GRETA engine.
+pub type GretaEngine = Router<GretaWindow>;
+
+/// Build a GRETA engine; fails if the query needs more than
+/// skip-till-any-match (Table 9).
+pub fn greta_engine(query: &Query, registry: &TypeRegistry) -> QueryResult<GretaEngine> {
+    let compiled = compile(query, registry)?;
+    if compiled.semantics != Semantics::Any {
+        return Err(cogra_query::QueryError::compile(
+            "GRETA supports only skip-till-any-match (Table 9)",
+        ));
+    }
+    let rt = QueryRuntime::new(compiled, registry);
+    Ok(Router::new(Arc::new(rt), "greta"))
+}

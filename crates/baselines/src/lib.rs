@@ -1,0 +1,32 @@
+//! # cogra-baselines
+//!
+//! The state-of-the-art comparators of the COGRA evaluation (§9.1,
+//! Table 9), re-implemented from their papers' descriptions on top of the
+//! shared [`cogra_core::Router`] substrate, plus a brute-force oracle:
+//!
+//! * [`sase`] — SASE: two-step, stacks + predecessor pointers + DFS trend
+//!   construction; all semantics;
+//! * [`flink`] — Flink-style: Kleene flattened into fixed-length sequence
+//!   queries, constructed then aggregated; ANY + CONT;
+//! * [`greta`] — GRETA: online event-granularity graph; ANY only;
+//! * [`aseq`] — A-Seq: online prefix counters over the flattened
+//!   workload; ANY only, no adjacent predicates;
+//! * [`oracle`] — reference trend enumerator implementing Definitions 2–4
+//!   directly; ground truth for the engine-agreement tests;
+//! * [`capabilities`] — the Table 9 expressive-power matrix.
+
+#![warn(missing_docs)]
+
+pub mod aseq;
+pub mod capabilities;
+pub mod flink;
+pub mod greta;
+pub mod oracle;
+pub mod sase;
+
+pub use aseq::{aseq_engine, ASeqEngine, ASeqWindow};
+pub use capabilities::{Capabilities, Unsupported};
+pub use flink::{flink_engine, FlinkEngine, FlinkWindow};
+pub use greta::{greta_engine, GretaEngine, GretaWindow};
+pub use oracle::{oracle_engine, OracleEngine, OracleWindow};
+pub use sase::{sase_engine, SaseEngine, SaseWindow};

@@ -1,0 +1,44 @@
+//! Experiment CLI: regenerates the paper's figures and tables.
+//!
+//! ```text
+//! cargo run -p cogra-bench --release --bin experiments -- all
+//! cargo run -p cogra-bench --release --bin experiments -- fig7 fig8 --quick
+//! cargo run -p cogra-bench --release --bin experiments -- all --csv results/
+//! ```
+
+use cogra_bench::experiments::{run, ExpOptions, ALL};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .filter(|a| Some(*a) != csv_dir.as_ref().and_then(|p| p.to_str()))
+        .collect();
+    if names.is_empty() || names.contains(&"all") {
+        names = ALL.to_vec();
+    }
+    let opts = ExpOptions { quick };
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    for name in names {
+        eprintln!("== running {name}{} ==", if quick { " (quick)" } else { "" });
+        for (i, table) in run(name, &opts).iter().enumerate() {
+            println!("{}", table.to_markdown());
+            if let Some(dir) = &csv_dir {
+                let path = dir.join(format!("{name}_{i}.csv"));
+                std::fs::write(&path, table.to_csv()).expect("write csv");
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+}

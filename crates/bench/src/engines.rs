@@ -1,0 +1,67 @@
+//! Engine roster for the experiments: build any of the five engines by
+//! name, skipping those that do not support the query (Table 9) — exactly
+//! how §9.2 charts omit unsupported approaches.
+
+use cogra_baselines::{aseq_engine, flink_engine, greta_engine, oracle_engine, sase_engine};
+use cogra_core::runtime::EngineConfig;
+use cogra_core::{CograEngine, TrendEngine};
+use cogra_events::TypeRegistry;
+use cogra_query::Query;
+
+/// The engines of Table 1/Table 9, in the paper's presentation order.
+pub const ALL_ENGINES: [&str; 5] = ["flink", "sase", "greta", "aseq", "cogra"];
+
+/// Build `name` for `query`; `None` when the engine does not support the
+/// query's features.
+pub fn build(
+    name: &str,
+    query: &Query,
+    registry: &TypeRegistry,
+    config: &EngineConfig,
+) -> Option<Box<dyn TrendEngine>> {
+    match name {
+        "cogra" => Some(Box::new(
+            CograEngine::build(query, registry).expect("cogra supports all queries"),
+        )),
+        "sase" => Some(Box::new(
+            sase_engine(query, registry).expect("sase supports all semantics"),
+        )),
+        "greta" => greta_engine(query, registry)
+            .ok()
+            .map(|e| Box::new(e) as Box<dyn TrendEngine>),
+        "aseq" => aseq_engine(query, registry, config.clone())
+            .ok()
+            .map(|e| Box::new(e) as Box<dyn TrendEngine>),
+        "flink" => flink_engine(query, registry, config.clone())
+            .ok()
+            .map(|e| Box::new(e) as Box<dyn TrendEngine>),
+        "oracle" => Some(Box::new(
+            oracle_engine(query, registry).expect("oracle supports all queries"),
+        )),
+        other => panic!("unknown engine `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_respects_table9() {
+        let reg = cogra_workloads::transport::registry();
+        let next_q =
+            cogra_query::parse(&cogra_workloads::transport::next_query(60, 30)).unwrap();
+        let cfg = EngineConfig::default();
+        assert!(build("cogra", &next_q, &reg, &cfg).is_some());
+        assert!(build("sase", &next_q, &reg, &cfg).is_some());
+        assert!(build("greta", &next_q, &reg, &cfg).is_none());
+        assert!(build("aseq", &next_q, &reg, &cfg).is_none());
+        assert!(build("flink", &next_q, &reg, &cfg).is_none());
+
+        let any_q =
+            cogra_query::parse(&cogra_workloads::transport::grouping_query(60, 30)).unwrap();
+        for name in ALL_ENGINES {
+            assert!(build(name, &any_q, &reg, &cfg).is_some(), "{name}");
+        }
+    }
+}

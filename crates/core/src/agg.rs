@@ -1,0 +1,502 @@
+//! Incremental aggregate cells (Table 8).
+//!
+//! Every aggregator — type-, mixed- and pattern-grained, and the baseline
+//! engines — maintains the same propagated state per "slot of aggregation"
+//! (an event type, a stored event, or the last matched event): the trend
+//! count plus one [`Val`] per aggregation slot. Table 8's recurrences all
+//! decompose into two primitives:
+//!
+//! * [`Cell::merge`] — fold a predecessor's cell into a new event's cell
+//!   (the `Σ E'.count`-style terms);
+//! * [`Cell::contribute`] — add the new event's own contribution
+//!   (`+1` for a start event, `e.attr · e.count` for SUM, `e.attr` for
+//!   MIN/MAX, `e.count` for COUNT(E)).
+//!
+//! `AVG(E.attr)` is algebraic: the [`AggLayout`] expands it into a SUM slot
+//! and a COUNT slot and divides at output time (§2.3).
+//!
+//! Trend counts use wrapping `u64` arithmetic: under skip-till-any-match
+//! the count is exponential in the number of events, so any fixed-width
+//! representation overflows on large windows; all engines in this workspace
+//! wrap identically, keeping them mutually comparable (and exact whenever
+//! the true count fits in 64 bits).
+
+use cogra_events::{AttrId, Event};
+use cogra_query::{AggFunc, CompiledDisjunct, StateId};
+
+/// Internal aggregation slot function (AVG is expanded before this level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotFunc {
+    /// COUNT(E): number of occurrences of a variable across trends.
+    CountVar,
+    /// SUM(E.attr).
+    Sum,
+    /// MIN(E.attr).
+    Min,
+    /// MAX(E.attr).
+    Max,
+}
+
+/// A slot value in a [`Cell`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// Occurrence count (wrapping, see module docs).
+    Cnt(u64),
+    /// Running sum (counts-weighted).
+    Sum(f64),
+    /// Running minimum; `None` until a target event contributes.
+    Min(Option<f64>),
+    /// Running maximum.
+    Max(Option<f64>),
+}
+
+impl Val {
+    /// The aggregation identity for a slot function.
+    pub fn zero(func: SlotFunc) -> Val {
+        match func {
+            SlotFunc::CountVar => Val::Cnt(0),
+            SlotFunc::Sum => Val::Sum(0.0),
+            SlotFunc::Min => Val::Min(None),
+            SlotFunc::Max => Val::Max(None),
+        }
+    }
+
+    /// Fold another value of the same slot into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &Val) {
+        match (self, other) {
+            (Val::Cnt(a), Val::Cnt(b)) => *a = a.wrapping_add(*b),
+            (Val::Sum(a), Val::Sum(b)) => *a += *b,
+            (Val::Min(a), Val::Min(b)) => *a = opt_min(*a, *b),
+            (Val::Max(a), Val::Max(b)) => *a = opt_max(*a, *b),
+            _ => unreachable!("mismatched slot kinds"),
+        }
+    }
+}
+
+#[inline]
+fn opt_min(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[inline]
+fn opt_max(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// How one automaton state feeds one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feed {
+    /// The state does not feed this slot.
+    No,
+    /// The state feeds an occurrence count (COUNT(E)).
+    Unit,
+    /// The state feeds an attribute value (SUM/MIN/MAX).
+    Attr(AttrId),
+}
+
+/// How one `RETURN` aggregate is produced from slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Output {
+    /// `COUNT(*)` — the cell's trend count.
+    CountStar,
+    /// Value of one slot.
+    Slot(usize),
+    /// `AVG` — `slots[sum] / slots[cnt]`.
+    Ratio {
+        /// SUM slot index.
+        sum: usize,
+        /// COUNT slot index.
+        cnt: usize,
+    },
+}
+
+/// The slot/output layout shared by every disjunct of a query.
+#[derive(Debug, Clone)]
+pub struct AggLayout {
+    /// Slot functions, in slot order.
+    pub slots: Vec<SlotFunc>,
+    /// One output per `RETURN` aggregate.
+    pub outputs: Vec<Output>,
+}
+
+/// Per-disjunct feed table: `feeds[state][slot]`.
+#[derive(Debug, Clone)]
+pub struct DisjunctFeeds {
+    feeds: Vec<Vec<Feed>>,
+}
+
+impl DisjunctFeeds {
+    /// Feeds of one state, indexed by slot.
+    #[inline]
+    pub fn of(&self, state: StateId) -> &[Feed] {
+        &self.feeds[state.index()]
+    }
+}
+
+impl AggLayout {
+    /// Build the layout from a compiled disjunct's aggregate list. All
+    /// disjuncts of a query share the same `RETURN` clause, hence the same
+    /// layout; only the feed table differs.
+    pub fn build(disjunct: &CompiledDisjunct) -> (AggLayout, DisjunctFeeds) {
+        let mut slots = Vec::new();
+        let mut outputs = Vec::new();
+        let n_states = disjunct.automaton.num_states();
+        let mut feeds: Vec<Vec<Feed>> = vec![Vec::new(); n_states];
+
+        let add_slot = |func: SlotFunc,
+                            targets: &[(StateId, Option<AttrId>)],
+                            slots: &mut Vec<SlotFunc>,
+                            feeds: &mut Vec<Vec<Feed>>|
+         -> usize {
+            let idx = slots.len();
+            slots.push(func);
+            for row in feeds.iter_mut() {
+                row.push(Feed::No);
+            }
+            for (state, attr) in targets {
+                feeds[state.index()][idx] = match (func, attr) {
+                    (SlotFunc::CountVar, _) => Feed::Unit,
+                    (_, Some(a)) => Feed::Attr(*a),
+                    (_, None) => unreachable!("attribute slot without attribute"),
+                };
+            }
+            idx
+        };
+
+        for agg in &disjunct.aggs {
+            match agg.func {
+                AggFunc::CountStar => outputs.push(Output::CountStar),
+                AggFunc::CountVar => {
+                    let i = add_slot(SlotFunc::CountVar, &agg.targets, &mut slots, &mut feeds);
+                    outputs.push(Output::Slot(i));
+                }
+                AggFunc::Min => {
+                    let i = add_slot(SlotFunc::Min, &agg.targets, &mut slots, &mut feeds);
+                    outputs.push(Output::Slot(i));
+                }
+                AggFunc::Max => {
+                    let i = add_slot(SlotFunc::Max, &agg.targets, &mut slots, &mut feeds);
+                    outputs.push(Output::Slot(i));
+                }
+                AggFunc::Sum => {
+                    let i = add_slot(SlotFunc::Sum, &agg.targets, &mut slots, &mut feeds);
+                    outputs.push(Output::Slot(i));
+                }
+                AggFunc::Avg => {
+                    let sum = add_slot(SlotFunc::Sum, &agg.targets, &mut slots, &mut feeds);
+                    let unit_targets: Vec<(StateId, Option<AttrId>)> =
+                        agg.targets.iter().map(|(s, _)| (*s, None)).collect();
+                    let cnt = add_slot(SlotFunc::CountVar, &unit_targets, &mut slots, &mut feeds);
+                    outputs.push(Output::Ratio { sum, cnt });
+                }
+            }
+        }
+
+        (AggLayout { slots, outputs }, DisjunctFeeds { feeds })
+    }
+
+    /// Feed table for a *different* disjunct sharing this layout.
+    pub fn feeds_for(&self, disjunct: &CompiledDisjunct) -> DisjunctFeeds {
+        let (layout, feeds) = AggLayout::build(disjunct);
+        debug_assert_eq!(layout.slots, self.slots, "disjunct layouts must agree");
+        feeds
+    }
+
+    /// Number of slots.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// An all-identity cell for this layout.
+    pub fn zero_cell(&self) -> Cell {
+        Cell {
+            count: 0,
+            live: false,
+            vals: self.slots.iter().map(|f| Val::zero(*f)).collect(),
+        }
+    }
+}
+
+/// Propagated aggregation state: the trend count plus one value per slot.
+///
+/// `live` tracks *logical* emptiness separately from the wrapping `count`:
+/// under skip-till-any-match the exact count is a power of two per event
+/// (each event doubles the trend set), so `count % 2^64` hits zero while
+/// trends very much exist. Every "does any partial trend end here?"
+/// decision — storing a GRETA node, keeping a pending type-cell update,
+/// emitting a window result — must use [`Cell::is_zero`], never
+/// `count == 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Number of (partial) trends this cell accounts for (wrapping u64).
+    pub count: u64,
+    /// Whether any trend at all is accounted for (exact, wrap-proof).
+    pub live: bool,
+    /// Slot values, aligned with [`AggLayout::slots`].
+    pub vals: Vec<Val>,
+}
+
+impl Cell {
+    /// Whether the cell carries no trends (exact — see the `live` field).
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        !self.live
+    }
+
+    /// Begin one new trend at this cell: the `+1 if E = start(P)` of
+    /// Theorems 4.1/5.1/6.2.
+    #[inline]
+    pub fn start_trend(&mut self) {
+        self.count = self.count.wrapping_add(1);
+        self.live = true;
+    }
+
+    /// Reset to the aggregation identity in place (negation shadow resets,
+    /// contiguous-semantics invalidation).
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.live = false;
+        for v in &mut self.vals {
+            *v = match v {
+                Val::Cnt(_) => Val::Cnt(0),
+                Val::Sum(_) => Val::Sum(0.0),
+                Val::Min(_) => Val::Min(None),
+                Val::Max(_) => Val::Max(None),
+            };
+        }
+    }
+
+    /// Fold `other` into `self` (predecessor propagation / cross-partition
+    /// combination — both are the same monoid operation).
+    pub fn merge(&mut self, other: &Cell) {
+        self.count = self.count.wrapping_add(other.count);
+        self.live |= other.live;
+        for (a, b) in self.vals.iter_mut().zip(&other.vals) {
+            a.merge(b);
+        }
+    }
+
+    /// Add the event's own contribution, after its predecessors were
+    /// merged and the start-of-trend `+1` applied to `count` (Table 8):
+    /// COUNT slots gain `e.count`, SUM slots gain `attr · e.count`,
+    /// MIN/MAX slots include `attr`.
+    pub fn contribute(&mut self, feeds: &[Feed], event: &Event) {
+        if !self.live {
+            // No partial trend ends at this event, so no finished trend
+            // will ever contain it: its attribute values must not leak
+            // into MIN/MAX (COUNT/SUM contributions would be zero anyway).
+            return;
+        }
+        for (val, feed) in self.vals.iter_mut().zip(feeds) {
+            match (val, feed) {
+                (_, Feed::No) => {}
+                (Val::Cnt(c), Feed::Unit) => *c = c.wrapping_add(self.count),
+                (Val::Sum(s), Feed::Attr(a)) => {
+                    let x = event.attr(*a).as_f64().unwrap_or(0.0);
+                    *s += x * self.count as f64;
+                }
+                (Val::Min(m), Feed::Attr(a)) => {
+                    *m = opt_min(*m, event.attr(*a).as_f64());
+                }
+                (Val::Max(m), Feed::Attr(a)) => {
+                    *m = opt_max(*m, event.attr(*a).as_f64());
+                }
+                (v, f) => unreachable!("feed {f:?} incompatible with slot {v:?}"),
+            }
+        }
+    }
+
+    /// Logical size for memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Cell>() + self.vals.len() * std::mem::size_of::<Val>()
+    }
+
+    /// Render the outputs of this cell.
+    pub fn outputs(&self, layout: &AggLayout) -> Vec<AggValue> {
+        layout
+            .outputs
+            .iter()
+            .map(|o| match o {
+                Output::CountStar => AggValue::Count(self.count),
+                Output::Slot(i) => match self.vals[*i] {
+                    Val::Cnt(c) => AggValue::Count(c),
+                    Val::Sum(s) => AggValue::Float(s),
+                    Val::Min(m) | Val::Max(m) => m.map_or(AggValue::Null, AggValue::Float),
+                },
+                Output::Ratio { sum, cnt } => {
+                    let (Val::Sum(s), Val::Cnt(c)) = (self.vals[*sum], self.vals[*cnt]) else {
+                        unreachable!("ratio over non sum/cnt slots")
+                    };
+                    if c == 0 {
+                        AggValue::Null
+                    } else {
+                        AggValue::Float(s / c as f64)
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// A rendered aggregate value in a window result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggValue {
+    /// COUNT-family result.
+    Count(u64),
+    /// SUM/MIN/MAX/AVG result.
+    Float(f64),
+    /// No qualifying trend/event (empty MIN, AVG over zero count).
+    Null,
+}
+
+impl AggValue {
+    /// Approximate float view (counts cast; `Null` = `None`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AggValue::Count(c) => Some(*c as f64),
+            AggValue::Float(f) => Some(*f),
+            AggValue::Null => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AggValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggValue::Count(c) => write!(f, "{c}"),
+            AggValue::Float(x) => write!(f, "{x:.4}"),
+            AggValue::Null => write!(f, "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogra_events::{TypeId, Value};
+
+    fn event(v: i64) -> Event {
+        Event::new(0, 1, TypeId(0), vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn val_merge_semantics() {
+        let mut c = Val::Cnt(3);
+        c.merge(&Val::Cnt(4));
+        assert_eq!(c, Val::Cnt(7));
+
+        let mut m = Val::Min(Some(5.0));
+        m.merge(&Val::Min(Some(3.0)));
+        assert_eq!(m, Val::Min(Some(3.0)));
+        m.merge(&Val::Min(None));
+        assert_eq!(m, Val::Min(Some(3.0)));
+
+        let mut x = Val::Max(None);
+        x.merge(&Val::Max(Some(9.0)));
+        assert_eq!(x, Val::Max(Some(9.0)));
+
+        let mut s = Val::Sum(1.5);
+        s.merge(&Val::Sum(2.5));
+        assert_eq!(s, Val::Sum(4.0));
+    }
+
+    #[test]
+    fn count_wraps_instead_of_panicking() {
+        let mut c = Val::Cnt(u64::MAX);
+        c.merge(&Val::Cnt(2));
+        assert_eq!(c, Val::Cnt(1));
+    }
+
+    #[test]
+    fn cell_contribution_weights_by_count() {
+        // An event ending 3 partial trends, feeding a SUM slot with
+        // attribute value 10 → slot grows by 30 (Table 8: e.attr * e.count).
+        let layout = AggLayout {
+            slots: vec![SlotFunc::Sum, SlotFunc::CountVar, SlotFunc::Min],
+            outputs: vec![Output::Slot(0), Output::Slot(1), Output::Slot(2)],
+        };
+        let mut cell = layout.zero_cell();
+        cell.count = 3;
+        cell.live = true;
+        let feeds = vec![Feed::Attr(AttrId(0)), Feed::Unit, Feed::Attr(AttrId(0))];
+        cell.contribute(&feeds, &event(10));
+        assert_eq!(cell.vals[0], Val::Sum(30.0));
+        assert_eq!(cell.vals[1], Val::Cnt(3));
+        assert_eq!(cell.vals[2], Val::Min(Some(10.0)));
+    }
+
+    #[test]
+    fn outputs_render_ratio_and_null() {
+        let layout = AggLayout {
+            slots: vec![SlotFunc::Sum, SlotFunc::CountVar],
+            outputs: vec![
+                Output::CountStar,
+                Output::Ratio { sum: 0, cnt: 1 },
+            ],
+        };
+        let mut cell = layout.zero_cell();
+        assert_eq!(
+            cell.outputs(&layout),
+            vec![AggValue::Count(0), AggValue::Null]
+        );
+        cell.count = 2;
+        cell.vals[0] = Val::Sum(10.0);
+        cell.vals[1] = Val::Cnt(4);
+        assert_eq!(
+            cell.outputs(&layout),
+            vec![AggValue::Count(2), AggValue::Float(2.5)]
+        );
+    }
+
+    #[test]
+    fn live_survives_count_wraparound() {
+        // Under ANY, counts are powers of two: after 64 doubling steps
+        // the wrapping count is exactly 0 while trends still exist. The
+        // `live` flag must keep the cell logically non-empty (regression
+        // test for the GRETA node-dropping bug).
+        let layout = AggLayout {
+            slots: vec![],
+            outputs: vec![Output::CountStar],
+        };
+        let mut cell = layout.zero_cell();
+        cell.start_trend();
+        cell.count = 0; // simulate 2^64 ≡ 0 wraparound
+        assert!(!cell.is_zero(), "wrapped count must stay live");
+        let mut other = layout.zero_cell();
+        other.merge(&cell);
+        assert!(!other.is_zero(), "liveness propagates through merge");
+        other.reset();
+        assert!(other.is_zero());
+    }
+
+    #[test]
+    fn merge_is_pointwise() {
+        let layout = AggLayout {
+            slots: vec![SlotFunc::Min, SlotFunc::Sum],
+            outputs: vec![],
+        };
+        let mut a = layout.zero_cell();
+        a.count = 1;
+        a.live = true;
+        a.vals[0] = Val::Min(Some(4.0));
+        a.vals[1] = Val::Sum(2.0);
+        let mut b = layout.zero_cell();
+        b.count = 2;
+        b.live = true;
+        b.vals[0] = Val::Min(Some(7.0));
+        b.vals[1] = Val::Sum(5.0);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.vals[0], Val::Min(Some(4.0)));
+        assert_eq!(a.vals[1], Val::Sum(7.0));
+    }
+}

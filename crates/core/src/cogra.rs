@@ -1,0 +1,127 @@
+//! The COGRA runtime executor (§3, Figure 3): the [`Router`] combined with
+//! the per-window aggregator each disjunct's granularity selector chose —
+//! type-grained (Algorithm 1), mixed-grained (Algorithm 2) or
+//! pattern-grained (Algorithm 3).
+
+use crate::agg::Cell;
+use crate::mixed_grained::MixedWindow;
+use crate::pattern_grained::PatternWindow;
+use crate::router::{EventBinds, Router, WindowAlgo};
+use crate::runtime::QueryRuntime;
+use crate::type_grained::TypeGrainedWindow;
+use cogra_events::{Event, TypeRegistry};
+use cogra_query::{compile, Granularity, Query, QueryResult};
+use std::sync::Arc;
+
+/// Per-window aggregation state of one disjunct, at its selected
+/// granularity.
+#[derive(Debug)]
+enum GranWindow {
+    Type(TypeGrainedWindow),
+    Mixed(MixedWindow),
+    Pattern(PatternWindow),
+}
+
+/// COGRA's per-window state: one granularity-specific aggregator per
+/// disjunct.
+#[derive(Debug)]
+pub struct CograWindow {
+    disjuncts: Vec<GranWindow>,
+}
+
+impl WindowAlgo for CograWindow {
+    fn new(rt: &QueryRuntime) -> CograWindow {
+        CograWindow {
+            disjuncts: rt
+                .disjuncts
+                .iter()
+                .map(|d| match d.disjunct.granularity {
+                    Granularity::Type => GranWindow::Type(TypeGrainedWindow::new(d)),
+                    Granularity::Mixed => GranWindow::Mixed(MixedWindow::new(d)),
+                    Granularity::Pattern => GranWindow::Pattern(PatternWindow::new(d)),
+                })
+                .collect(),
+        }
+    }
+
+    fn on_event(&mut self, rt: &QueryRuntime, event: &Event, binds: &EventBinds) {
+        let semantics = rt.query.semantics;
+        for ((gran, drt), (states, negs)) in self
+            .disjuncts
+            .iter_mut()
+            .zip(&rt.disjuncts)
+            .zip(&binds.per_disjunct)
+        {
+            match gran {
+                GranWindow::Type(w) => {
+                    if !negs.is_empty() {
+                        w.on_negation(drt, event, negs);
+                    }
+                    w.on_event(drt, event, states);
+                }
+                GranWindow::Mixed(w) => {
+                    if !negs.is_empty() {
+                        w.on_negation(drt, event, negs);
+                    }
+                    w.on_event(drt, event, states);
+                }
+                GranWindow::Pattern(w) => {
+                    if !negs.is_empty() {
+                        w.on_negation(drt, event, negs);
+                    }
+                    w.on_event(drt, event, states, semantics);
+                }
+            }
+        }
+    }
+
+    fn final_cell(&mut self, rt: &QueryRuntime) -> Cell {
+        let mut cell: Option<Cell> = None;
+        for (gran, drt) in self.disjuncts.iter_mut().zip(&rt.disjuncts) {
+            let c = match gran {
+                GranWindow::Type(w) => w.final_cell(drt),
+                GranWindow::Mixed(w) => w.final_cell(drt),
+                GranWindow::Pattern(w) => w.final_cell(drt),
+            };
+            match &mut cell {
+                None => cell = Some(c),
+                Some(acc) => acc.merge(&c),
+            }
+        }
+        cell.expect("a compiled query has at least one disjunct")
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.disjuncts
+            .iter()
+            .map(|g| match g {
+                GranWindow::Type(w) => w.memory_bytes(),
+                GranWindow::Mixed(w) => w.memory_bytes(),
+                GranWindow::Pattern(w) => w.memory_bytes(),
+            })
+            .sum()
+    }
+}
+
+/// The COGRA engine: coarse-grained online event trend aggregation.
+pub type CograEngine = Router<CograWindow>;
+
+impl CograEngine {
+    /// Build an engine from an already-compiled query runtime.
+    pub fn from_runtime(rt: Arc<QueryRuntime>) -> CograEngine {
+        Router::new(rt, "cogra")
+    }
+
+    /// Compile `query` against `registry` and build an engine.
+    pub fn build(query: &Query, registry: &TypeRegistry) -> QueryResult<CograEngine> {
+        let compiled = compile(query, registry)?;
+        let rt = QueryRuntime::new(compiled, registry);
+        Ok(CograEngine::from_runtime(Arc::new(rt)))
+    }
+
+    /// Parse, compile and build in one step.
+    pub fn from_text(query: &str, registry: &TypeRegistry) -> QueryResult<CograEngine> {
+        let q = cogra_query::parse(query)?;
+        CograEngine::build(&q, registry)
+    }
+}

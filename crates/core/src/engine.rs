@@ -1,0 +1,70 @@
+//! The [`TrendEngine`] abstraction every aggregation engine implements —
+//! COGRA itself and all four baselines — so that the experiment harness and
+//! the correctness tests treat them uniformly.
+
+use crate::output::WindowResult;
+use cogra_events::{Event, Timestamp};
+
+/// A streaming event trend aggregation engine.
+///
+/// Contract:
+/// * events are fed in non-decreasing time order ([`TrendEngine::process`]);
+/// * a window's result is final once the engine has seen an event at or
+///   past the window's end; [`TrendEngine::drain`] returns (and forgets)
+///   all results final at the current watermark;
+/// * [`TrendEngine::finish`] closes every remaining window.
+pub trait TrendEngine {
+    /// Ingest one event.
+    fn process(&mut self, event: &Event);
+
+    /// Emit results for all windows closed at the current watermark.
+    fn drain(&mut self) -> Vec<WindowResult>;
+
+    /// End of stream: emit results for every window still open.
+    fn finish(&mut self) -> Vec<WindowResult>;
+
+    /// Current logical memory footprint in bytes — aggregates, stored
+    /// events, stacks, pointers, graphs, depending on the engine. This is
+    /// the "peak memory" metric of §9.1, measured exactly instead of via
+    /// process RSS.
+    fn memory_bytes(&self) -> usize;
+
+    /// Additional internal memory peak not visible to periodic sampling
+    /// (e.g. trends materialized while a window is being finalized).
+    fn peak_hint(&self) -> usize {
+        0
+    }
+
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The latest event time seen.
+    fn watermark(&self) -> Timestamp;
+}
+
+/// Run an engine over a full stream, tracking the peak of
+/// [`TrendEngine::memory_bytes`], and return `(results, peak_bytes)`.
+///
+/// Memory is sampled after every `sample_every` events (1 = every event;
+/// larger values reduce measurement overhead on long streams).
+pub fn run_to_completion(
+    engine: &mut dyn TrendEngine,
+    events: &[Event],
+    sample_every: usize,
+) -> (Vec<WindowResult>, usize) {
+    let stride = sample_every.max(1);
+    let mut peak = engine.memory_bytes();
+    let mut results = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        engine.process(e);
+        results.extend(engine.drain());
+        if i % stride == 0 {
+            peak = peak.max(engine.memory_bytes());
+        }
+    }
+    peak = peak.max(engine.memory_bytes());
+    results.extend(engine.finish());
+    peak = peak.max(engine.peak_hint());
+    WindowResult::sort(&mut results);
+    (results, peak)
+}

@@ -1,0 +1,40 @@
+//! # cogra-core
+//!
+//! The COGRA runtime executor (§3–§8 of the paper): coarse-grained online
+//! event trend aggregation.
+//!
+//! * [`agg`] — incremental aggregate cells implementing the Table 8
+//!   recurrences for COUNT(*)/COUNT(E)/MIN/MAX/SUM/AVG;
+//! * [`type_grained`] — Algorithm 1 (ANY, no adjacent predicates): one
+//!   aggregate per event type, O(n·l) time, Θ(l) space;
+//! * [`mixed_grained`] — Algorithm 2 (ANY with adjacent predicates):
+//!   aggregates per type for `Tt`, per stored event for `Te`;
+//! * [`pattern_grained`] — Algorithm 3 (NEXT/CONT): only the last matched
+//!   event and the final aggregate, O(n) time, O(1) space;
+//! * [`cogra`] — the [`CograEngine`] router: partitioning (§7), sliding
+//!   windows, per-disjunct dispatch, result finalization;
+//! * [`engine`] — the [`TrendEngine`] trait shared with the baselines;
+//! * [`parallel`] — per-partition parallel execution (§8).
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod cogra;
+pub mod engine;
+pub mod mixed_grained;
+pub mod multi;
+pub mod output;
+pub mod parallel;
+pub mod pattern_grained;
+pub mod router;
+pub mod runtime;
+pub mod type_grained;
+
+pub use agg::{AggLayout, AggValue, Cell, Feed, Output, SlotFunc, Val};
+pub use cogra::{CograEngine, CograWindow};
+pub use router::{EventBinds, Router, WindowAlgo};
+pub use engine::{run_to_completion, TrendEngine};
+pub use multi::{MultiEngine, TaggedResult};
+pub use output::{GroupKey, WindowResult};
+pub use parallel::{run_parallel, ParallelRun};
+pub use runtime::{DisjunctRuntime, QueryRuntime};

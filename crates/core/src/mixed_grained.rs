@@ -1,0 +1,203 @@
+//! Mixed-Grained Aggregator (§5, Algorithm 2).
+//!
+//! Under skip-till-any-match *with* predicates on adjacent events θ, the
+//! states split into two disjoint sets (Theorem 5.1):
+//!
+//! * `Te` — states whose events appear as *predecessors* in some θ: these
+//!   events must be stored so θ can be evaluated against future events;
+//!   an event-grained cell is kept per stored event;
+//! * `Tt` — all other states: a single type-grained cell each.
+//!
+//! A new event `e` bound to state `s` computes
+//!
+//! ```text
+//! e.count = Σ_{E' ∈ Tt ∩ preds(s)} E'.count
+//!         + Σ_{ep ∈ Te-events, ep ∈ preds(s), θ(ep,e)} ep.count   (+1 if start)
+//! ```
+//!
+//! Time: O(n·(t + nₑ)) — optimal (Theorems 5.2, 5.3); space: Θ(t + nₑ).
+//!
+//! Stream transactions: type-grained cells stage updates in `pending` (as
+//! in Algorithm 1); event-grained contributions compare time stamps
+//! directly (`ep.time < e.time`), so stored events apply immediately.
+//! Negations: tagged edges from `Tt` states use shadow cells; tagged edges
+//! from `Te` states check the per-negation [`NegClock`] against the stored
+//! event's time.
+
+use crate::agg::Cell;
+use crate::runtime::{DisjunctRuntime, NegClock};
+use cogra_events::{Event, Timestamp};
+use cogra_query::{NegId, StateId};
+
+/// A stored event of a `Te` state, with its event-grained cell.
+#[derive(Debug)]
+struct StoredEvent {
+    event: Event,
+    state: StateId,
+    cell: Cell,
+}
+
+/// Per-window mixed-grained aggregation state.
+#[derive(Debug)]
+pub struct MixedWindow {
+    /// Type-grained cells (only `Tt` entries are used).
+    cells: Vec<Cell>,
+    /// Shadow cells for negation-tagged edges out of `Tt` states.
+    shadows: Vec<Cell>,
+    /// Stored `Te` events with their event-grained cells.
+    stored: Vec<StoredEvent>,
+    /// Finished-trend accumulator, used when the end state is in `Te`
+    /// (Algorithm 2 line 14).
+    final_acc: Cell,
+    /// Per-negation match clocks.
+    neg_clocks: Vec<NegClock>,
+    /// Open-transaction staging for type-grained cells.
+    pending: Vec<(StateId, Cell)>,
+    pending_negs: Vec<NegId>,
+    pending_time: Timestamp,
+}
+
+impl MixedWindow {
+    /// Fresh window state.
+    pub fn new(rt: &DisjunctRuntime) -> MixedWindow {
+        let zero = rt.zero_cell();
+        MixedWindow {
+            cells: vec![zero.clone(); rt.disjunct.automaton.num_states()],
+            shadows: vec![zero.clone(); rt.neg_edges.len()],
+            stored: Vec::new(),
+            final_acc: zero,
+            neg_clocks: vec![NegClock::default(); rt.disjunct.automaton.num_negated()],
+            pending: Vec::new(),
+            pending_negs: Vec::new(),
+            pending_time: Timestamp::ZERO,
+        }
+    }
+
+    fn commit(&mut self, rt: &DisjunctRuntime) {
+        if !self.pending_negs.is_empty() {
+            for (shadow, edge) in self.shadows.iter_mut().zip(&rt.neg_edges) {
+                if edge
+                    .negations
+                    .iter()
+                    .any(|n| self.pending_negs.contains(n))
+                {
+                    shadow.reset();
+                }
+            }
+            self.pending_negs.clear();
+        }
+        for (state, cell) in self.pending.drain(..) {
+            self.cells[state.index()].merge(&cell);
+            for (shadow, edge) in self.shadows.iter_mut().zip(&rt.neg_edges) {
+                if edge.from == state {
+                    shadow.merge(&cell);
+                }
+            }
+        }
+    }
+
+    fn commit_if_past(&mut self, rt: &DisjunctRuntime, t: Timestamp) {
+        if t > self.pending_time {
+            self.commit(rt);
+            self.pending_time = t;
+        }
+    }
+
+    /// Process an event bound to `binds`.
+    pub fn on_event(&mut self, rt: &DisjunctRuntime, event: &Event, binds: &[StateId]) {
+        self.commit_if_past(rt, event.time);
+        let d = &rt.disjunct;
+        for &s in binds {
+            let mut cell = rt.zero_cell();
+            if rt.is_start(s) {
+                cell.start_trend();
+            }
+            for src in &rt.pred_sources[s.index()] {
+                if d.event_grained[src.from.index()] {
+                    // Event-grained source: scan stored events of that
+                    // state, checking time, θ, and negation windows.
+                    for ep in &self.stored {
+                        if ep.state != src.from
+                            || ep.event.time >= event.time
+                            || !d.adjacency_predicates_pass(src.from, s, &ep.event, event)
+                        {
+                            continue;
+                        }
+                        let blocked = src.negations.iter().any(|n| {
+                            self.neg_clocks[n.index()].blocked(ep.event.time, event.time)
+                        });
+                        if !blocked {
+                            cell.merge(&ep.cell);
+                        }
+                    }
+                } else {
+                    let source_cell = match src.neg_edge {
+                        Some(i) => &self.shadows[i],
+                        None => &self.cells[src.from.index()],
+                    };
+                    cell.merge(source_cell);
+                }
+            }
+            if cell.is_zero() {
+                continue;
+            }
+            cell.contribute(rt.feeds.of(s), event);
+            if d.event_grained[s.index()] {
+                if s == rt.end() {
+                    self.final_acc.merge(&cell);
+                }
+                self.stored.push(StoredEvent {
+                    event: event.clone(),
+                    state: s,
+                    cell,
+                });
+            } else {
+                self.pending.push((s, cell));
+            }
+        }
+    }
+
+    /// Record negation matches at the event's time.
+    pub fn on_negation(&mut self, rt: &DisjunctRuntime, event: &Event, negs: &[NegId]) {
+        self.commit_if_past(rt, event.time);
+        for &n in negs {
+            self.neg_clocks[n.index()].record(event.time);
+        }
+        self.pending_negs.extend_from_slice(negs);
+    }
+
+    /// Final aggregate: end-state type cell, or the event-grained
+    /// accumulator when the end state is in `Te`.
+    pub fn final_cell(&mut self, rt: &DisjunctRuntime) -> Cell {
+        self.commit(rt);
+        if rt.disjunct.event_grained[rt.end().index()] {
+            self.final_acc.clone()
+        } else {
+            self.cells[rt.end().index()].clone()
+        }
+    }
+
+    /// Logical footprint: Θ(t + nₑ) — type cells plus stored events.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.cells.iter().map(Cell::memory_bytes).sum::<usize>()
+            + self.shadows.iter().map(Cell::memory_bytes).sum::<usize>()
+            + self.final_acc.memory_bytes()
+            + self
+                .stored
+                .iter()
+                .map(|se| se.event.memory_bytes() + se.cell.memory_bytes())
+                .sum::<usize>()
+            + self
+                .pending
+                .iter()
+                .map(|(_, c)| c.memory_bytes())
+                .sum::<usize>()
+    }
+
+    /// Number of stored events (the `nₑ` of Theorem 5.2) — exposed for
+    /// tests and the experiment harness.
+    pub fn stored_events(&self) -> usize {
+        self.stored.len()
+    }
+}

@@ -1,0 +1,182 @@
+//! Multi-query execution.
+//!
+//! §9.1 measures throughput as "the average number of events processed by
+//! all queries per second" — a workload of queries over one stream.
+//! [`MultiEngine`] fans each event out to any number of engines and tags
+//! their results with the originating query, giving applications (and the
+//! harness) a single ingestion point for a query workload.
+
+use crate::engine::TrendEngine;
+use crate::output::WindowResult;
+use cogra_events::{Event, Timestamp};
+
+/// A window result tagged with the query that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedResult {
+    /// Index of the query in the [`MultiEngine`].
+    pub query: usize,
+    /// The result.
+    pub result: WindowResult,
+}
+
+/// Several engines fed from one stream.
+pub struct MultiEngine {
+    engines: Vec<Box<dyn TrendEngine>>,
+}
+
+impl MultiEngine {
+    /// Build from a set of engines (one per query; they may be different
+    /// engine kinds).
+    pub fn new(engines: Vec<Box<dyn TrendEngine>>) -> MultiEngine {
+        MultiEngine { engines }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// Ingest one event into every query.
+    pub fn process(&mut self, event: &Event) {
+        for e in &mut self.engines {
+            e.process(event);
+        }
+    }
+
+    /// Collect finalized results from every query.
+    pub fn drain(&mut self) -> Vec<TaggedResult> {
+        self.collect(|e| e.drain())
+    }
+
+    /// End of stream: finalize every open window of every query.
+    pub fn finish(&mut self) -> Vec<TaggedResult> {
+        self.collect(|e| e.finish())
+    }
+
+    fn collect(
+        &mut self,
+        mut f: impl FnMut(&mut dyn TrendEngine) -> Vec<WindowResult>,
+    ) -> Vec<TaggedResult> {
+        let mut out = Vec::new();
+        for (i, e) in self.engines.iter_mut().enumerate() {
+            out.extend(f(e.as_mut()).into_iter().map(|result| TaggedResult {
+                query: i,
+                result,
+            }));
+        }
+        out
+    }
+
+    /// Sum of the engines' logical footprints.
+    pub fn memory_bytes(&self) -> usize {
+        self.engines.iter().map(|e| e.memory_bytes()).sum()
+    }
+
+    /// The minimum watermark across queries (results before it are final
+    /// everywhere).
+    pub fn watermark(&self) -> Timestamp {
+        self.engines
+            .iter()
+            .map(|e| e.watermark())
+            .min()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Access one engine (e.g. for its name).
+    pub fn engine(&self, i: usize) -> &dyn TrendEngine {
+        self.engines[i].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cogra::CograEngine;
+    use cogra_events::{EventBuilder, TypeRegistry, Value, ValueKind};
+
+    fn setup() -> (TypeRegistry, Vec<Event>) {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register_type("A", vec![("v", ValueKind::Int)]);
+        let b = reg.register_type("B", vec![("v", ValueKind::Int)]);
+        let mut builder = EventBuilder::new();
+        let events = (0..30)
+            .map(|i| {
+                builder.event(
+                    i + 1,
+                    if i % 3 == 2 { b } else { a },
+                    vec![Value::Int(i as i64)],
+                )
+            })
+            .collect();
+        (reg, events)
+    }
+
+    #[test]
+    fn fan_out_matches_individual_runs() {
+        let (reg, events) = setup();
+        let q1 = "RETURN COUNT(*) PATTERN A+ SEMANTICS ANY WITHIN 10 SLIDE 5";
+        let q2 = "RETURN COUNT(*) PATTERN SEQ(A+, B) SEMANTICS NEXT WITHIN 10 SLIDE 5";
+        let mut multi = MultiEngine::new(vec![
+            Box::new(CograEngine::from_text(q1, &reg).unwrap()),
+            Box::new(CograEngine::from_text(q2, &reg).unwrap()),
+        ]);
+        let mut tagged = Vec::new();
+        for e in &events {
+            multi.process(e);
+            tagged.extend(multi.drain());
+        }
+        tagged.extend(multi.finish());
+
+        for (i, q) in [q1, q2].iter().enumerate() {
+            let mut single = CograEngine::from_text(q, &reg).unwrap();
+            let (expected, _) = crate::engine::run_to_completion(&mut single, &events, 64);
+            let mut got: Vec<WindowResult> = tagged
+                .iter()
+                .filter(|t| t.query == i)
+                .map(|t| t.result.clone())
+                .collect();
+            WindowResult::sort(&mut got);
+            assert_eq!(got, expected, "query {i}");
+        }
+    }
+
+    #[test]
+    fn memory_is_sum_and_watermark_is_min() {
+        let (reg, events) = setup();
+        let q = "RETURN COUNT(*) PATTERN A+ SEMANTICS ANY WITHIN 10 SLIDE 5";
+        let mut multi = MultiEngine::new(vec![
+            Box::new(CograEngine::from_text(q, &reg).unwrap()),
+            Box::new(CograEngine::from_text(q, &reg).unwrap()),
+        ]);
+        for e in &events[..5] {
+            multi.process(e);
+        }
+        let single_mem = {
+            let mut s = CograEngine::from_text(q, &reg).unwrap();
+            for e in &events[..5] {
+                s.process(e);
+            }
+            s.memory_bytes()
+        };
+        assert_eq!(multi.memory_bytes(), 2 * single_mem);
+        assert_eq!(multi.watermark(), Timestamp(5));
+        assert_eq!(multi.len(), 2);
+        assert!(!multi.is_empty());
+        assert_eq!(multi.engine(0).name(), "cogra");
+    }
+
+    #[test]
+    fn empty_workload_is_inert() {
+        let (_, events) = setup();
+        let mut multi = MultiEngine::new(vec![]);
+        multi.process(&events[0]);
+        assert!(multi.drain().is_empty());
+        assert!(multi.finish().is_empty());
+        assert_eq!(multi.watermark(), Timestamp::ZERO);
+    }
+}

@@ -1,0 +1,84 @@
+//! Window results emitted by the engines.
+
+use crate::agg::AggValue;
+use cogra_events::{Value, WindowId};
+
+/// Grouping key of a result: the values of the `GROUP-BY` attributes.
+pub type GroupKey = Vec<Value>;
+
+/// One aggregation result: window × group × `RETURN` aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowResult {
+    /// The window instance this result finalizes.
+    pub window: WindowId,
+    /// Values of the grouping attributes.
+    pub group: GroupKey,
+    /// One value per aggregate in the `RETURN` clause.
+    pub values: Vec<AggValue>,
+}
+
+impl WindowResult {
+    /// Sort results deterministically by (window, group) — used by every
+    /// engine so that outputs are directly comparable in tests.
+    pub fn sort(results: &mut [WindowResult]) {
+        results.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
+    }
+}
+
+impl std::fmt::Display for WindowResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [", self.window)?;
+        for (i, g) in self.group.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{g}")?;
+        }
+        write!(f, "] →")?;
+        for v in &self.values {
+            write!(f, " {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_orders_by_window_then_group() {
+        let mut rs = vec![
+            WindowResult {
+                window: WindowId(2),
+                group: vec![Value::Int(1)],
+                values: vec![],
+            },
+            WindowResult {
+                window: WindowId(1),
+                group: vec![Value::Int(9)],
+                values: vec![],
+            },
+            WindowResult {
+                window: WindowId(1),
+                group: vec![Value::Int(3)],
+                values: vec![],
+            },
+        ];
+        WindowResult::sort(&mut rs);
+        assert_eq!(rs[0].window, WindowId(1));
+        assert_eq!(rs[0].group, vec![Value::Int(3)]);
+        assert_eq!(rs[1].group, vec![Value::Int(9)]);
+        assert_eq!(rs[2].window, WindowId(2));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = WindowResult {
+            window: WindowId(0),
+            group: vec![Value::str("x")],
+            values: vec![AggValue::Count(3)],
+        };
+        assert_eq!(r.to_string(), "w0 [x] → 3");
+    }
+}

@@ -1,0 +1,163 @@
+//! Parallel per-partition execution (§7/§8).
+//!
+//! "Equivalence predicates and the GROUP-BY clause partition the stream
+//! into sub-streams that are processed in parallel independently from
+//! each other. Such stream partitioning enables a highly scalable
+//! execution." Events within one sub-stream are processed in time order
+//! by a single worker, which is exactly the stream-transaction ordering
+//! guarantee §8 requires.
+//!
+//! Sharding is by the *output group* (the `GROUP-BY` prefix of the
+//! partition key), so every partition contributing to one result group
+//! lands on the same worker and no cross-worker aggregate merging is
+//! needed. A query without `GROUP-BY` falls back to a single worker
+//! (there is nothing to partition results by).
+
+use crate::cogra::CograEngine;
+use crate::engine::run_to_completion;
+use crate::output::WindowResult;
+use crate::runtime::QueryRuntime;
+use cogra_events::Event;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Outcome of a parallel run.
+#[derive(Debug)]
+pub struct ParallelRun {
+    /// All window results, merged and deterministically sorted.
+    pub results: Vec<WindowResult>,
+    /// Sum of the workers' peak logical memory (they run concurrently).
+    pub peak_bytes: usize,
+    /// Number of workers actually used.
+    pub workers: usize,
+}
+
+/// Execute a compiled query over a finite stream with `workers` parallel
+/// shards. Returns the same results as a single [`CograEngine`] fed the
+/// whole stream (asserted by the `parallel_equals_sequential` tests).
+pub fn run_parallel(rt: &Arc<QueryRuntime>, events: &[Event], workers: usize) -> ParallelRun {
+    let workers = workers.max(1);
+    let group_prefix = rt.query.group_prefix;
+    let effective = if group_prefix == 0 { 1 } else { workers };
+    if effective == 1 {
+        let mut engine = CograEngine::from_runtime(Arc::clone(rt));
+        let (results, peak) = run_to_completion(&mut engine, events, 64);
+        return ParallelRun {
+            results,
+            peak_bytes: peak,
+            workers: 1,
+        };
+    }
+
+    // Shard by the output-group prefix of the partition key.
+    let mut shards: Vec<Vec<Event>> = vec![Vec::new(); effective];
+    for e in events {
+        let Some(key) = rt.partition_key(e) else {
+            continue; // dropped consistently with every engine
+        };
+        let mut h = DefaultHasher::new();
+        key[..group_prefix].hash(&mut h);
+        let shard = (h.finish() % effective as u64) as usize;
+        shards[shard].push(e.clone());
+    }
+
+    let mut outputs: Vec<(Vec<WindowResult>, usize)> = Vec::with_capacity(effective);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let rt = Arc::clone(rt);
+                scope.spawn(move || {
+                    let mut engine = CograEngine::from_runtime(rt);
+                    run_to_completion(&mut engine, shard, 64)
+                })
+            })
+            .collect();
+        for h in handles {
+            outputs.push(h.join().expect("worker panicked"));
+        }
+    });
+
+    let mut results = Vec::new();
+    let mut peak = 0;
+    for (r, p) in outputs {
+        results.extend(r);
+        peak += p;
+    }
+    WindowResult::sort(&mut results);
+    ParallelRun {
+        results,
+        peak_bytes: peak,
+        workers: effective,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogra_events::{EventBuilder, TypeRegistry, Value, ValueKind};
+
+    fn setup(n: usize) -> (Arc<QueryRuntime>, Vec<Event>) {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register_type("A", vec![("g", ValueKind::Int), ("v", ValueKind::Int)]);
+        let b = reg.register_type("B", vec![("g", ValueKind::Int), ("v", ValueKind::Int)]);
+        let q = cogra_query::parse(
+            "RETURN g, COUNT(*), SUM(A.v) PATTERN SEQ(A+, B) SEMANTICS ANY \
+             GROUP-BY g WITHIN 16 SLIDE 8",
+        )
+        .unwrap();
+        let rt = Arc::new(QueryRuntime::new(
+            cogra_query::compile(&q, &reg).unwrap(),
+            &reg,
+        ));
+        let mut builder = EventBuilder::new();
+        let events: Vec<Event> = (0..n)
+            .map(|i| {
+                let ty = if i % 3 == 2 { b } else { a };
+                builder.event(
+                    (i + 1) as u64,
+                    ty,
+                    vec![Value::Int((i % 7) as i64), Value::Int((i % 5) as i64)],
+                )
+            })
+            .collect();
+        (rt, events)
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (rt, events) = setup(300);
+        let sequential = run_parallel(&rt, &events, 1);
+        for workers in [2, 4, 8] {
+            let parallel = run_parallel(&rt, &events, workers);
+            assert_eq!(parallel.results, sequential.results, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_groups_is_fine() {
+        let (rt, events) = setup(50);
+        let run = run_parallel(&rt, &events, 64);
+        assert!(!run.results.is_empty());
+        assert_eq!(run.workers, 64);
+    }
+
+    #[test]
+    fn no_group_by_falls_back_to_single_worker() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register_type("A", vec![("v", ValueKind::Int)]);
+        let q = cogra_query::parse("RETURN COUNT(*) PATTERN A+ WITHIN 8 SLIDE 4").unwrap();
+        let rt = Arc::new(QueryRuntime::new(
+            cogra_query::compile(&q, &reg).unwrap(),
+            &reg,
+        ));
+        let mut b = EventBuilder::new();
+        let events: Vec<Event> = (0..20)
+            .map(|i| b.event(i + 1, a, vec![Value::Int(i as i64)]))
+            .collect();
+        let run = run_parallel(&rt, &events, 8);
+        assert_eq!(run.workers, 1);
+        assert!(!run.results.is_empty());
+    }
+}

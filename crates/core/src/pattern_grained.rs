@@ -1,0 +1,175 @@
+//! Pattern-Grained Aggregator (§6, Algorithm 3).
+//!
+//! Under the skip-till-next-match and contiguous semantics an event has at
+//! most one predecessor *event* (Theorem 6.1), so only the last matched
+//! event `el` and the final aggregate are kept:
+//!
+//! ```text
+//! e.count = el.count  (if adjacent)   (+1 if start type)
+//! final  += e.count   (if end type)
+//! ```
+//!
+//! Time: O(n); space: O(1) — both optimal (Theorems 6.3, 6.4).
+//!
+//! Generalisation beyond the paper's pseudo-code: when one event type
+//! occurs at several pattern positions (§8, e.g. `SEQ(Stock A+, Stock
+//! B+)`), the last matched event may be bound to *several* states, each
+//! with its own partial-trend cell. `el` therefore carries a small
+//! per-state cell table — still O(l) per window, independent of the
+//! number of events, which is what "pattern granularity" promises.
+//!
+//! Semantics of unmatched events:
+//! * NEXT — skipped (only *relevant* events must extend the trend);
+//! * CONT — they invalidate the open partial trends: `el ← null`
+//!   (Algorithm 3 lines 8–9; the final count survives).
+//!
+//! Events inside one stream transaction are processed in arrival order;
+//! adjacency additionally requires `el.time < e.time`, so simultaneous
+//! events never chain (Definition 7 condition 2).
+
+use crate::agg::Cell;
+use crate::runtime::{DisjunctRuntime, NegClock};
+use cogra_events::Event;
+use cogra_query::{NegId, Semantics, StateId};
+
+/// The last matched event with its per-state partial-trend cells.
+#[derive(Debug)]
+struct LastEvent {
+    event: Event,
+    /// `cells[s]` — aggregates of the partial trends ending at this event
+    /// bound to state `s`; `None` when the event is not bound there.
+    cells: Vec<Option<Cell>>,
+}
+
+/// Per-window pattern-grained aggregation state.
+#[derive(Debug)]
+pub struct PatternWindow {
+    el: Option<LastEvent>,
+    final_acc: Cell,
+    neg_clocks: Vec<NegClock>,
+    /// Recycled cell table, avoiding a per-event allocation on the hot
+    /// path (most events either extend or reset; the table swaps with
+    /// `el`'s).
+    scratch: Vec<Option<Cell>>,
+}
+
+impl PatternWindow {
+    /// Fresh window state.
+    pub fn new(rt: &DisjunctRuntime) -> PatternWindow {
+        PatternWindow {
+            el: None,
+            final_acc: rt.zero_cell(),
+            neg_clocks: vec![NegClock::default(); rt.disjunct.automaton.num_negated()],
+            scratch: vec![None; rt.disjunct.automaton.num_states()],
+        }
+    }
+
+    /// Process an event bound to `binds`; `semantics` is NEXT or CONT.
+    pub fn on_event(
+        &mut self,
+        rt: &DisjunctRuntime,
+        event: &Event,
+        binds: &[StateId],
+        semantics: Semantics,
+    ) {
+        let d = &rt.disjunct;
+        if binds.is_empty() {
+            // Fast path: the event is irrelevant to this disjunct. NEXT
+            // skips it; CONT invalidates the open partial trends.
+            if semantics == Semantics::Cont {
+                self.clear_el();
+            }
+            return;
+        }
+        let mut new_cells = std::mem::take(&mut self.scratch);
+        new_cells.iter_mut().for_each(|c| *c = None);
+        let mut matched = false;
+        for &s in binds {
+            let mut cell = rt.zero_cell();
+            if rt.is_start(s) {
+                cell.start_trend();
+            }
+            if let Some(el) = &self.el {
+                if el.event.time < event.time {
+                    for src in &rt.pred_sources[s.index()] {
+                        let Some(el_cell) = &el.cells[src.from.index()] else {
+                            continue;
+                        };
+                        if !d.adjacency_predicates_pass(src.from, s, &el.event, event) {
+                            continue;
+                        }
+                        let blocked = src.negations.iter().any(|n| {
+                            self.neg_clocks[n.index()].blocked(el.event.time, event.time)
+                        });
+                        if !blocked {
+                            cell.merge(el_cell);
+                        }
+                    }
+                }
+            }
+            if cell.is_zero() {
+                continue; // not matched at this state
+            }
+            cell.contribute(rt.feeds.of(s), event);
+            if s == rt.end() {
+                self.final_acc.merge(&cell);
+            }
+            new_cells[s.index()] = Some(cell);
+            matched = true;
+        }
+        if matched {
+            match self.el.replace(LastEvent {
+                event: event.clone(),
+                cells: new_cells,
+            }) {
+                // Recycle the previous table; when there was no previous
+                // event the scratch slot must be refilled.
+                Some(old) => self.scratch = old.cells,
+                None => self.scratch = vec![None; d.automaton.num_states()],
+            }
+        } else {
+            self.scratch = new_cells;
+            if semantics == Semantics::Cont {
+                // An unmatched event invalidates the partial trends that
+                // end at the last matched event; the final count is
+                // preserved (Algorithm 3 lines 8-9).
+                self.clear_el();
+            }
+        }
+    }
+
+    /// Drop the last matched event, recycling its cell table.
+    fn clear_el(&mut self) {
+        if let Some(old) = self.el.take() {
+            self.scratch = old.cells;
+        }
+    }
+
+    /// Record negation matches. Under CONT the router also routes the
+    /// event through [`PatternWindow::on_event`], where it resets `el` if
+    /// it binds no positive state.
+    pub fn on_negation(&mut self, _rt: &DisjunctRuntime, event: &Event, negs: &[NegId]) {
+        for &n in negs {
+            self.neg_clocks[n.index()].record(event.time);
+        }
+    }
+
+    /// Final aggregate of the window.
+    pub fn final_cell(&mut self, _rt: &DisjunctRuntime) -> Cell {
+        self.final_acc.clone()
+    }
+
+    /// Logical footprint: O(1) in the number of events — the final cell,
+    /// the last matched event, and its O(l) cell table.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.final_acc.memory_bytes()
+            + self.el.as_ref().map_or(0, |el| {
+                el.event.memory_bytes()
+                    + el.cells
+                        .iter()
+                        .map(|c| c.as_ref().map_or(8, Cell::memory_bytes))
+                        .sum::<usize>()
+            })
+    }
+}

@@ -1,0 +1,225 @@
+//! Generic partition/window router shared by COGRA and the baseline
+//! engines.
+//!
+//! Every engine in this workspace has the same outer structure (§7):
+//! partition the stream by the `GROUP-BY` ∪ equivalence attributes, assign
+//! each event to its sliding windows, run a per-window algorithm, and
+//! finalize a window once the watermark passes its end. Only the
+//! per-window algorithm differs — COGRA's coarse-grained aggregators,
+//! SASE's stacks + DFS, GRETA's event graph, A-Seq's prefix counters,
+//! Flink's two-step sequence construction, or the brute-force oracle.
+//! [`Router`] implements the shared structure over a [`WindowAlgo`].
+
+use crate::agg::Cell;
+use crate::engine::TrendEngine;
+use crate::output::{GroupKey, WindowResult};
+use crate::runtime::QueryRuntime;
+use cogra_events::{Event, Timestamp, WindowId};
+use cogra_query::{NegId, StateId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Per-disjunct bindings of the current event: the states it can bind to
+/// (type matched, local predicates passed) and the negated variables it
+/// matches. Computed once per event by the router.
+#[derive(Debug, Default)]
+pub struct EventBinds {
+    /// `(positive states, matched negations)` per disjunct.
+    pub per_disjunct: Vec<(Vec<StateId>, Vec<NegId>)>,
+}
+
+impl EventBinds {
+    /// Whether the event binds no positive state and no negation in any
+    /// disjunct (it is still delivered — contiguous semantics and the
+    /// two-step baselines need to see every event of the partition).
+    pub fn is_irrelevant(&self) -> bool {
+        self.per_disjunct
+            .iter()
+            .all(|(b, n)| b.is_empty() && n.is_empty())
+    }
+}
+
+/// A per-window algorithm plugged into the [`Router`].
+pub trait WindowAlgo {
+    /// Fresh state for one window instance.
+    fn new(rt: &QueryRuntime) -> Self;
+
+    /// Process one event of this window's partition. Events arrive in
+    /// non-decreasing time order; `binds` was computed by the router.
+    fn on_event(&mut self, rt: &QueryRuntime, event: &Event, binds: &EventBinds);
+
+    /// Finalize: the combined aggregate cell of this window (across
+    /// disjuncts). Called exactly once, when the window closes.
+    fn final_cell(&mut self, rt: &QueryRuntime) -> Cell;
+
+    /// Logical memory footprint in bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+#[derive(Debug)]
+struct Partition<W> {
+    windows: BTreeMap<WindowId, W>,
+}
+
+impl<W> Default for Partition<W> {
+    fn default() -> Self {
+        Partition {
+            windows: BTreeMap::new(),
+        }
+    }
+}
+
+/// Partition/window router turning any [`WindowAlgo`] into a full
+/// [`TrendEngine`].
+pub struct Router<W: WindowAlgo> {
+    rt: Arc<QueryRuntime>,
+    name: &'static str,
+    partitions: HashMap<GroupKey, Partition<W>>,
+    watermark: Timestamp,
+    drained_to: Option<WindowId>,
+    binds: EventBinds,
+    /// Largest window footprint observed during finalization — two-step
+    /// engines materialize their trends inside `final_cell`, a spike that
+    /// periodic sampling would miss.
+    finalize_spike: usize,
+}
+
+impl<W: WindowAlgo> Router<W> {
+    /// Build a router over a compiled query runtime.
+    pub fn new(rt: Arc<QueryRuntime>, name: &'static str) -> Router<W> {
+        let binds = EventBinds {
+            per_disjunct: rt.disjuncts.iter().map(|_| Default::default()).collect(),
+        };
+        Router {
+            rt,
+            name,
+            partitions: HashMap::new(),
+            watermark: Timestamp::ZERO,
+            drained_to: None,
+            binds,
+            finalize_spike: 0,
+        }
+    }
+
+    /// The query runtime (for introspection).
+    pub fn runtime(&self) -> &QueryRuntime {
+        &self.rt
+    }
+
+    fn emit_up_to(&mut self, up_to: WindowId) -> Vec<WindowResult> {
+        let rt = Arc::clone(&self.rt);
+        let group_prefix = rt.query.group_prefix;
+        let mut combined: BTreeMap<(WindowId, GroupKey), Cell> = BTreeMap::new();
+        for (key, partition) in &mut self.partitions {
+            let closed = match up_to.0.checked_add(1) {
+                None => std::mem::take(&mut partition.windows),
+                Some(next) => {
+                    let mut open = partition.windows.split_off(&WindowId(next));
+                    std::mem::swap(&mut open, &mut partition.windows);
+                    open
+                }
+            };
+            for (wid, mut state) in closed {
+                if self.drained_to.is_some_and(|d| wid <= d) {
+                    continue;
+                }
+                let cell = state.final_cell(&rt);
+                // Measure after finalization: two-step algorithms hold
+                // their constructed trends until the window is dropped.
+                self.finalize_spike = self.finalize_spike.max(state.memory_bytes());
+                if cell.is_zero() {
+                    continue;
+                }
+                let group: GroupKey = key[..group_prefix].to_vec();
+                combined
+                    .entry((wid, group))
+                    .and_modify(|acc| acc.merge(&cell))
+                    .or_insert(cell);
+            }
+        }
+        self.partitions.retain(|_, p| !p.windows.is_empty());
+        self.drained_to = Some(match self.drained_to {
+            Some(d) => WindowId(d.0.max(up_to.0)),
+            None => up_to,
+        });
+        combined
+            .into_iter()
+            .map(|((window, group), cell)| WindowResult {
+                window,
+                group,
+                values: cell.outputs(&rt.layout),
+            })
+            .collect()
+    }
+}
+
+impl<W: WindowAlgo> TrendEngine for Router<W> {
+    fn process(&mut self, event: &Event) {
+        debug_assert!(
+            event.time >= self.watermark,
+            "events must arrive in time order"
+        );
+        self.watermark = self.watermark.max(event.time);
+        let rt = Arc::clone(&self.rt);
+        let Some(key) = rt.partition_key(event) else {
+            return; // type lacks the partition attributes (see DESIGN.md)
+        };
+        for ((binds, negs), drt) in self.binds.per_disjunct.iter_mut().zip(&rt.disjuncts) {
+            drt.binds(event, binds);
+            drt.negation_matches(event, negs);
+        }
+        // Events that bind nothing and negate nothing are no-ops for every
+        // per-window algorithm except under the contiguous semantics,
+        // where they invalidate partial trends — skip the window fan-out
+        // (and window-state creation) early.
+        if self.binds.is_irrelevant() && rt.query.semantics != cogra_query::Semantics::Cont {
+            return;
+        }
+        let partition = self.partitions.entry(key).or_default();
+        for wid in rt.query.window.windows_of(event.time) {
+            if self.drained_to.is_some_and(|d| wid <= d) {
+                continue;
+            }
+            partition
+                .windows
+                .entry(wid)
+                .or_insert_with(|| W::new(&rt))
+                .on_event(&rt, event, &self.binds);
+        }
+    }
+
+    fn drain(&mut self) -> Vec<WindowResult> {
+        match self.rt.query.window.last_closed(self.watermark) {
+            Some(wid) => self.emit_up_to(wid),
+            None => Vec::new(),
+        }
+    }
+
+    fn finish(&mut self) -> Vec<WindowResult> {
+        self.emit_up_to(WindowId(u64::MAX))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .partitions
+                .iter()
+                .map(|(key, p)| {
+                    key.iter().map(|v| v.memory_bytes()).sum::<usize>()
+                        + p.windows.values().map(W::memory_bytes).sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+
+    fn peak_hint(&self) -> usize {
+        self.finalize_spike
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+}

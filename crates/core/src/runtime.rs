@@ -1,0 +1,258 @@
+//! Shared runtime plumbing for the COGRA aggregators: precomputed
+//! per-disjunct routing tables, state binding, and negation clocks.
+
+use crate::agg::{AggLayout, DisjunctFeeds};
+use cogra_events::{Event, Timestamp, TypeRegistry};
+use cogra_query::{CompiledDisjunct, CompiledQuery, NegId, StateId};
+
+/// One incoming contribution source of a state.
+#[derive(Debug, Clone)]
+pub struct PredSource {
+    /// Predecessor state.
+    pub from: StateId,
+    /// Index into [`DisjunctRuntime::neg_edges`] when the transition is
+    /// negation-tagged (type-grained aggregation then reads the shadow
+    /// cell instead of the plain type cell).
+    pub neg_edge: Option<usize>,
+    /// The negated variables on this transition.
+    pub negations: Vec<NegId>,
+}
+
+/// A negation-tagged transition (for shadow-cell bookkeeping).
+#[derive(Debug, Clone)]
+pub struct NegEdge {
+    /// Source state whose aggregates flow along this transition.
+    pub from: StateId,
+    /// The negated variables that reset it.
+    pub negations: Vec<NegId>,
+}
+
+/// Precomputed routing tables for one compiled disjunct.
+#[derive(Debug)]
+pub struct DisjunctRuntime {
+    /// The compiled disjunct.
+    pub disjunct: CompiledDisjunct,
+    /// Feed table for the query's aggregation layout.
+    pub feeds: DisjunctFeeds,
+    /// `pred_sources[s]` — contribution sources of state `s`.
+    pub pred_sources: Vec<Vec<PredSource>>,
+    /// All negation-tagged transitions, indexed by `PredSource::neg_edge`.
+    pub neg_edges: Vec<NegEdge>,
+    /// Identity cell template for the query's aggregation layout.
+    zero: crate::agg::Cell,
+}
+
+impl DisjunctRuntime {
+    fn build(disjunct: CompiledDisjunct, feeds: DisjunctFeeds, layout: &AggLayout) -> DisjunctRuntime {
+        let n = disjunct.automaton.num_states();
+        let mut pred_sources: Vec<Vec<PredSource>> = Vec::with_capacity(n);
+        let mut neg_edges = Vec::new();
+        for s in 0..n {
+            let sid = StateId(s as u32);
+            let mut sources = Vec::new();
+            for edge in disjunct.automaton.preds(sid) {
+                let neg_edge = if edge.negations.is_empty() {
+                    None
+                } else {
+                    neg_edges.push(NegEdge {
+                        from: edge.from,
+                        negations: edge.negations.clone(),
+                    });
+                    Some(neg_edges.len() - 1)
+                };
+                sources.push(PredSource {
+                    from: edge.from,
+                    neg_edge,
+                    negations: edge.negations.clone(),
+                });
+            }
+            pred_sources.push(sources);
+        }
+        DisjunctRuntime {
+            disjunct,
+            feeds,
+            pred_sources,
+            neg_edges,
+            zero: layout.zero_cell(),
+        }
+    }
+
+    /// A fresh identity cell for the query's aggregation layout.
+    #[inline]
+    pub fn zero_cell(&self) -> crate::agg::Cell {
+        self.zero.clone()
+    }
+
+    /// Whether `s` is the pattern's start state.
+    #[inline]
+    pub fn is_start(&self, s: StateId) -> bool {
+        self.disjunct.automaton.start() == s
+    }
+
+    /// The pattern's end state.
+    #[inline]
+    pub fn end(&self) -> StateId {
+        self.disjunct.automaton.end()
+    }
+
+    /// The states `event` can bind to: its type's states whose local
+    /// filters pass (Definition 7 conditions on event types and single-
+    /// event predicates).
+    pub fn binds(&self, event: &Event, out: &mut Vec<StateId>) {
+        out.clear();
+        for &s in self.disjunct.automaton.states_of_type(event.type_id) {
+            if self.disjunct.locals_pass(s, event) {
+                out.push(s);
+            }
+        }
+    }
+
+    /// The negated variables `event` matches.
+    pub fn negation_matches(&self, event: &Event, out: &mut Vec<NegId>) {
+        out.clear();
+        for &n in self.disjunct.automaton.negations_of_type(event.type_id) {
+            if self.disjunct.neg_locals_pass(n, event) {
+                out.push(n);
+            }
+        }
+    }
+}
+
+/// Engine-level configuration knobs read by some [`WindowAlgo`]
+/// implementations.
+///
+/// [`WindowAlgo`]: crate::router::WindowAlgo
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Maximum flattened sequence length for the engines that simulate
+    /// Kleene closure with fixed-length sequence queries (Flink, A-Seq;
+    /// §9.1: "we first determine the length l of the longest match of P,
+    /// then specify a set of fixed-length event sequence queries that
+    /// cover all possible lengths up to l"). `None` = unbounded (exact,
+    /// but the covered length grows with the window content).
+    pub flatten_cap: Option<usize>,
+}
+
+/// Everything an engine needs to execute one compiled query.
+#[derive(Debug)]
+pub struct QueryRuntime {
+    /// The compiled query.
+    pub query: CompiledQuery,
+    /// Engine-level configuration (see [`EngineConfig`]).
+    pub config: EngineConfig,
+    /// Aggregation slot/output layout (shared by all disjuncts).
+    pub layout: AggLayout,
+    /// One runtime per disjunct.
+    pub disjuncts: Vec<DisjunctRuntime>,
+    /// Per registered type: positional ids of the partition attributes
+    /// (`None` = type cannot be partitioned, events dropped).
+    pub partition_attr_ids: Vec<Option<Vec<cogra_events::AttrId>>>,
+}
+
+impl QueryRuntime {
+    /// Build the runtime for a compiled query.
+    pub fn new(query: CompiledQuery, registry: &TypeRegistry) -> QueryRuntime {
+        assert!(
+            !query.disjuncts.is_empty(),
+            "compiled query has no disjuncts"
+        );
+        let partition_attr_ids = query.partition_attr_ids(registry);
+        let (layout, first_feeds) = AggLayout::build(&query.disjuncts[0]);
+        let mut disjuncts = Vec::with_capacity(query.disjuncts.len());
+        for (i, d) in query.disjuncts.iter().enumerate() {
+            let feeds = if i == 0 {
+                first_feeds.clone()
+            } else {
+                layout.feeds_for(d)
+            };
+            disjuncts.push(DisjunctRuntime::build(d.clone(), feeds, &layout));
+        }
+        QueryRuntime {
+            query,
+            config: EngineConfig::default(),
+            layout,
+            disjuncts,
+            partition_attr_ids,
+        }
+    }
+
+    /// Set the engine configuration (builder style).
+    pub fn with_config(mut self, config: EngineConfig) -> QueryRuntime {
+        self.config = config;
+        self
+    }
+
+    /// Extract the partition key of an event; `None` drops the event.
+    pub fn partition_key(&self, event: &Event) -> Option<Vec<cogra_events::Value>> {
+        self.partition_attr_ids[event.type_id.index()]
+            .as_ref()
+            .map(|ids| ids.iter().map(|a| event.attr(*a).clone()).collect())
+    }
+}
+
+/// Per-negated-variable match clock.
+///
+/// Tracks the last two distinct match time stamps so "does a match of `g`
+/// exist strictly between `ep.time` and `e.time`?" is answerable while the
+/// current stream transaction (events sharing `e.time`) is still open: a
+/// match at exactly `e.time` is not *between* (Definition 7 uses strict
+/// inequalities), so when `last == e.time` the clock falls back to the
+/// previous distinct match time.
+#[derive(Debug, Clone, Default)]
+pub struct NegClock {
+    last: Option<Timestamp>,
+    prev_distinct: Option<Timestamp>,
+}
+
+impl NegClock {
+    /// Record a match at `t` (non-decreasing).
+    pub fn record(&mut self, t: Timestamp) {
+        match self.last {
+            Some(l) if l == t => {}
+            Some(l) => {
+                debug_assert!(t > l, "negation clock must advance");
+                self.prev_distinct = Some(l);
+                self.last = Some(t);
+            }
+            None => self.last = Some(t),
+        }
+    }
+
+    /// Whether a match exists strictly inside `(after, before)`.
+    pub fn blocked(&self, after: Timestamp, before: Timestamp) -> bool {
+        let candidate = match self.last {
+            Some(l) if l < before => Some(l),
+            _ => self.prev_distinct.filter(|p| *p < before),
+        };
+        matches!(candidate, Some(m) if m > after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neg_clock_strict_interval() {
+        let mut c = NegClock::default();
+        assert!(!c.blocked(Timestamp(0), Timestamp(10)));
+        c.record(Timestamp(5));
+        assert!(c.blocked(Timestamp(0), Timestamp(10)));
+        assert!(!c.blocked(Timestamp(5), Timestamp(10)), "m == after is not between");
+        assert!(!c.blocked(Timestamp(0), Timestamp(5)), "m == before is not between");
+    }
+
+    #[test]
+    fn neg_clock_same_transaction_fallback() {
+        let mut c = NegClock::default();
+        c.record(Timestamp(3));
+        c.record(Timestamp(7));
+        // Current transaction at t=7: the match at 7 is not between, but
+        // the earlier one at 3 is.
+        assert!(c.blocked(Timestamp(1), Timestamp(7)));
+        assert!(!c.blocked(Timestamp(3), Timestamp(7)));
+        // Duplicate record at the same time keeps prev_distinct.
+        c.record(Timestamp(7));
+        assert!(c.blocked(Timestamp(1), Timestamp(7)));
+    }
+}

@@ -1,0 +1,142 @@
+//! Type-Grained Aggregator (§4, Algorithm 1).
+//!
+//! Under skip-till-any-match without predicates on adjacent events, every
+//! previously matched event of a predecessor type of `E` is adjacent to a
+//! new event `e` of type `E`. One aggregate [`Cell`] per state therefore
+//! suffices (Theorem 4.1):
+//!
+//! ```text
+//! e.count = Σ_{E' ∈ P.predTypes(E)} E'.count   (+1 if E = start(P))
+//! E.count += e.count
+//! final count = end(P).count
+//! ```
+//!
+//! Time: O(n·l); space: Θ(l) — both optimal (Theorems 4.2, 4.3).
+//!
+//! Two refinements beyond the paper's pseudo-code:
+//!
+//! * **Stream transactions** (§8): events sharing a time stamp are
+//!   temporally incomparable, so one must not count another as
+//!   predecessor. Updates are staged in `pending` and committed when the
+//!   window sees a later time stamp.
+//! * **Negated sub-patterns** (§8): each negation-tagged transition keeps
+//!   a *shadow cell* mirroring its source state's cell but reset whenever
+//!   the negated type matches — "aggregates of predecessor types are
+//!   marked invalid to contribute to the following types". Contributions
+//!   along a tagged edge read the shadow instead of the type cell.
+
+use crate::agg::Cell;
+use crate::runtime::DisjunctRuntime;
+use cogra_events::{Event, Timestamp};
+use cogra_query::{NegId, StateId};
+
+/// Per-window type-grained aggregation state.
+#[derive(Debug)]
+pub struct TypeGrainedWindow {
+    /// Committed per-state cells (`E.count` etc. of Theorem 4.1).
+    cells: Vec<Cell>,
+    /// Shadow cells, one per negation-tagged transition
+    /// (`DisjunctRuntime::neg_edges` order).
+    shadows: Vec<Cell>,
+    /// Updates of the open stream transaction.
+    pending: Vec<(StateId, Cell)>,
+    /// Negations matched in the open transaction.
+    pending_negs: Vec<NegId>,
+    /// Time stamp of the open transaction.
+    pending_time: Timestamp,
+}
+
+impl TypeGrainedWindow {
+    /// Fresh window state.
+    pub fn new(rt: &DisjunctRuntime) -> TypeGrainedWindow {
+        let zero = rt.zero_cell();
+        TypeGrainedWindow {
+            cells: vec![zero.clone(); rt.disjunct.automaton.num_states()],
+            shadows: vec![zero; rt.neg_edges.len()],
+            pending: Vec::new(),
+            pending_negs: Vec::new(),
+            pending_time: Timestamp::ZERO,
+        }
+    }
+
+    fn commit(&mut self, rt: &DisjunctRuntime) {
+        // 1. Shadow resets first: a negation match at time t invalidates
+        // contributions committed strictly before t; the transaction's own
+        // events (same t) are merged afterwards and stay valid.
+        if !self.pending_negs.is_empty() {
+            for (shadow, edge) in self.shadows.iter_mut().zip(&rt.neg_edges) {
+                if edge
+                    .negations
+                    .iter()
+                    .any(|n| self.pending_negs.contains(n))
+                {
+                    shadow.reset();
+                }
+            }
+            self.pending_negs.clear();
+        }
+        // 2. Merge the transaction's event cells.
+        for (state, cell) in self.pending.drain(..) {
+            self.cells[state.index()].merge(&cell);
+            for (shadow, edge) in self.shadows.iter_mut().zip(&rt.neg_edges) {
+                if edge.from == state {
+                    shadow.merge(&cell);
+                }
+            }
+        }
+    }
+
+    fn commit_if_past(&mut self, rt: &DisjunctRuntime, t: Timestamp) {
+        if t > self.pending_time {
+            self.commit(rt);
+            self.pending_time = t;
+        }
+    }
+
+    /// Process an event bound to `binds` (type matched, locals passed).
+    pub fn on_event(&mut self, rt: &DisjunctRuntime, event: &Event, binds: &[StateId]) {
+        self.commit_if_past(rt, event.time);
+        for &s in binds {
+            let mut cell = rt.zero_cell();
+            if rt.is_start(s) {
+                cell.start_trend();
+            }
+            for src in &rt.pred_sources[s.index()] {
+                let source_cell = match src.neg_edge {
+                    Some(i) => &self.shadows[i],
+                    None => &self.cells[src.from.index()],
+                };
+                cell.merge(source_cell);
+            }
+            if cell.is_zero() {
+                continue; // no trend ends at this event (see agg.rs docs)
+            }
+            cell.contribute(rt.feeds.of(s), event);
+            self.pending.push((s, cell));
+        }
+    }
+
+    /// Record negation matches at the event's time.
+    pub fn on_negation(&mut self, rt: &DisjunctRuntime, event: &Event, negs: &[NegId]) {
+        self.commit_if_past(rt, event.time);
+        self.pending_negs.extend_from_slice(negs);
+    }
+
+    /// Final aggregate of the window: the end state's cell (Theorem 4.1).
+    pub fn final_cell(&mut self, rt: &DisjunctRuntime) -> Cell {
+        self.commit(rt);
+        self.cells[rt.end().index()].clone()
+    }
+
+    /// Logical footprint: Θ(l) cells plus shadows and open transaction.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.cells.iter().map(Cell::memory_bytes).sum::<usize>()
+            + self.shadows.iter().map(Cell::memory_bytes).sum::<usize>()
+            + self
+                .pending
+                .iter()
+                .map(|(_, c)| c.memory_bytes() + std::mem::size_of::<StateId>())
+                .sum::<usize>()
+    }
+}

@@ -1,0 +1,222 @@
+//! Bounded out-of-order buffering.
+//!
+//! The engines require time-ordered input (§2.1; the §8 time-driven
+//! scheduler "waits till the processing of all transactions with smaller
+//! time stamps is completed"). Real sources deliver events slightly
+//! disordered; [`Reorderer`] implements the waiting: it buffers events and
+//! releases them in time-stamp order once the watermark (maximum time
+//! seen) has advanced `slack` ticks past them, guaranteeing in-order
+//! delivery for any input whose disorder is bounded by `slack`. An event
+//! arriving behind output that was already released is *late*: it is
+//! dropped and counted (the watermark-slack contract of streaming
+//! systems; this implementation drops only when emission would actually
+//! violate order, which is the laziest correct policy).
+
+use crate::event::{Event, Timestamp};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by (time, arrival sequence) so equal-time events
+/// keep their arrival order.
+#[derive(Debug)]
+struct Pending {
+    time: Timestamp,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Buffering reorderer with a fixed disorder bound.
+///
+/// ```
+/// use cogra_events::{Event, Reorderer, TypeId};
+/// let mut r = Reorderer::new(2);
+/// let mut out = Vec::new();
+/// for (id, t) in [(0, 3u64), (1, 1), (2, 2), (3, 5)] {
+///     r.push(Event::new(id, t, TypeId(0), vec![]), &mut out);
+/// }
+/// r.flush(&mut out);
+/// let times: Vec<u64> = out.iter().map(|e| e.time.ticks()).collect();
+/// assert_eq!(times, vec![1, 2, 3, 5]);
+/// ```
+#[derive(Debug)]
+pub struct Reorderer {
+    slack: u64,
+    watermark: Timestamp,
+    released_to: Timestamp,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Pending>>,
+    late: u64,
+}
+
+impl Reorderer {
+    /// A reorderer tolerating up to `slack` ticks of disorder.
+    pub fn new(slack: u64) -> Reorderer {
+        Reorderer {
+            slack,
+            watermark: Timestamp::ZERO,
+            released_to: Timestamp::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            late: 0,
+        }
+    }
+
+    /// Offer one event; append any events now safe to deliver to `out`
+    /// (in non-decreasing time order).
+    pub fn push(&mut self, event: Event, out: &mut Vec<Event>) {
+        if event.time < self.released_to {
+            self.late += 1;
+            return;
+        }
+        self.watermark = self.watermark.max(event.time);
+        self.heap.push(Reverse(Pending {
+            time: event.time,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+        let safe = self.watermark.saturating_sub(self.slack);
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.time > safe {
+                break;
+            }
+            let Reverse(p) = self.heap.pop().expect("peeked");
+            self.released_to = self.released_to.max(p.time);
+            out.push(p.event);
+        }
+    }
+
+    /// End of stream: release everything still buffered, in order.
+    pub fn flush(&mut self, out: &mut Vec<Event>) {
+        while let Some(Reverse(p)) = self.heap.pop() {
+            self.released_to = self.released_to.max(p.time);
+            out.push(p.event);
+        }
+    }
+
+    /// Number of events dropped as too late.
+    pub fn late_events(&self) -> u64 {
+        self.late
+    }
+
+    /// Number of events currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TypeId;
+
+    fn ev(id: u64, t: u64) -> Event {
+        Event::new(id, t, TypeId(0), vec![])
+    }
+
+    fn run(slack: u64, times: &[u64]) -> (Vec<u64>, u64) {
+        let mut r = Reorderer::new(slack);
+        let mut out = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            r.push(ev(i as u64, t), &mut out);
+        }
+        r.flush(&mut out);
+        (out.iter().map(|e| e.time.ticks()).collect(), r.late_events())
+    }
+
+    #[test]
+    fn ordered_input_passes_through() {
+        let (out, late) = run(2, &[1, 2, 3, 4, 5]);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(late, 0);
+    }
+
+    #[test]
+    fn bounded_disorder_is_repaired() {
+        let (out, late) = run(3, &[3, 1, 2, 6, 4, 5, 9, 7, 8]);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(late, 0);
+    }
+
+    #[test]
+    fn events_behind_released_output_are_dropped() {
+        // 12 advances the watermark to 12 → 10 is released; the straggler
+        // at 3 would have to be emitted after 10 and is late.
+        let (out, late) = run(2, &[10, 12, 3]);
+        assert_eq!(out, vec![10, 12]);
+        assert_eq!(late, 1);
+    }
+
+    #[test]
+    fn straggler_within_unreleased_range_is_kept() {
+        // Nothing at or below time 3 was released yet, so a straggler at
+        // 3 can still be emitted in order even though the watermark has
+        // passed 3 + slack.
+        let (out, late) = run(2, &[10, 3]);
+        assert_eq!(out, vec![3, 10]);
+        assert_eq!(late, 0);
+    }
+
+    #[test]
+    fn equal_times_keep_arrival_order() {
+        let mut r = Reorderer::new(0);
+        let mut out = Vec::new();
+        r.push(ev(0, 5), &mut out);
+        r.push(ev(1, 5), &mut out);
+        r.push(ev(2, 5), &mut out);
+        r.flush(&mut out);
+        let ids: Vec<u64> = out.iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_slack_releases_eagerly() {
+        let mut r = Reorderer::new(0);
+        let mut out = Vec::new();
+        r.push(ev(0, 1), &mut out);
+        assert_eq!(out.len(), 1, "watermark == event time → immediately safe");
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn buffered_count_tracks_heap() {
+        let mut r = Reorderer::new(10);
+        let mut out = Vec::new();
+        for t in [5, 3, 8] {
+            r.push(ev(t, t), &mut out);
+        }
+        assert!(out.is_empty(), "nothing is 10 ticks behind yet");
+        assert_eq!(r.buffered(), 3);
+        r.push(ev(20, 20), &mut out);
+        assert_eq!(out.iter().map(|e| e.time.ticks()).collect::<Vec<_>>(), vec![3, 5, 8]);
+    }
+
+    #[test]
+    fn output_feeds_engine_validly() {
+        // The released stream must satisfy the engines' ordering contract.
+        let (out, _) = run(4, &[4, 1, 7, 2, 9, 5, 12, 8]);
+        let events: Vec<Event> = out
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| ev(i as u64, t))
+            .collect();
+        assert!(crate::stream::validate_ordered(&events).is_ok());
+    }
+}

@@ -1,0 +1,139 @@
+//! Event stream utilities.
+//!
+//! The paper assumes events arrive on the input stream `I` in time-stamp
+//! order (§2.1, §8). [`validate_ordered`] checks that assumption;
+//! [`EventBuilder`] is a convenience for tests and workload generators;
+//! [`transactions`] groups simultaneous events into stream transactions as
+//! required by the time-driven scheduler (§8).
+
+use crate::event::{Event, EventId, Timestamp};
+use crate::schema::TypeId;
+use crate::value::Value;
+
+/// Error raised when a stream violates the in-order assumption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfOrderError {
+    /// Id of the offending event.
+    pub event: EventId,
+    /// Its time stamp.
+    pub time: Timestamp,
+    /// The watermark it regressed behind.
+    pub watermark: Timestamp,
+}
+
+impl std::fmt::Display for OutOfOrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event {} at {} arrived after watermark {}",
+            self.event, self.time, self.watermark
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrderError {}
+
+/// Verify a slice of events is non-decreasing in time.
+pub fn validate_ordered(events: &[Event]) -> Result<(), OutOfOrderError> {
+    let mut watermark = Timestamp::ZERO;
+    for e in events {
+        if e.time < watermark {
+            return Err(OutOfOrderError {
+                event: e.id,
+                time: e.time,
+                watermark,
+            });
+        }
+        watermark = e.time;
+    }
+    Ok(())
+}
+
+/// Group an ordered stream into *stream transactions*: maximal runs of
+/// events sharing a time stamp (§8). Returns index ranges into `events`.
+pub fn transactions(events: &[Event]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < events.len() {
+        let t = events[start].time;
+        let mut end = start + 1;
+        while end < events.len() && events[end].time == t {
+            end += 1;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Incremental builder assigning monotone event ids; handy for tests and
+/// generators.
+#[derive(Debug, Default)]
+pub struct EventBuilder {
+    next_id: u64,
+}
+
+impl EventBuilder {
+    /// Fresh builder starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit an event with the next id.
+    pub fn event(&mut self, time: u64, type_id: TypeId, attrs: Vec<Value>) -> Event {
+        let e = Event::new(self.next_id, time, type_id, attrs);
+        self.next_id += 1;
+        e
+    }
+
+    /// Number of events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64, t: u64) -> Event {
+        Event::new(id, t, TypeId(0), vec![])
+    }
+
+    #[test]
+    fn ordered_stream_passes() {
+        let s = vec![ev(0, 1), ev(1, 1), ev(2, 3)];
+        assert!(validate_ordered(&s).is_ok());
+    }
+
+    #[test]
+    fn out_of_order_detected() {
+        let s = vec![ev(0, 5), ev(1, 4)];
+        let err = validate_ordered(&s).unwrap_err();
+        assert_eq!(err.event, EventId(1));
+        assert_eq!(err.watermark, Timestamp(5));
+        assert!(err.to_string().contains("watermark"));
+    }
+
+    #[test]
+    fn transactions_group_equal_timestamps() {
+        let s = vec![ev(0, 1), ev(1, 1), ev(2, 2), ev(3, 5), ev(4, 5), ev(5, 5)];
+        let tx = transactions(&s);
+        assert_eq!(tx, vec![0..2, 2..3, 3..6]);
+    }
+
+    #[test]
+    fn transactions_empty_stream() {
+        assert!(transactions(&[]).is_empty());
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = EventBuilder::new();
+        let e0 = b.event(1, TypeId(0), vec![]);
+        let e1 = b.event(2, TypeId(1), vec![]);
+        assert_eq!(e0.id, EventId(0));
+        assert_eq!(e1.id, EventId(1));
+        assert_eq!(b.emitted(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Sliding windows (`WITHIN w SLIDE s`, §2.3 and §7).
+//!
+//! Sliding windows partition the unbounded stream into overlapping finite
+//! intervals. Window `k` (its [`WindowId`]) covers the half-open interval
+//! `[k·s, k·s + w)`. An event with time stamp `t` belongs to every window
+//! whose interval contains `t` — at most `ceil(w / s)` of them. Following
+//! the paper (§7), each aggregate is maintained *per window id*, and a
+//! window's result is final once the stream time passes the window's end.
+
+use crate::event::Timestamp;
+use std::fmt;
+
+/// Identifier of one sliding-window instance: window `k` spans
+/// `[k·slide, k·slide + within)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WindowId(pub u64);
+
+impl fmt::Display for WindowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A `WITHIN w SLIDE s` window specification.
+///
+/// ```
+/// use cogra_events::{Timestamp, WindowSpec};
+/// let spec = WindowSpec::new(10, 3); // WITHIN 10 SLIDE 3
+/// let windows: Vec<u64> = spec.windows_of(Timestamp(9)).map(|w| w.0).collect();
+/// assert_eq!(windows, vec![0, 1, 2, 3]); // [0,10) [3,13) [6,16) [9,19)
+/// assert_eq!(spec.windows_per_event(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window length `w` in ticks (`WITHIN`).
+    pub within: u64,
+    /// Slide `s` in ticks (`SLIDE`). Must satisfy `0 < s <= w` for the
+    /// stream to be fully covered; `s == w` gives tumbling windows.
+    pub slide: u64,
+}
+
+impl WindowSpec {
+    /// Create a window spec. Panics if `slide == 0` or `within == 0`
+    /// (invalid static configuration).
+    pub fn new(within: u64, slide: u64) -> Self {
+        assert!(within > 0, "WITHIN must be positive");
+        assert!(slide > 0, "SLIDE must be positive");
+        WindowSpec { within, slide }
+    }
+
+    /// A tumbling window of length `w` (slide == within).
+    pub fn tumbling(within: u64) -> Self {
+        WindowSpec::new(within, within)
+    }
+
+    /// Maximum number of windows any single event can belong to.
+    pub fn windows_per_event(&self) -> usize {
+        (self.within.div_ceil(self.slide)) as usize
+    }
+
+    /// The window ids containing time `t`, in increasing order.
+    ///
+    /// `k·s <= t < k·s + w  ⇔  (t − w)/s < k <= t/s` intersected with
+    /// `k >= 0`.
+    pub fn windows_of(&self, t: Timestamp) -> impl Iterator<Item = WindowId> {
+        let t = t.ticks();
+        let last = t / self.slide;
+        let first = if t < self.within {
+            0
+        } else {
+            // first k with k*s > t - w, i.e. floor((t - w)/s) + 1
+            (t - self.within) / self.slide + 1
+        };
+        (first..=last).map(WindowId)
+    }
+
+    /// Start time of window `wid`.
+    pub fn window_start(&self, wid: WindowId) -> Timestamp {
+        Timestamp(wid.0 * self.slide)
+    }
+
+    /// Exclusive end time of window `wid`.
+    pub fn window_end(&self, wid: WindowId) -> Timestamp {
+        Timestamp(wid.0 * self.slide + self.within)
+    }
+
+    /// All windows whose interval ends at or before `watermark` are final:
+    /// no event with time >= watermark can fall into them. Returns the
+    /// largest window id that is *closed* at the given watermark, if any.
+    pub fn last_closed(&self, watermark: Timestamp) -> Option<WindowId> {
+        let t = watermark.ticks();
+        if t < self.within {
+            return None;
+        }
+        // window k closed ⇔ k*s + w <= t ⇔ k <= (t - w)/s
+        Some(WindowId((t - self.within) / self.slide))
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WITHIN {} SLIDE {}", self.within, self.slide)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(spec: &WindowSpec, t: u64) -> Vec<u64> {
+        spec.windows_of(Timestamp(t)).map(|w| w.0).collect()
+    }
+
+    #[test]
+    fn event_before_first_full_window() {
+        let spec = WindowSpec::new(10, 3);
+        assert_eq!(ids(&spec, 0), vec![0]);
+        assert_eq!(ids(&spec, 2), vec![0]);
+        assert_eq!(ids(&spec, 3), vec![0, 1]);
+        assert_eq!(ids(&spec, 9), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn steady_state_overlap() {
+        let spec = WindowSpec::new(10, 3);
+        // t=10: windows k with 3k <= 10 < 3k+10 → k in {1,2,3}
+        assert_eq!(ids(&spec, 10), vec![1, 2, 3]);
+        assert_eq!(ids(&spec, 12), vec![1, 2, 3, 4]);
+        assert!(ids(&spec, 100).len() <= spec.windows_per_event());
+    }
+
+    #[test]
+    fn tumbling_window_single_membership() {
+        let spec = WindowSpec::tumbling(5);
+        for t in 0..50 {
+            assert_eq!(ids(&spec, t).len(), 1, "t={t}");
+            assert_eq!(ids(&spec, t)[0], t / 5);
+        }
+    }
+
+    #[test]
+    fn membership_is_consistent_with_interval() {
+        let spec = WindowSpec::new(7, 2);
+        for t in 0..100u64 {
+            for k in 0..60u64 {
+                let inside = k * 2 <= t && t < k * 2 + 7;
+                let listed = ids(&spec, t).contains(&k);
+                assert_eq!(inside, listed, "t={t} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn windows_per_event_bound() {
+        assert_eq!(WindowSpec::new(10, 3).windows_per_event(), 4);
+        assert_eq!(WindowSpec::new(10, 5).windows_per_event(), 2);
+        assert_eq!(WindowSpec::new(10, 10).windows_per_event(), 1);
+        assert_eq!(WindowSpec::new(600, 30).windows_per_event(), 20);
+    }
+
+    #[test]
+    fn window_bounds() {
+        let spec = WindowSpec::new(10, 3);
+        assert_eq!(spec.window_start(WindowId(2)), Timestamp(6));
+        assert_eq!(spec.window_end(WindowId(2)), Timestamp(16));
+    }
+
+    #[test]
+    fn last_closed_watermark() {
+        let spec = WindowSpec::new(10, 3);
+        assert_eq!(spec.last_closed(Timestamp(9)), None);
+        assert_eq!(spec.last_closed(Timestamp(10)), Some(WindowId(0)));
+        assert_eq!(spec.last_closed(Timestamp(12)), Some(WindowId(0)));
+        assert_eq!(spec.last_closed(Timestamp(13)), Some(WindowId(1)));
+        // closed windows never reopen: every event at time >= watermark
+        // falls only into windows with id > last_closed.
+        let wm = Timestamp(22);
+        let closed = spec.last_closed(wm).unwrap();
+        for t in 22..60 {
+            for w in ids(&spec, t) {
+                assert!(w > closed.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SLIDE must be positive")]
+    fn zero_slide_rejected() {
+        WindowSpec::new(10, 0);
+    }
+}

@@ -1,0 +1,545 @@
+//! Surface abstract syntax of event trend aggregation queries
+//! (Definition 6) in the paper's SASE-style language:
+//!
+//! ```text
+//! RETURN    driver, COUNT(*)
+//! PATTERN   SEQ(Accept, (SEQ(Call, Cancel))+, Finish)
+//! SEMANTICS skip-till-next-match
+//! WHERE     [driver] AND A.price > NEXT(A).price
+//! GROUP-BY  driver
+//! WITHIN    10 minutes SLIDE 30 seconds
+//! ```
+//!
+//! The surface AST is what the parser produces and what programmatic users
+//! build via the constructors here; `crate::compile` lowers it to the
+//! executable form.
+
+use std::fmt;
+
+/// Event matching semantics (§2.2). Ordered from most flexible to most
+/// restrictive; Figure 2 shows `trends_cont ⊆ trends_next ⊆ trends_any`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Semantics {
+    /// Skip-till-any-match: every relevant event both extends each existing
+    /// trend and is skipped to preserve alternatives (Definition 2).
+    #[default]
+    Any,
+    /// Skip-till-next-match: relevant events must be matched; irrelevant
+    /// events are skipped (Definition 3, operationally Theorem 6.1).
+    Next,
+    /// Contiguous: no event may be skipped between trend elements
+    /// (Definition 4).
+    Cont,
+}
+
+impl Semantics {
+    /// Canonical keyword used in query text.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Semantics::Any => "skip-till-any-match",
+            Semantics::Next => "skip-till-next-match",
+            Semantics::Cont => "contiguous",
+        }
+    }
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A pattern leaf: an event type with an optional variable alias
+/// (`Stock A` binds events of type `Stock` to variable `A`; a bare
+/// `Measurement` uses the type name as the variable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Leaf {
+    /// Event type name (must be registered in the [`TypeRegistry`]).
+    ///
+    /// [`TypeRegistry`]: cogra_events::TypeRegistry
+    pub event_type: String,
+    /// Variable name predicates and aggregates refer to.
+    pub var: String,
+}
+
+impl Leaf {
+    /// Leaf whose variable is the type name itself.
+    pub fn of(event_type: &str) -> Self {
+        Leaf {
+            event_type: event_type.to_string(),
+            var: event_type.to_string(),
+        }
+    }
+
+    /// Leaf with an explicit variable alias.
+    pub fn aliased(event_type: &str, var: &str) -> Self {
+        Leaf {
+            event_type: event_type.to_string(),
+            var: var.to_string(),
+        }
+    }
+}
+
+/// Surface pattern expression (Definition 1 plus the §8 extensions:
+/// Kleene star, optional sub-patterns, disjunction, negation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternExpr {
+    /// A single event type occurrence.
+    Leaf(Leaf),
+    /// `SEQ(P1, ..., Pn)` — temporal sequencing.
+    Seq(Vec<PatternExpr>),
+    /// `P+` — Kleene plus (one or more matches of `P`).
+    Plus(Box<PatternExpr>),
+    /// `P*` — Kleene star; desugars to `P+ | ε` (§8).
+    Star(Box<PatternExpr>),
+    /// `P?` — optional; desugars to `P | ε` (§8).
+    Opt(Box<PatternExpr>),
+    /// `OR(P1, ..., Pn)` — disjunction (§8).
+    Or(Vec<PatternExpr>),
+    /// `NOT E` — negated event type, only valid between elements of a
+    /// `SEQ` (§8).
+    Not(Box<PatternExpr>),
+}
+
+impl PatternExpr {
+    /// Leaf pattern from a type name.
+    pub fn leaf(event_type: &str) -> Self {
+        PatternExpr::Leaf(Leaf::of(event_type))
+    }
+
+    /// Leaf pattern with a variable alias.
+    pub fn aliased(event_type: &str, var: &str) -> Self {
+        PatternExpr::Leaf(Leaf::aliased(event_type, var))
+    }
+
+    /// Kleene plus of this pattern.
+    pub fn plus(self) -> Self {
+        PatternExpr::Plus(Box::new(self))
+    }
+
+    /// Kleene star of this pattern.
+    pub fn star(self) -> Self {
+        PatternExpr::Star(Box::new(self))
+    }
+
+    /// Optional version of this pattern.
+    pub fn opt(self) -> Self {
+        PatternExpr::Opt(Box::new(self))
+    }
+
+    /// Sequence of patterns.
+    pub fn seq(parts: Vec<PatternExpr>) -> Self {
+        PatternExpr::Seq(parts)
+    }
+
+    /// Disjunction of patterns.
+    pub fn or(parts: Vec<PatternExpr>) -> Self {
+        PatternExpr::Or(parts)
+    }
+
+    /// Negation of this pattern.
+    #[allow(clippy::should_implement_trait)] // domain term: `NOT C` in a SEQ
+    pub fn not(self) -> Self {
+        PatternExpr::Not(Box::new(self))
+    }
+
+    /// The *length* of a pattern: the number of event type occurrences in
+    /// it (Definition 1). Negated occurrences are not counted.
+    pub fn length(&self) -> usize {
+        match self {
+            PatternExpr::Leaf(_) => 1,
+            PatternExpr::Seq(ps) | PatternExpr::Or(ps) => ps.iter().map(Self::length).sum(),
+            PatternExpr::Plus(p) | PatternExpr::Star(p) | PatternExpr::Opt(p) => p.length(),
+            PatternExpr::Not(_) => 0,
+        }
+    }
+
+    /// Whether the pattern contains a Kleene operator (`+` or `*`); such
+    /// patterns are *Kleene patterns*, all others are *event sequence
+    /// patterns* (Definition 1). The distinction drives the trend-count
+    /// complexity classes of Table 3.
+    pub fn is_kleene(&self) -> bool {
+        match self {
+            PatternExpr::Leaf(_) => false,
+            PatternExpr::Plus(_) | PatternExpr::Star(_) => true,
+            PatternExpr::Opt(p) | PatternExpr::Not(p) => p.is_kleene(),
+            PatternExpr::Seq(ps) | PatternExpr::Or(ps) => ps.iter().any(Self::is_kleene),
+        }
+    }
+}
+
+impl fmt::Display for PatternExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternExpr::Leaf(l) if l.var == l.event_type => write!(f, "{}", l.event_type),
+            PatternExpr::Leaf(l) => write!(f, "{} {}", l.event_type, l.var),
+            PatternExpr::Seq(ps) => {
+                write!(f, "SEQ(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            PatternExpr::Plus(p) => write!(f, "({p})+"),
+            PatternExpr::Star(p) => write!(f, "({p})*"),
+            PatternExpr::Opt(p) => write!(f, "({p})?"),
+            PatternExpr::Or(ps) => {
+                write!(f, "OR(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            PatternExpr::Not(p) => write!(f, "NOT {p}"),
+        }
+    }
+}
+
+/// Comparison operator in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Evaluate against an optional ordering (`None` = incomparable, which
+    /// fails every comparison).
+    #[inline]
+    pub fn eval(self, ord: Option<std::cmp::Ordering>) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Lt, Some(Less))
+                | (CmpOp::Le, Some(Less | Equal))
+                | (CmpOp::Gt, Some(Greater))
+                | (CmpOp::Ge, Some(Greater | Equal))
+                | (CmpOp::Eq, Some(Equal))
+                | (CmpOp::Ne, Some(Less | Greater))
+        )
+    }
+
+    /// The operator with its operands swapped (`a < b ⇔ b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Reference to an attribute of a pattern variable, optionally wrapped in
+/// `NEXT(...)` (the successor event of an adjacent pair, §1 q1/q3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrRef {
+    /// Pattern variable name.
+    pub var: String,
+    /// Attribute name.
+    pub attr: String,
+    /// True for `NEXT(var).attr`.
+    pub next: bool,
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.next {
+            write!(f, "NEXT({}).{}", self.var, self.attr)
+        } else {
+            write!(f, "{}.{}", self.var, self.attr)
+        }
+    }
+}
+
+/// A literal constant in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+    /// String constant (quoted, or a bare identifier in value position —
+    /// q1 writes `M.activity = passive`).
+    Str(String),
+    /// Boolean constant.
+    Bool(bool),
+}
+
+impl Literal {
+    /// Convert to a runtime [`Value`].
+    ///
+    /// [`Value`]: cogra_events::Value
+    pub fn to_value(&self) -> cogra_events::Value {
+        match self {
+            Literal::Int(i) => cogra_events::Value::Int(*i),
+            Literal::Float(f) => cogra_events::Value::Float(*f),
+            Literal::Str(s) => cogra_events::Value::str(s.as_str()),
+            Literal::Bool(b) => cogra_events::Value::Bool(*b),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x}"),
+            Literal::Str(s) => write!(f, "'{s}'"),
+            Literal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// One conjunct of the `WHERE` clause (§3.2 classifies these).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredicateExpr {
+    /// `[attr]` / `[Var.attr]` — equivalence predicate: all events in a
+    /// trend carry the same value of `attr` (partitions the stream, §7).
+    Equivalence {
+        /// Attribute name (the variable qualifier, if present, is recorded
+        /// for display but the partition key is the attribute).
+        attr: String,
+    },
+    /// `Var.attr op literal` — local predicate on single events.
+    Local {
+        /// Attribute reference (never `NEXT`-wrapped).
+        lhs: AttrRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant to compare against.
+        rhs: Literal,
+    },
+    /// `Var1.attr1 op Var2.attr2` (one side possibly `NEXT(...)`) —
+    /// predicate on adjacent events in a trend.
+    Adjacent {
+        /// Left-hand attribute reference.
+        lhs: AttrRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand attribute reference.
+        rhs: AttrRef,
+    },
+}
+
+impl fmt::Display for PredicateExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredicateExpr::Equivalence { attr } => write!(f, "[{attr}]"),
+            PredicateExpr::Local { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            PredicateExpr::Adjacent { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+        }
+    }
+}
+
+/// Aggregation function in the `RETURN` clause (§2.3). COUNT, MIN, MAX and
+/// SUM are distributive, AVG is algebraic; all are computed incrementally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggCall {
+    /// `COUNT(*)` — number of trends per group.
+    CountStar,
+    /// `COUNT(V)` — total number of `V` events across all trends per group.
+    CountVar(String),
+    /// `MIN(V.attr)`.
+    Min(String, String),
+    /// `MAX(V.attr)`.
+    Max(String, String),
+    /// `SUM(V.attr)`.
+    Sum(String, String),
+    /// `AVG(V.attr)` = `SUM(V.attr) / COUNT(V)`.
+    Avg(String, String),
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggCall::CountStar => write!(f, "COUNT(*)"),
+            AggCall::CountVar(v) => write!(f, "COUNT({v})"),
+            AggCall::Min(v, a) => write!(f, "MIN({v}.{a})"),
+            AggCall::Max(v, a) => write!(f, "MAX({v}.{a})"),
+            AggCall::Sum(v, a) => write!(f, "SUM({v}.{a})"),
+            AggCall::Avg(v, a) => write!(f, "AVG({v}.{a})"),
+        }
+    }
+}
+
+/// One item of the `RETURN` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReturnItem {
+    /// A grouping attribute echoed into the result.
+    Attr(String),
+    /// An aggregate.
+    Agg(AggCall),
+}
+
+impl fmt::Display for ReturnItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReturnItem::Attr(a) => write!(f, "{a}"),
+            ReturnItem::Agg(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// An event trend aggregation query (Definition 6): six clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `RETURN` — aggregation result specification.
+    pub ret: Vec<ReturnItem>,
+    /// `PATTERN` — the (Kleene) pattern.
+    pub pattern: PatternExpr,
+    /// `SEMANTICS` — event matching semantics.
+    pub semantics: Semantics,
+    /// `WHERE` — conjunction of predicates (optional).
+    pub predicates: Vec<PredicateExpr>,
+    /// `GROUP-BY` — grouping attribute names (optional).
+    pub group_by: Vec<String>,
+    /// `WITHIN w SLIDE s` — sliding window in ticks.
+    pub window: cogra_events::WindowSpec,
+}
+
+impl Query {
+    /// The aggregate calls of the `RETURN` clause, in order.
+    pub fn aggregates(&self) -> impl Iterator<Item = &AggCall> {
+        self.ret.iter().filter_map(|r| match r {
+            ReturnItem::Agg(a) => Some(a),
+            ReturnItem::Attr(_) => None,
+        })
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RETURN ")?;
+        for (i, r) in self.ret.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, " PATTERN {}", self.pattern)?;
+        write!(f, " SEMANTICS {}", self.semantics)?;
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP-BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        write!(
+            f,
+            " WITHIN {} ticks SLIDE {} ticks",
+            self.window.within, self.window.slide
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_length_counts_type_occurrences() {
+        // (SEQ(A+, B))+ has length 2.
+        let p = PatternExpr::seq(vec![PatternExpr::leaf("A").plus(), PatternExpr::leaf("B")])
+            .plus();
+        assert_eq!(p.length(), 2);
+        assert!(p.is_kleene());
+        // SEQ(A, B, C) has length 3 and is not Kleene.
+        let s = PatternExpr::seq(vec![
+            PatternExpr::leaf("A"),
+            PatternExpr::leaf("B"),
+            PatternExpr::leaf("C"),
+        ]);
+        assert_eq!(s.length(), 3);
+        assert!(!s.is_kleene());
+    }
+
+    #[test]
+    fn negated_leaves_do_not_count_toward_length() {
+        let p = PatternExpr::seq(vec![
+            PatternExpr::leaf("A"),
+            PatternExpr::leaf("C").not(),
+            PatternExpr::leaf("B"),
+        ]);
+        assert_eq!(p.length(), 2);
+    }
+
+    #[test]
+    fn star_is_kleene() {
+        assert!(PatternExpr::leaf("A").star().is_kleene());
+        assert!(!PatternExpr::leaf("A").opt().is_kleene());
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Lt.eval(Some(Less)));
+        assert!(!CmpOp::Lt.eval(Some(Equal)));
+        assert!(CmpOp::Le.eval(Some(Equal)));
+        assert!(CmpOp::Ne.eval(Some(Greater)));
+        assert!(!CmpOp::Eq.eval(None));
+        assert!(!CmpOp::Ne.eval(None), "incomparable fails even !=");
+    }
+
+    #[test]
+    fn cmp_op_flip_round_trip() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(op.flipped().flipped(), op);
+        }
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let p = PatternExpr::seq(vec![
+            PatternExpr::aliased("Stock", "A").plus(),
+            PatternExpr::aliased("Stock", "B").plus(),
+        ]);
+        assert_eq!(p.to_string(), "SEQ((Stock A)+, (Stock B)+)");
+        assert_eq!(Semantics::Next.to_string(), "skip-till-next-match");
+    }
+}

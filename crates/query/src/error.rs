@@ -1,0 +1,52 @@
+//! Query-compilation errors.
+
+use std::fmt;
+
+/// Error produced while parsing or compiling an event trend aggregation
+/// query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset in the query text.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Byte offset in the query text.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Semantic error found during compilation (unknown type/attribute,
+    /// invalid pattern shape, unsupported predicate form, ...).
+    Compile(String),
+}
+
+impl QueryError {
+    /// Shorthand for a compile error.
+    pub fn compile(msg: impl Into<String>) -> Self {
+        QueryError::Compile(msg.into())
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { offset, message } => {
+                write!(f, "lexical error at byte {offset}: {message}")
+            }
+            QueryError::Parse { offset, message } => {
+                write!(f, "syntax error at byte {offset}: {message}")
+            }
+            QueryError::Compile(message) => write!(f, "compile error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Result alias for query compilation.
+pub type QueryResult<T> = Result<T, QueryError>;

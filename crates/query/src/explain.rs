@@ -1,0 +1,244 @@
+//! Human-readable explanation of a compiled query: what the Static Query
+//! Analyzer decided and why — the automaton (§3.1), the predicate classes
+//! (§3.2), the granularity and `Te`/`Tt` split (§3.3/Theorem 5.1) — plus a
+//! Graphviz DOT rendering of the FSA for documentation and debugging.
+
+use crate::compile::{CompiledDisjunct, CompiledQuery, Granularity};
+use crate::QueryResult;
+use cogra_events::TypeRegistry;
+use std::fmt::Write as _;
+
+/// Render a full plan report for a compiled query.
+pub fn explain(query: &CompiledQuery, registry: &TypeRegistry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "semantics:   {}", query.semantics.keyword());
+    let _ = writeln!(
+        out,
+        "window:      WITHIN {} SLIDE {} (≤ {} windows per event)",
+        query.window.within,
+        query.window.slide,
+        query.window.windows_per_event()
+    );
+    let _ = writeln!(
+        out,
+        "partitioning: [{}] (first {} form the output group)",
+        query.partition_attrs.join(", "),
+        query.group_prefix
+    );
+    let _ = writeln!(out, "granularity: {}", query.granularity());
+    for (i, d) in query.disjuncts.iter().enumerate() {
+        let _ = writeln!(out, "disjunct {i}:");
+        explain_disjunct(&mut out, d, registry);
+    }
+    out
+}
+
+fn explain_disjunct(out: &mut String, d: &CompiledDisjunct, registry: &TypeRegistry) {
+    let a = &d.automaton;
+    let _ = writeln!(
+        out,
+        "  states: {} (start {}, end {})",
+        a.num_states(),
+        a.state(a.start()).name,
+        a.state(a.end()).name
+    );
+    for (sid, v) in a.states() {
+        let preds: Vec<String> = a
+            .preds(sid)
+            .iter()
+            .map(|e| {
+                let mut s = a.state(e.from).name.clone();
+                if !e.negations.is_empty() {
+                    let negs: Vec<&str> = e
+                        .negations
+                        .iter()
+                        .map(|n| a.negated_var(*n).name.as_str())
+                        .collect();
+                    let _ = write!(s, " [unless {}]", negs.join(", "));
+                }
+                s
+            })
+            .collect();
+        let storage = match (d.granularity, d.event_grained[sid.index()]) {
+            (Granularity::Pattern, _) => "pattern",
+            (_, true) => "per event (Te)",
+            (Granularity::Mixed, false) => "per type (Tt)",
+            (_, false) => "per type",
+        };
+        let schema = registry.schema(v.type_id);
+        let _ = writeln!(
+            out,
+            "    {} : {} ← predTypes {{{}}}, aggregates {storage}, {} local filter(s)",
+            v.name,
+            schema.name(),
+            preds.join(", "),
+            d.locals[sid.index()].len()
+        );
+    }
+    for (nid, v) in a.negated_vars() {
+        let _ = writeln!(
+            out,
+            "    NOT {} : {} ({} local filter(s))",
+            v.name,
+            v.event_type,
+            d.neg_locals[nid.index()].len()
+        );
+    }
+    if !d.adjacents.is_empty() {
+        let _ = writeln!(out, "  predicates on adjacent events:");
+        for adj in &d.adjacents {
+            let pred = a.state(adj.pred);
+            let succ = a.state(adj.succ);
+            let _ = writeln!(
+                out,
+                "    {}.{} {} NEXT({}).{}",
+                pred.name,
+                registry.schema(pred.type_id).attr_name(adj.pred_attr),
+                adj.op,
+                succ.name,
+                registry.schema(succ.type_id).attr_name(adj.succ_attr),
+            );
+        }
+    }
+}
+
+/// Render the FSA of every disjunct as a Graphviz DOT digraph.
+pub fn to_dot(query: &CompiledQuery) -> String {
+    let mut out = String::from("digraph pattern {\n  rankdir=LR;\n");
+    for (i, d) in query.disjuncts.iter().enumerate() {
+        let a = &d.automaton;
+        for (sid, v) in a.states() {
+            let shape = if sid == a.end() {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let style = if d.event_grained[sid.index()] {
+                ", style=filled, fillcolor=lightyellow"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  d{i}_{} [label=\"{}\", shape={shape}{style}];",
+                sid.index(),
+                v.name
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  d{i}_start [shape=point]; d{i}_start -> d{i}_{};",
+            a.start().index()
+        );
+        for (sid, _) in a.states() {
+            for e in a.preds(sid) {
+                let label = if e.negations.is_empty() {
+                    String::new()
+                } else {
+                    let negs: Vec<&str> = e
+                        .negations
+                        .iter()
+                        .map(|n| a.negated_var(*n).name.as_str())
+                        .collect();
+                    format!(" [label=\"¬{}\"]", negs.join(",¬"))
+                };
+                let _ = writeln!(
+                    out,
+                    "  d{i}_{} -> d{i}_{}{label};",
+                    e.from.index(),
+                    sid.index()
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parse, compile and explain in one step.
+pub fn explain_text(query_text: &str, registry: &TypeRegistry) -> QueryResult<String> {
+    let q = crate::parse(query_text)?;
+    let compiled = crate::compile(&q, registry)?;
+    Ok(explain(&compiled, registry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogra_events::ValueKind;
+
+    fn registry() -> TypeRegistry {
+        let mut r = TypeRegistry::new();
+        r.register_type(
+            "Stock",
+            vec![("company", ValueKind::Int), ("price", ValueKind::Float)],
+        );
+        for t in ["A", "B", "C"] {
+            r.register_type(t, vec![("v", ValueKind::Int)]);
+        }
+        r
+    }
+
+    fn compiled(text: &str) -> CompiledQuery {
+        crate::compile(&crate::parse(text).unwrap(), &registry()).unwrap()
+    }
+
+    #[test]
+    fn explain_reports_granularity_and_te_split() {
+        let cq = compiled(
+            "RETURN company, COUNT(*) PATTERN SEQ(Stock A+, Stock B+) \
+             SEMANTICS ANY WHERE [company] AND A.price > NEXT(A).price \
+             GROUP-BY company WITHIN 600 SLIDE 10",
+        );
+        let report = explain(&cq, &registry());
+        assert!(report.contains("granularity: mixed"), "{report}");
+        assert!(report.contains("A : Stock"), "{report}");
+        assert!(report.contains("per event (Te)"), "{report}");
+        assert!(report.contains("per type (Tt)"), "{report}");
+        assert!(report.contains("A.price > NEXT(A).price"), "{report}");
+        assert!(report.contains("partitioning: [company]"), "{report}");
+    }
+
+    #[test]
+    fn explain_pattern_granularity_under_next() {
+        let cq = compiled(
+            "RETURN COUNT(*) PATTERN SEQ(A, (SEQ(B, C))+ ) SEMANTICS NEXT WITHIN 10 SLIDE 5",
+        );
+        let report = explain(&cq, &registry());
+        assert!(report.contains("granularity: pattern"), "{report}");
+        assert!(report.contains("predTypes {C, A}"), "{report}");
+    }
+
+    #[test]
+    fn dot_contains_states_edges_and_negations() {
+        let cq = compiled(
+            "RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B) SEMANTICS ANY WITHIN 10 SLIDE 5",
+        );
+        let dot = to_dot(&cq);
+        assert!(dot.starts_with("digraph pattern {"));
+        assert!(dot.contains("label=\"A\""));
+        assert!(dot.contains("doublecircle")); // end state B
+        assert!(dot.contains("¬C"), "{dot}");
+        assert!(dot.contains("d0_start"));
+    }
+
+    #[test]
+    fn dot_marks_event_grained_states() {
+        let cq = compiled(
+            "RETURN COUNT(*) PATTERN A+ SEMANTICS ANY WHERE A.v < NEXT(A).v WITHIN 10 SLIDE 5",
+        );
+        let dot = to_dot(&cq);
+        assert!(dot.contains("lightyellow"), "Te states are highlighted: {dot}");
+    }
+
+    #[test]
+    fn explain_text_end_to_end() {
+        let report = explain_text(
+            "RETURN COUNT(*) PATTERN OR(A+, SEQ(B, C)) SEMANTICS ANY WITHIN 10 SLIDE 5",
+            &registry(),
+        )
+        .unwrap();
+        assert!(report.contains("disjunct 0:"));
+        assert!(report.contains("disjunct 1:"));
+    }
+}

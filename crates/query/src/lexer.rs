@@ -1,0 +1,372 @@
+//! Lexer for the paper's SASE-style query language (§1, queries q1–q3).
+
+use crate::error::{QueryError, QueryResult};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword. Dashes are allowed after the first character
+    /// when followed by a letter, so `skip-till-any-match` and `GROUP-BY`
+    /// lex as single identifiers.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `*`
+    Star,
+    /// `?`
+    Question,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=` (also accepts `==`)
+    Eq,
+    /// `!=` (also accepts `<>`)
+    Ne,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Plus => write!(f, "+"),
+            Tok::Star => write!(f, "*"),
+            Tok::Question => write!(f, "?"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+        }
+    }
+}
+
+/// A token with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Tokenize query text.
+pub fn lex(src: &str) -> QueryResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token { tok: Tok::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { tok: Tok::RParen, offset: start });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token { tok: Tok::LBracket, offset: start });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { tok: Tok::RBracket, offset: start });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { tok: Tok::Comma, offset: start });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { tok: Tok::Dot, offset: start });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token { tok: Tok::Plus, offset: start });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { tok: Tok::Star, offset: start });
+                i += 1;
+            }
+            '?' => {
+                out.push(Token { tok: Tok::Question, offset: start });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::Le, offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token { tok: Tok::Ne, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::Ge, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                out.push(Token { tok: Tok::Eq, offset: start });
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        offset: start,
+                        message: "expected `!=`".into(),
+                    });
+                }
+            }
+            '\'' => {
+                i += 1;
+                let str_start = i;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(QueryError::Lex {
+                        offset: start,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Token {
+                    tok: Tok::Str(src[str_start..i].to_string()),
+                    offset: start,
+                });
+                i += 1; // closing quote
+            }
+            '-' | '0'..='9' => {
+                let negative = c == '-';
+                if negative {
+                    i += 1;
+                    if !(i < bytes.len() && bytes[i].is_ascii_digit()) {
+                        return Err(QueryError::Lex {
+                            offset: start,
+                            message: "expected digits after `-`".into(),
+                        });
+                    }
+                }
+                let num_start = i;
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[num_start..i];
+                let tok = if is_float {
+                    let v: f64 = text.parse().map_err(|_| QueryError::Lex {
+                        offset: start,
+                        message: format!("invalid float `{text}`"),
+                    })?;
+                    Tok::Float(if negative { -v } else { v })
+                } else {
+                    let v: i64 = text.parse().map_err(|_| QueryError::Lex {
+                        offset: start,
+                        message: format!("integer `{text}` out of range"),
+                    })?;
+                    Tok::Int(if negative { -v } else { v })
+                };
+                out.push(Token { tok, offset: start });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        break;
+                    }
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else if b == '-'
+                        && i + 1 < bytes.len()
+                        && (bytes[i + 1] as char).is_ascii_alphabetic()
+                    {
+                        // dashed identifiers: skip-till-any-match, GROUP-BY
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            _ => {
+                return Err(QueryError::Lex {
+                    offset: start,
+                    message: format!("unexpected character `{c}`"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lex_symbols_and_operators() {
+        assert_eq!(
+            toks("( ) [ ] , . + * ? < <= > >= = != <> =="),
+            vec![
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBracket,
+                Tok::RBracket,
+                Tok::Comma,
+                Tok::Dot,
+                Tok::Plus,
+                Tok::Star,
+                Tok::Question,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Eq,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_dashed_identifiers() {
+        assert_eq!(
+            toks("SEMANTICS skip-till-any-match GROUP-BY patient"),
+            vec![
+                Tok::Ident("SEMANTICS".into()),
+                Tok::Ident("skip-till-any-match".into()),
+                Tok::Ident("GROUP-BY".into()),
+                Tok::Ident("patient".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            toks("10 -3 2.5 -0.5"),
+            vec![
+                Tok::Int(10),
+                Tok::Int(-3),
+                Tok::Float(2.5),
+                Tok::Float(-0.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings() {
+        assert_eq!(toks("'passive'"), vec![Tok::Str("passive".into())]);
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn lex_comments() {
+        assert_eq!(
+            toks("RETURN -- the result\n COUNT"),
+            vec![Tok::Ident("RETURN".into()), Tok::Ident("COUNT".into())]
+        );
+    }
+
+    #[test]
+    fn member_access_is_dotted() {
+        assert_eq!(
+            toks("M.rate"),
+            vec![
+                Tok::Ident("M".into()),
+                Tok::Dot,
+                Tok::Ident("rate".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let ts = lex("AB  CD").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 4);
+    }
+
+    #[test]
+    fn bad_character_reports_offset() {
+        let err = lex("RETURN @").unwrap_err();
+        match err {
+            QueryError::Lex { offset, .. } => assert_eq!(offset, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

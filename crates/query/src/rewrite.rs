@@ -1,0 +1,386 @@
+//! Pattern rewriting (§8).
+//!
+//! Kleene star and optional sub-patterns are syntactic sugar:
+//! `SEQ(P*, Q) = SEQ(P+, Q) ∨ Q` and `SEQ(P?, Q) = SEQ(P, Q) ∨ Q`.
+//! Disjunction distributes outward, so every surface pattern rewrites into
+//! a *disjunction of core patterns* containing only leaves, `SEQ`, `+` and
+//! in-sequence `NOT`. Each disjunct compiles to its own automaton and
+//! aggregator; disjunct aggregates combine per §8 (sum for COUNT/SUM,
+//! min/max for MIN/MAX).
+//!
+//! [`unroll_min_length`] implements the §8 minimal-trend-length encoding:
+//! a constraint "trends of `A+` with length ≥ 3" unrolls the pattern to
+//! `SEQ(A, A, A+)`.
+
+use crate::ast::{Leaf, PatternExpr};
+use crate::error::{QueryError, QueryResult};
+
+/// Expand a surface pattern into its disjunctive normal form over core
+/// patterns (no `Star`, `Opt`, `Or`). The result is non-empty; an
+/// alternative that is entirely empty (e.g. `A*` alone contributing the
+/// zero-length match) is dropped, because a trend has at least one event
+/// (Definition 2).
+///
+/// ```
+/// use cogra_query::{rewrite::to_disjuncts, PatternExpr};
+/// // SEQ(A*, B) = SEQ(A+, B) ∨ B
+/// let p = PatternExpr::seq(vec![PatternExpr::leaf("A").star(), PatternExpr::leaf("B")]);
+/// let d = to_disjuncts(&p).unwrap();
+/// assert_eq!(d.len(), 2);
+/// assert_eq!(d[0].to_string(), "SEQ((A)+, B)");
+/// assert_eq!(d[1].to_string(), "B");
+/// ```
+pub fn to_disjuncts(expr: &PatternExpr) -> QueryResult<Vec<PatternExpr>> {
+    let alts = expand(expr)?;
+    let non_empty: Vec<PatternExpr> = alts.into_iter().flatten().collect();
+    if non_empty.is_empty() {
+        return Err(QueryError::compile(
+            "pattern matches only the empty trend (e.g. a bare `P*`); a trend needs at least one event",
+        ));
+    }
+    for d in &non_empty {
+        check_core(d, false)?;
+    }
+    Ok(non_empty)
+}
+
+/// Expansion alternatives; `None` encodes the empty match (ε).
+fn expand(expr: &PatternExpr) -> QueryResult<Vec<Option<PatternExpr>>> {
+    match expr {
+        PatternExpr::Leaf(l) => Ok(vec![Some(PatternExpr::Leaf(l.clone()))]),
+        PatternExpr::Not(inner) => match inner.as_ref() {
+            PatternExpr::Leaf(l) => Ok(vec![Some(PatternExpr::Leaf(l.clone()).not())]),
+            _ => Err(QueryError::compile(
+                "NOT may only negate a single event type",
+            )),
+        },
+        PatternExpr::Plus(p) => Ok(expand(p)?
+            .into_iter()
+            .map(|alt| alt.map(PatternExpr::plus))
+            .collect()),
+        PatternExpr::Star(p) => {
+            let mut alts: Vec<Option<PatternExpr>> = expand(p)?
+                .into_iter()
+                .map(|alt| alt.map(PatternExpr::plus))
+                .collect();
+            alts.push(None);
+            Ok(alts)
+        }
+        PatternExpr::Opt(p) => {
+            let mut alts = expand(p)?;
+            alts.push(None);
+            Ok(alts)
+        }
+        PatternExpr::Or(parts) => {
+            if parts.is_empty() {
+                return Err(QueryError::compile("empty OR pattern"));
+            }
+            let mut alts = Vec::new();
+            for part in parts {
+                alts.extend(expand(part)?);
+            }
+            Ok(alts)
+        }
+        PatternExpr::Seq(parts) => {
+            if parts.is_empty() {
+                return Err(QueryError::compile("empty SEQ pattern"));
+            }
+            // Cartesian product of the element alternatives, flattening ε.
+            let mut acc: Vec<Vec<PatternExpr>> = vec![Vec::new()];
+            for part in parts {
+                let part_alts = expand(part)?;
+                let mut next = Vec::with_capacity(acc.len() * part_alts.len());
+                for prefix in &acc {
+                    for alt in &part_alts {
+                        let mut seq = prefix.clone();
+                        if let Some(p) = alt {
+                            seq.push(p.clone());
+                        }
+                        next.push(seq);
+                    }
+                }
+                acc = next;
+            }
+            Ok(acc
+                .into_iter()
+                .map(|seq| match seq.len() {
+                    0 => None,
+                    1 => Some(seq.into_iter().next().expect("len checked")),
+                    _ => Some(PatternExpr::Seq(seq)),
+                })
+                .collect())
+        }
+    }
+}
+
+/// Validate a core (post-expansion) pattern: only Leaf / Seq / Plus /
+/// in-sequence Not; Not never at the borders of a sequence, never under
+/// Plus, never standalone; variables unique among non-negated leaves.
+fn check_core(expr: &PatternExpr, under_plus: bool) -> QueryResult<()> {
+    match expr {
+        PatternExpr::Leaf(_) => Ok(()),
+        PatternExpr::Plus(p) => {
+            if matches!(p.as_ref(), PatternExpr::Not(_)) {
+                return Err(QueryError::compile("NOT may not appear under a Kleene plus"));
+            }
+            check_core(p, true)
+        }
+        PatternExpr::Not(_) => {
+            if under_plus {
+                Err(QueryError::compile("NOT may not appear under a Kleene plus"))
+            } else {
+                Err(QueryError::compile(
+                    "NOT may only appear between elements of a SEQ",
+                ))
+            }
+        }
+        PatternExpr::Seq(parts) => {
+            if matches!(parts.first(), Some(PatternExpr::Not(_)))
+                || matches!(parts.last(), Some(PatternExpr::Not(_)))
+            {
+                return Err(QueryError::compile(
+                    "NOT may not be the first or last element of a SEQ",
+                ));
+            }
+            for p in parts {
+                if let PatternExpr::Not(inner) = p {
+                    if !matches!(inner.as_ref(), PatternExpr::Leaf(_)) {
+                        return Err(QueryError::compile(
+                            "NOT may only negate a single event type",
+                        ));
+                    }
+                } else {
+                    check_core(p, under_plus)?;
+                }
+            }
+            Ok(())
+        }
+        PatternExpr::Star(_) | PatternExpr::Opt(_) | PatternExpr::Or(_) => Err(
+            QueryError::compile("internal: sugar operator survived expansion"),
+        ),
+    }
+}
+
+/// Collect the non-negated leaves of a core pattern in left-to-right order.
+pub fn positive_leaves(expr: &PatternExpr) -> Vec<&Leaf> {
+    let mut out = Vec::new();
+    collect_leaves(expr, false, &mut out);
+    out
+}
+
+/// Collect the negated leaves of a core pattern.
+pub fn negated_leaves(expr: &PatternExpr) -> Vec<&Leaf> {
+    let mut out = Vec::new();
+    collect_leaves(expr, true, &mut out);
+    out
+}
+
+fn collect_leaves<'a>(expr: &'a PatternExpr, negated: bool, out: &mut Vec<&'a Leaf>) {
+    match expr {
+        PatternExpr::Leaf(l) => {
+            if !negated {
+                out.push(l);
+            }
+        }
+        PatternExpr::Not(p) => {
+            if negated {
+                if let PatternExpr::Leaf(l) = p.as_ref() {
+                    out.push(l);
+                }
+            }
+        }
+        PatternExpr::Plus(p) | PatternExpr::Star(p) | PatternExpr::Opt(p) => {
+            collect_leaves(p, negated, out)
+        }
+        PatternExpr::Seq(ps) | PatternExpr::Or(ps) => {
+            for p in ps {
+                collect_leaves(p, negated, out);
+            }
+        }
+    }
+}
+
+/// §8 minimal-trend-length rewrite: replace the sub-pattern `var+` by
+/// `SEQ(var, ..., var+)` so every match has at least `min_len` occurrences
+/// of `var`. Returns an error if `var+` does not occur in the pattern.
+pub fn unroll_min_length(
+    expr: &PatternExpr,
+    var: &str,
+    min_len: usize,
+) -> QueryResult<PatternExpr> {
+    if min_len <= 1 {
+        return Ok(expr.clone());
+    }
+    let mut found = false;
+    let out = unroll_rec(expr, var, min_len, &mut found);
+    if !found {
+        return Err(QueryError::compile(format!(
+            "no Kleene plus over variable `{var}` to unroll"
+        )));
+    }
+    Ok(out)
+}
+
+fn unroll_rec(expr: &PatternExpr, var: &str, min_len: usize, found: &mut bool) -> PatternExpr {
+    match expr {
+        PatternExpr::Plus(p) => {
+            if let PatternExpr::Leaf(l) = p.as_ref() {
+                if l.var == var {
+                    *found = true;
+                    // Unrolled copies need distinct variable names so the
+                    // compiled automaton has uniquely-labelled states; they
+                    // share the event type, so predicates written against
+                    // the original variable apply to the `var+` tail.
+                    let mut parts: Vec<PatternExpr> = (1..min_len)
+                        .map(|i| {
+                            PatternExpr::Leaf(Leaf::aliased(
+                                &l.event_type,
+                                &format!("{var}__unroll{i}"),
+                            ))
+                        })
+                        .collect();
+                    parts.push(PatternExpr::Leaf(l.clone()).plus());
+                    return PatternExpr::Seq(parts);
+                }
+            }
+            unroll_rec(p, var, min_len, found).plus()
+        }
+        PatternExpr::Star(p) => unroll_rec(p, var, min_len, found).star(),
+        PatternExpr::Opt(p) => unroll_rec(p, var, min_len, found).opt(),
+        PatternExpr::Not(p) => unroll_rec(p, var, min_len, found).not(),
+        PatternExpr::Seq(ps) => PatternExpr::Seq(
+            ps.iter()
+                .map(|p| unroll_rec(p, var, min_len, found))
+                .collect(),
+        ),
+        PatternExpr::Or(ps) => PatternExpr::Or(
+            ps.iter()
+                .map(|p| unroll_rec(p, var, min_len, found))
+                .collect(),
+        ),
+        PatternExpr::Leaf(_) => expr.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(t: &str) -> PatternExpr {
+        PatternExpr::leaf(t)
+    }
+
+    #[test]
+    fn plain_kleene_is_single_disjunct() {
+        let p = PatternExpr::seq(vec![leaf("A").plus(), leaf("B")]).plus();
+        let d = to_disjuncts(&p).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0], p);
+    }
+
+    #[test]
+    fn star_expands_to_plus_or_absent() {
+        // SEQ(A*, B) = SEQ(A+, B) ∨ B
+        let p = PatternExpr::seq(vec![leaf("A").star(), leaf("B")]);
+        let d = to_disjuncts(&p).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], PatternExpr::seq(vec![leaf("A").plus(), leaf("B")]));
+        assert_eq!(d[1], leaf("B"));
+    }
+
+    #[test]
+    fn optional_expands_to_present_or_absent() {
+        // SEQ(A?, B) = SEQ(A, B) ∨ B
+        let p = PatternExpr::seq(vec![leaf("A").opt(), leaf("B")]);
+        let d = to_disjuncts(&p).unwrap();
+        assert_eq!(d, vec![PatternExpr::seq(vec![leaf("A"), leaf("B")]), leaf("B")]);
+    }
+
+    #[test]
+    fn nested_sugar_multiplies() {
+        // SEQ(A?, B?, C) → 4 disjuncts
+        let p = PatternExpr::seq(vec![leaf("A").opt(), leaf("B").opt(), leaf("C")]);
+        let d = to_disjuncts(&p).unwrap();
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn or_unions_alternatives() {
+        let p = PatternExpr::or(vec![leaf("A").plus(), leaf("B")]);
+        let d = to_disjuncts(&p).unwrap();
+        assert_eq!(d, vec![leaf("A").plus(), leaf("B")]);
+    }
+
+    #[test]
+    fn bare_star_rejected() {
+        // A* alone admits the empty trend → rejected.
+        let p = leaf("A").star();
+        let d = to_disjuncts(&p).unwrap();
+        // The ε alternative is dropped; A+ remains.
+        assert_eq!(d, vec![leaf("A").plus()]);
+        // An all-optional pattern is an error.
+        let p2 = PatternExpr::seq(vec![leaf("A").opt()]);
+        let d2 = to_disjuncts(&p2).unwrap();
+        assert_eq!(d2, vec![leaf("A")]);
+    }
+
+    #[test]
+    fn negation_survives_expansion_in_place() {
+        let p = PatternExpr::seq(vec![leaf("A"), leaf("C").not(), leaf("B")]);
+        let d = to_disjuncts(&p).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(negated_leaves(&d[0]).len(), 1);
+        assert_eq!(positive_leaves(&d[0]).len(), 2);
+    }
+
+    #[test]
+    fn negation_at_seq_border_rejected() {
+        let p = PatternExpr::seq(vec![leaf("C").not(), leaf("B")]);
+        assert!(to_disjuncts(&p).is_err());
+        let p2 = PatternExpr::seq(vec![leaf("B"), leaf("C").not()]);
+        assert!(to_disjuncts(&p2).is_err());
+    }
+
+    #[test]
+    fn negation_under_plus_rejected() {
+        let p = PatternExpr::seq(vec![leaf("A"), leaf("C").not().plus(), leaf("B")]);
+        assert!(to_disjuncts(&p).is_err());
+    }
+
+    #[test]
+    fn negation_of_composite_rejected() {
+        let p = PatternExpr::seq(vec![
+            leaf("A"),
+            PatternExpr::seq(vec![leaf("C"), leaf("D")]).not(),
+            leaf("B"),
+        ]);
+        assert!(to_disjuncts(&p).is_err());
+    }
+
+    #[test]
+    fn unroll_min_length_three() {
+        // A+ with length >= 3 → SEQ(A__unroll1, A__unroll2, A+)
+        let p = leaf("A").plus();
+        let u = unroll_min_length(&p, "A", 3).unwrap();
+        match &u {
+            PatternExpr::Seq(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert!(matches!(parts[2], PatternExpr::Plus(_)));
+            }
+            other => panic!("expected SEQ, got {other}"),
+        }
+        assert_eq!(u.length(), 3);
+    }
+
+    #[test]
+    fn unroll_unknown_var_errors() {
+        let p = leaf("A").plus();
+        assert!(unroll_min_length(&p, "Z", 3).is_err());
+    }
+
+    #[test]
+    fn unroll_len_one_is_identity() {
+        let p = leaf("A").plus();
+        assert_eq!(unroll_min_length(&p, "A", 1).unwrap(), p);
+    }
+}

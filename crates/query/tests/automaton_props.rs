@@ -1,0 +1,132 @@
+//! Property tests on the Pattern Analyzer: structural invariants of the
+//! FSA translation (§3.1) over randomly generated core patterns.
+
+use cogra_query::{Automaton, PatternExpr};
+use cogra_events::{TypeRegistry, ValueKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn registry() -> TypeRegistry {
+    let mut r = TypeRegistry::new();
+    for t in ["T0", "T1", "T2"] {
+        r.register_type(t, vec![("v", ValueKind::Int)]);
+    }
+    r
+}
+
+/// Random *core* pattern (leaf / SEQ / +) with unique variable names.
+fn arb_core_pattern() -> impl Strategy<Value = PatternExpr> {
+    // Generate a shape, then assign distinct variables in a post-pass.
+    let leaf = (0u8..3).prop_map(|t| PatternExpr::leaf(&format!("T{t}")));
+    leaf.prop_recursive(3, 10, 3, |inner| {
+        prop_oneof![
+            3 => proptest::collection::vec(inner.clone(), 2..4).prop_map(PatternExpr::Seq),
+            2 => inner.prop_map(PatternExpr::plus),
+        ]
+    })
+    .prop_map(|p| uniquify(p, &mut 0))
+}
+
+/// Rename leaves to `V<n>` (keeping their event types) so variables are
+/// unique, as the automaton requires.
+fn uniquify(p: PatternExpr, counter: &mut u32) -> PatternExpr {
+    match p {
+        PatternExpr::Leaf(l) => {
+            let var = format!("V{counter}");
+            *counter += 1;
+            PatternExpr::Leaf(cogra_query::Leaf {
+                event_type: l.event_type,
+                var,
+            })
+        }
+        PatternExpr::Seq(ps) => {
+            PatternExpr::Seq(ps.into_iter().map(|q| uniquify(q, counter)).collect())
+        }
+        PatternExpr::Plus(p) => uniquify(*p, counter).plus(),
+        other => other,
+    }
+}
+
+fn positive_leaf_count(p: &PatternExpr) -> usize {
+    match p {
+        PatternExpr::Leaf(_) => 1,
+        PatternExpr::Seq(ps) => ps.iter().map(positive_leaf_count).sum(),
+        PatternExpr::Plus(p) => positive_leaf_count(p),
+        _ => 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn automaton_structural_invariants(p in arb_core_pattern()) {
+        let reg = registry();
+        let a = Automaton::build(&p, &reg).expect("core patterns compile");
+
+        // One state per positive leaf (Definition 1: pattern length).
+        prop_assert_eq!(a.num_states(), positive_leaf_count(&p));
+        prop_assert_eq!(a.num_states(), p.length());
+
+        // Exactly one start and one end state, both valid.
+        prop_assert!(a.start().index() < a.num_states());
+        prop_assert!(a.end().index() < a.num_states());
+
+        // Every predecessor edge references valid states, no duplicates
+        // per target.
+        for (sid, _) in a.states() {
+            let mut seen = HashSet::new();
+            for e in a.preds(sid) {
+                prop_assert!(e.from.index() < a.num_states());
+                prop_assert!(seen.insert(e.from), "duplicate edge into {sid:?}");
+                prop_assert!(a.is_pred(e.from, sid));
+                prop_assert!(a.edge(e.from, sid).is_some());
+            }
+        }
+
+        // states_of_type partitions the states by event type.
+        let mut counted = 0;
+        for t in a.relevant_types() {
+            let of_type = a.states_of_type(t);
+            counted += of_type.len();
+            for s in of_type {
+                prop_assert_eq!(a.state(*s).type_id, t);
+            }
+        }
+        prop_assert_eq!(counted, a.num_states());
+
+        // Variable lookup round-trips.
+        for (sid, v) in a.states() {
+            prop_assert_eq!(a.state_of_var(&v.name), Some(sid));
+        }
+
+        // Reachability: every state is reachable from the start state
+        // along forward edges (otherwise it could never contribute a
+        // trend) — forward edges are the reverse of the pred relation.
+        let mut reachable = vec![false; a.num_states()];
+        reachable[a.start().index()] = true;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (sid, _) in a.states() {
+                if reachable[sid.index()] {
+                    continue;
+                }
+                if a.preds(sid).iter().any(|e| reachable[e.from.index()]) {
+                    reachable[sid.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+        prop_assert!(reachable.iter().all(|&r| r), "unreachable state in {p}");
+    }
+
+    #[test]
+    fn display_of_core_patterns_reparses(p in arb_core_pattern()) {
+        let text = format!("RETURN COUNT(*) PATTERN {p} WITHIN 10 SLIDE 5");
+        let q = cogra_query::parse(&text).unwrap();
+        prop_assert_eq!(&q.pattern.to_string(), &p.to_string());
+        // And compiles end to end.
+        cogra_query::compile(&q, &registry()).expect("compiles");
+    }
+}

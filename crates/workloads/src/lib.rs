@@ -1,0 +1,27 @@
+//! # cogra-workloads
+//!
+//! Synthetic workload generators reproducing the data sets of the COGRA
+//! evaluation (§9.1), deterministic under a seed:
+//!
+//! * [`stock`] — 19 companies / 10 sectors stock ticks (stand-in for the
+//!   EODData feed), with exact selectivity control for Figure 9;
+//! * [`activity`] — 14-person physical-activity heart-rate reports
+//!   (stand-in for PAMAP2), driving the contiguous-semantics experiments;
+//! * [`transport`] — 30 passengers / 100 stations public-transportation
+//!   trips, exactly as the paper describes its synthetic generator;
+//! * [`rideshare`] — Uber-style Accept/(Call Cancel)+/Finish sessions for
+//!   query q2 and the skip-till-next-match experiments.
+//!
+//! See DESIGN.md ("Substitutions") for the real-data-to-synthetic mapping.
+
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod rideshare;
+pub mod stock;
+pub mod transport;
+
+pub use activity::ActivityConfig;
+pub use rideshare::RideshareConfig;
+pub use stock::StockConfig;
+pub use transport::TransportConfig;

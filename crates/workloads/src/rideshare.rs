@@ -1,0 +1,226 @@
+//! Ridesharing workload (§1, query q2): Uber-style trip sessions.
+//!
+//! "Each trip starts with a single Accept event, any number of Call and
+//! Cancel events, followed by a single Finish event. ... The
+//! skip-till-next-match semantics allows query q2 to skip irrelevant
+//! events such as in-transit, drop-off, etc."
+//!
+//! The generator interleaves per-driver sessions: Accept, a random number
+//! of (Call, Cancel) pairs, irrelevant InTransit/DropOff noise (exercising
+//! the NEXT skip behaviour), and Finish.
+
+use cogra_events::{Event, EventBuilder, TypeRegistry, Value, ValueKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the ridesharing stream.
+#[derive(Debug, Clone)]
+pub struct RideshareConfig {
+    /// Number of drivers (trend groups).
+    pub drivers: usize,
+    /// Number of events to generate (approximate; sessions complete).
+    pub events: usize,
+    /// Maximum number of (Call, Cancel) rounds per trip.
+    pub max_rounds: usize,
+    /// Probability of an irrelevant noise event between session steps.
+    pub noise_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RideshareConfig {
+    fn default() -> Self {
+        RideshareConfig {
+            drivers: 20,
+            events: 10_000,
+            max_rounds: 4,
+            noise_prob: 0.3,
+            seed: 31,
+        }
+    }
+}
+
+/// Event type names, in registration order.
+pub const TYPES: [&str; 6] = ["Accept", "Call", "Cancel", "Finish", "InTransit", "DropOff"];
+
+/// Register the six ridesharing event types (all carry the driver id, so
+/// the `[driver]` equivalence predicate partitions every event — noise
+/// included, which matters under contiguous semantics).
+pub fn registry() -> TypeRegistry {
+    let mut r = TypeRegistry::new();
+    for t in TYPES {
+        r.register_type(t, vec![("driver", ValueKind::Int), ("rider", ValueKind::Int)]);
+    }
+    r
+}
+
+/// Per-driver session progress.
+enum Step {
+    Accept,
+    Round { remaining: usize, call_next: bool },
+    Finish,
+}
+
+/// Generate the stream: at each tick a random driver advances its
+/// session, possibly emitting noise instead.
+pub fn generate(cfg: &RideshareConfig) -> Vec<Event> {
+    assert!(cfg.drivers > 0);
+    let reg = registry();
+    let ids: Vec<_> = TYPES.iter().map(|t| reg.id_of(t).unwrap()).collect();
+    let (accept, call, cancel, finish, in_transit, drop_off) =
+        (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut steps: Vec<Step> = (0..cfg.drivers).map(|_| Step::Accept).collect();
+    let mut b = EventBuilder::new();
+    let mut out = Vec::with_capacity(cfg.events);
+    for i in 0..cfg.events {
+        let d = rng.random_range(0..cfg.drivers);
+        let t = (i + 1) as u64;
+        let rider = rng.random_range(0..1_000);
+        let attrs = vec![Value::Int(d as i64), Value::Int(rider)];
+        if rng.random::<f64>() < cfg.noise_prob {
+            let noise = if rng.random::<bool>() { in_transit } else { drop_off };
+            out.push(b.event(t, noise, attrs));
+            continue;
+        }
+        let (ty, next) = match steps[d] {
+            Step::Accept => (
+                accept,
+                Step::Round {
+                    remaining: rng.random_range(0..=cfg.max_rounds),
+                    call_next: true,
+                },
+            ),
+            Step::Round { remaining: 0, .. } => (finish, Step::Finish),
+            Step::Round {
+                remaining,
+                call_next: true,
+            } => (
+                call,
+                Step::Round {
+                    remaining,
+                    call_next: false,
+                },
+            ),
+            Step::Round {
+                remaining,
+                call_next: false,
+            } => (
+                cancel,
+                Step::Round {
+                    remaining: remaining - 1,
+                    call_next: true,
+                },
+            ),
+            Step::Finish => (
+                accept,
+                Step::Round {
+                    remaining: rng.random_range(0..=cfg.max_rounds),
+                    call_next: true,
+                },
+            ),
+        };
+        steps[d] = next;
+        out.push(b.event(t, ty, attrs));
+    }
+    out
+}
+
+/// Query q2 (§1): count completed pool trips with cancellations per
+/// driver under skip-till-next-match.
+pub fn q2_query(within: u64, slide: u64) -> String {
+    format!(
+        "RETURN driver, COUNT(*) \
+         PATTERN SEQ(Accept, (SEQ(Call, Cancel))+, Finish) \
+         SEMANTICS skip-till-next-match \
+         WHERE [driver] \
+         GROUP-BY driver \
+         WITHIN {within} SLIDE {slide}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogra_core::{run_to_completion, AggValue, CograEngine};
+    use cogra_events::validate_ordered;
+
+    #[test]
+    fn deterministic_and_ordered() {
+        let cfg = RideshareConfig {
+            events: 500,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+        assert!(validate_ordered(&generate(&cfg)).is_ok());
+    }
+
+    #[test]
+    fn sessions_follow_protocol_per_driver() {
+        // Filtering one driver's non-noise events must yield the regular
+        // language (Accept (Call Cancel)* Finish)*.
+        let cfg = RideshareConfig {
+            drivers: 3,
+            events: 2_000,
+            ..Default::default()
+        };
+        let reg = registry();
+        let driver_attr = reg.schema(reg.id_of("Accept").unwrap()).attr("driver").unwrap();
+        let accept = reg.id_of("Accept").unwrap();
+        let call = reg.id_of("Call").unwrap();
+        let cancel = reg.id_of("Cancel").unwrap();
+        let finish = reg.id_of("Finish").unwrap();
+        for d in 0..3i64 {
+            let mut expect_call = false;
+            let mut in_session = false;
+            for e in generate(&cfg) {
+                if e.attr(driver_attr).as_i64() != Some(d) {
+                    continue;
+                }
+                if e.type_id == accept {
+                    assert!(!in_session, "Accept inside a session");
+                    in_session = true;
+                    expect_call = true;
+                } else if e.type_id == call {
+                    assert!(in_session && expect_call);
+                    expect_call = false;
+                } else if e.type_id == cancel {
+                    assert!(in_session && !expect_call);
+                    expect_call = true;
+                } else if e.type_id == finish {
+                    assert!(in_session && expect_call, "Finish mid-round");
+                    in_session = false;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q2_counts_trips() {
+        let cfg = RideshareConfig {
+            drivers: 5,
+            events: 3_000,
+            ..Default::default()
+        };
+        let reg = registry();
+        let mut engine = CograEngine::from_text(&q2_query(600, 600), &reg).unwrap();
+        let (results, _) = run_to_completion(&mut engine, &generate(&cfg), usize::MAX);
+        assert!(!results.is_empty());
+        let total: u64 = results
+            .iter()
+            .map(|r| match r.values[0] {
+                AggValue::Count(c) => c,
+                _ => 0,
+            })
+            .sum();
+        assert!(total > 0, "expected completed trips with cancellations");
+    }
+
+    #[test]
+    fn query_is_pattern_grained() {
+        let reg = registry();
+        let parsed = cogra_query::parse(&q2_query(600, 30)).unwrap();
+        let compiled = cogra_query::compile(&parsed, &reg).unwrap();
+        assert_eq!(compiled.granularity(), cogra_query::Granularity::Pattern);
+    }
+}

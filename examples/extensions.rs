@@ -1,0 +1,92 @@
+//! The §8 language extensions and the supporting substrates, end to end:
+//! negated sub-patterns, Kleene star / optional / disjunction rewrites,
+//! minimal-trend-length unrolling, plan explanation with DOT export, CSV
+//! event interchange, and bounded out-of-order repair.
+//!
+//! Run: `cargo run --example extensions`
+
+use cogra::events::{read_events, write_events, Reorderer};
+use cogra::prelude::*;
+use cogra::query::{explain_text, rewrite, to_dot};
+
+fn main() {
+    let mut registry = TypeRegistry::new();
+    let a = registry.register_type("Alert", vec![("node", ValueKind::Int)]);
+    let m = registry.register_type("Maintenance", vec![("node", ValueKind::Int)]);
+    let r = registry.register_type("Recovery", vec![("node", ValueKind::Int)]);
+
+    // --- Negation: alert bursts that end in a recovery *without* a
+    // maintenance action in between are the suspicious ones.
+    let query_text = "RETURN node, COUNT(*) \
+                      PATTERN SEQ(Alert A+, NOT Maintenance, Recovery R) \
+                      SEMANTICS skip-till-any-match \
+                      WHERE [node] GROUP-BY node \
+                      WITHIN 100 SLIDE 100";
+    println!("== plan ==\n{}", explain_text(query_text, &registry).unwrap());
+    let compiled = compile(&parse(query_text).unwrap(), &registry).unwrap();
+    println!("== automaton (Graphviz) ==\n{}", to_dot(&compiled));
+
+    // A slightly disordered stream: node 1 recovers without maintenance,
+    // node 2 had a maintenance action between its alerts and recovery.
+    let mut builder = EventBuilder::new();
+    let disordered = vec![
+        builder.event(2, a, vec![Value::Int(1)]),
+        builder.event(1, a, vec![Value::Int(2)]), // arrives late by 1 tick
+        builder.event(3, a, vec![Value::Int(2)]),
+        builder.event(5, m, vec![Value::Int(2)]),
+        builder.event(4, a, vec![Value::Int(1)]), // late again
+        builder.event(7, r, vec![Value::Int(1)]),
+        builder.event(8, r, vec![Value::Int(2)]),
+    ];
+
+    // --- Bounded reordering repairs the stream before ingestion.
+    let mut reorderer = Reorderer::new(3);
+    let mut ordered = Vec::new();
+    for e in disordered {
+        reorderer.push(e, &mut ordered);
+    }
+    reorderer.flush(&mut ordered);
+    println!(
+        "reorderer: {} events released in order, {} late",
+        ordered.len(),
+        reorderer.late_events()
+    );
+
+    // --- CSV round trip (what a recorded data set would look like).
+    let csv = write_events(&ordered, &registry);
+    println!("== CSV interchange ==\n{csv}");
+    let replayed = read_events(&csv, &registry).expect("round trip");
+    assert_eq!(replayed.len(), ordered.len());
+
+    let mut engine = CograEngine::from_text(query_text, &registry).unwrap();
+    let (results, _) = cogra::core::run_to_completion(&mut engine, &replayed, 1);
+    println!("== results (alert bursts ending in unmaintained recovery) ==");
+    for res in &results {
+        println!("  node {} → {} suspicious bursts", res.group[0], res.values[0]);
+    }
+    // Node 1: alerts at t=2,4 then recovery at 7 with no maintenance →
+    // trends {a2}, {a4}, {a2,a4} each followed by r: 3. Node 2's recovery
+    // is blocked by the maintenance event at t=5.
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].group, vec![Value::Int(1)]);
+
+    // --- Kleene star / optional / disjunction expand into disjuncts.
+    let sugar = parse(
+        "RETURN COUNT(*) PATTERN SEQ(Alert A*, Recovery R?) SEMANTICS ANY WITHIN 10 SLIDE 10",
+    )
+    .unwrap();
+    let disjuncts = rewrite::to_disjuncts(&sugar.pattern).unwrap();
+    println!("\nSEQ(Alert A*, Recovery R?) expands into {} disjuncts:", disjuncts.len());
+    for d in &disjuncts {
+        println!("  {d}");
+    }
+
+    // --- Minimal trend length (§8): only bursts of >= 3 alerts.
+    let long_bursts = rewrite::unroll_min_length(
+        &parse(query_text).unwrap().pattern,
+        "A",
+        3,
+    )
+    .unwrap();
+    println!("\nA+ unrolled to minimum length 3: {long_bursts}");
+}

@@ -1,0 +1,207 @@
+//! `cogra-run` — run an event trend aggregation query against a recorded
+//! CSV stream from the command line.
+//!
+//! ```text
+//! cogra-run --schema schema.csv --events stream.csv --query query.cep
+//!           [--engine cogra|sase|greta|aseq|flink|oracle]
+//!           [--explain] [--dot] [--slack N] [--memory]
+//! ```
+//!
+//! * `--schema` — CSV with rows `type,attr,kind` (kind ∈ int|float|str|bool)
+//!   declaring the event types;
+//! * `--events` — the stream in the `cogra_events::csv` format
+//!   (`type,time,<attribute columns>`);
+//! * `--query`  — a file containing one query in the paper's language;
+//! * `--engine` — which engine to run (default `cogra`);
+//! * `--slack`  — repair up to N ticks of disorder before ingestion;
+//! * `--explain` / `--dot` — print the compiled plan / Graphviz automaton;
+//! * `--memory` — report peak memory after the run.
+
+use cogra::baselines::{aseq_engine, flink_engine, greta_engine, oracle_engine, sase_engine};
+use cogra::core::runtime::EngineConfig;
+use cogra::core::{run_to_completion, TrendEngine};
+use cogra::events::{read_events, Reorderer};
+use cogra::prelude::*;
+use cogra::query::{explain, to_dot};
+use std::process::ExitCode;
+
+struct Args {
+    schema: String,
+    events: String,
+    query: String,
+    engine: String,
+    slack: Option<u64>,
+    explain: bool,
+    dot: bool,
+    memory: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut schema = None;
+    let mut events = None;
+    let mut query = None;
+    let mut engine = "cogra".to_string();
+    let mut slack = None;
+    let mut explain = false;
+    let mut dot = false;
+    let mut memory = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--schema" => schema = Some(value("--schema")?),
+            "--events" => events = Some(value("--events")?),
+            "--query" => query = Some(value("--query")?),
+            "--engine" => engine = value("--engine")?,
+            "--slack" => {
+                slack = Some(
+                    value("--slack")?
+                        .parse()
+                        .map_err(|_| "--slack needs an integer".to_string())?,
+                )
+            }
+            "--explain" => explain = true,
+            "--dot" => dot = true,
+            "--memory" => memory = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        schema: schema.ok_or("--schema is required")?,
+        events: events.ok_or("--events is required")?,
+        query: query.ok_or("--query is required")?,
+        engine,
+        slack,
+        explain,
+        dot,
+        memory,
+    })
+}
+
+/// Parse the `type,attr,kind` schema file into a registry.
+fn load_registry(text: &str) -> Result<TypeRegistry, String> {
+    let mut decls: Vec<(String, Vec<(String, ValueKind)>)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || (i == 0 && line == "type,attr,kind") {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').map(str::trim).collect();
+        let [ty, attr, kind] = parts[..] else {
+            return Err(format!("schema line {}: expected `type,attr,kind`", i + 1));
+        };
+        let kind = match kind {
+            "int" => ValueKind::Int,
+            "float" => ValueKind::Float,
+            "str" | "string" => ValueKind::Str,
+            "bool" => ValueKind::Bool,
+            other => return Err(format!("schema line {}: unknown kind `{other}`", i + 1)),
+        };
+        match decls.iter_mut().find(|(t, _)| t == ty) {
+            Some((_, attrs)) => attrs.push((attr.to_string(), kind)),
+            None => decls.push((ty.to_string(), vec![(attr.to_string(), kind)])),
+        }
+    }
+    let mut registry = TypeRegistry::new();
+    for (ty, attrs) in &decls {
+        registry.register_type(
+            ty,
+            attrs.iter().map(|(a, k)| (a.as_str(), *k)).collect(),
+        );
+    }
+    if registry.is_empty() {
+        return Err("schema declares no event types".into());
+    }
+    Ok(registry)
+}
+
+fn build_engine(
+    name: &str,
+    query: &Query,
+    registry: &TypeRegistry,
+) -> Result<Box<dyn TrendEngine>, String> {
+    let cfg = EngineConfig::default();
+    let err = |e: cogra::query::QueryError| e.to_string();
+    Ok(match name {
+        "cogra" => Box::new(CograEngine::build(query, registry).map_err(err)?),
+        "sase" => Box::new(sase_engine(query, registry).map_err(err)?),
+        "greta" => Box::new(greta_engine(query, registry).map_err(err)?),
+        "aseq" => Box::new(aseq_engine(query, registry, cfg).map_err(err)?),
+        "flink" => Box::new(flink_engine(query, registry, cfg).map_err(err)?),
+        "oracle" => Box::new(oracle_engine(query, registry).map_err(err)?),
+        other => return Err(format!("unknown engine `{other}`")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let registry = load_registry(&read(&args.schema)?)?;
+    let query_text = read(&args.query)?;
+    let query = parse(&query_text).map_err(|e| e.to_string())?;
+    let compiled = compile(&query, &registry).map_err(|e| e.to_string())?;
+    if args.explain {
+        eprintln!("{}", explain(&compiled, &registry));
+    }
+    if args.dot {
+        println!("{}", to_dot(&compiled));
+        if !args.explain {
+            return Ok(());
+        }
+    }
+
+    let mut events = read_events(&read(&args.events)?, &registry).map_err(|e| e.to_string())?;
+    if let Some(slack) = args.slack {
+        let mut reorderer = Reorderer::new(slack);
+        let mut ordered = Vec::with_capacity(events.len());
+        for e in events {
+            reorderer.push(e, &mut ordered);
+        }
+        reorderer.flush(&mut ordered);
+        if reorderer.late_events() > 0 {
+            eprintln!("warning: dropped {} late event(s)", reorderer.late_events());
+        }
+        events = ordered;
+    } else {
+        cogra::events::validate_ordered(&events).map_err(|e| {
+            format!("{e}; pass --slack N to repair bounded disorder")
+        })?;
+    }
+
+    let mut engine = build_engine(&args.engine, &query, &registry)?;
+    let (results, peak) = run_to_completion(engine.as_mut(), &events, 256);
+    for r in &results {
+        println!("{r}");
+    }
+    eprintln!(
+        "{} events → {} results ({})",
+        events.len(),
+        results.len(),
+        args.engine
+    );
+    if args.memory {
+        eprintln!("peak memory: {peak} bytes");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            eprintln!(
+                "usage: cogra-run --schema schema.csv --events stream.csv --query query.cep \
+                 [--engine cogra|sase|greta|aseq|flink|oracle] [--slack N] \
+                 [--explain] [--dot] [--memory]"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # cogra — Coarse-Grained Event Trend Aggregation
+//!
+//! A from-scratch Rust implementation of *"Event Trend Aggregation Under
+//! Rich Event Matching Semantics"* (Poppe, Lei, Rundensteiner, Maier —
+//! SIGMOD 2019): online aggregation of Kleene-pattern matches (*event
+//! trends*) under the contiguous, skip-till-next-match and
+//! skip-till-any-match semantics, at the coarsest aggregate granularity
+//! each semantics permits.
+//!
+//! ```
+//! use cogra::prelude::*;
+//!
+//! // 1. Declare the event schema.
+//! let mut registry = TypeRegistry::new();
+//! let stock = registry.register_type(
+//!     "Stock",
+//!     vec![("company", ValueKind::Int), ("price", ValueKind::Float)],
+//! );
+//!
+//! // 2. Write the query in the paper's language and build the engine.
+//! let mut engine = CograEngine::from_text(
+//!     "RETURN company, COUNT(*) \
+//!      PATTERN Stock S+ \
+//!      SEMANTICS skip-till-any-match \
+//!      WHERE [company] AND S.price > NEXT(S).price \
+//!      GROUP-BY company \
+//!      WITHIN 10 SLIDE 10",
+//!     &registry,
+//! ).unwrap();
+//!
+//! // 3. Stream events; collect finalized window results.
+//! let mut results = Vec::new();
+//! for (i, price) in [5.0, 4.0, 3.0, 6.0, 2.0].into_iter().enumerate() {
+//!     let e = Event::new(i as u64, i as u64 + 1, stock,
+//!                        vec![Value::Int(1), Value::Float(price)]);
+//!     engine.process(&e);
+//!     results.extend(engine.drain());
+//! }
+//! results.extend(engine.finish());
+//! assert_eq!(results.len(), 1); // one window, one company
+//! ```
+//!
+//! The workspace crates are re-exported:
+//! * [`events`] — event model, schemas, sliding windows;
+//! * [`query`] — pattern AST, parser, static analyzer (FSA, predicate
+//!   classifier, granularity selector);
+//! * [`core`] — the COGRA executor (type-/mixed-/pattern-grained
+//!   aggregators) and the engine abstraction;
+//! * [`baselines`] — SASE, Flink-flat, GRETA, A-Seq and the oracle;
+//! * [`workloads`] — the evaluation's data-set generators.
+
+pub use cogra_baselines as baselines;
+pub use cogra_core as core;
+pub use cogra_events as events;
+pub use cogra_query as query;
+pub use cogra_workloads as workloads;
+
+/// Everything needed for typical use.
+pub mod prelude {
+    pub use cogra_core::{
+        run_parallel, run_to_completion, AggValue, CograEngine, TrendEngine, WindowResult,
+    };
+    pub use cogra_events::{
+        Event, EventBuilder, Timestamp, TypeRegistry, Value, ValueKind, WindowSpec,
+    };
+    pub use cogra_query::{compile, parse, Granularity, PatternExpr, Query, Semantics};
+}

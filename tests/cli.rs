@@ -1,0 +1,127 @@
+//! End-to-end tests of the `cogra-run` CLI: schema + CSV stream + query
+//! file in, window results out.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const SCHEMA: &str = "type,attr,kind\n\
+                      Measurement,patient,int\n\
+                      Measurement,activity,str\n\
+                      Measurement,rate,int\n";
+
+const QUERY: &str = "RETURN patient, COUNT(*), MIN(M.rate), MAX(M.rate)\n\
+                     PATTERN Measurement M+\n\
+                     SEMANTICS contiguous\n\
+                     WHERE [patient] AND M.rate < NEXT(M).rate AND M.activity = passive\n\
+                     GROUP-BY patient\n\
+                     WITHIN 100 SLIDE 100\n";
+
+/// Patient 7: increasing run 60,62,64 (6 trends), an active reading
+/// resets, then 61,66 (3 trends) → 9; patient 8: 70,75 → 3.
+const STREAM: &str = "type,time,patient,activity,rate\n\
+                      Measurement,1,7,passive,60\n\
+                      Measurement,3,7,passive,64\n\
+                      Measurement,2,7,passive,62\n\
+                      Measurement,4,7,active3,90\n\
+                      Measurement,5,7,passive,61\n\
+                      Measurement,6,7,passive,66\n\
+                      Measurement,7,8,passive,70\n\
+                      Measurement,8,8,passive,75\n";
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("cogra-cli-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("schema.csv"), SCHEMA).unwrap();
+        std::fs::write(dir.join("query.cep"), QUERY).unwrap();
+        std::fs::write(dir.join("stream.csv"), STREAM).unwrap();
+        Fixture { dir }
+    }
+
+    fn run(&self, extra: &[&str]) -> (bool, String, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_cogra-run"))
+            .arg("--schema")
+            .arg(self.dir.join("schema.csv"))
+            .arg("--events")
+            .arg(self.dir.join("stream.csv"))
+            .arg("--query")
+            .arg(self.dir.join("query.cep"))
+            .args(extra)
+            .output()
+            .expect("binary runs");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn q1_over_csv_with_reordering() {
+    let f = Fixture::new("reorder");
+    let (ok, stdout, stderr) = f.run(&["--slack", "3"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("w0 [7] → 9 60.0000 66.0000"), "{stdout}");
+    assert!(stdout.contains("w0 [8] → 3 70.0000 75.0000"), "{stdout}");
+}
+
+#[test]
+fn disordered_input_rejected_without_slack() {
+    let f = Fixture::new("strict");
+    let (ok, _, stderr) = f.run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("--slack"), "{stderr}");
+}
+
+#[test]
+fn engines_agree_through_the_cli() {
+    let f = Fixture::new("engines");
+    let (ok, cogra_out, _) = f.run(&["--slack", "3", "--engine", "cogra"]);
+    assert!(ok);
+    for engine in ["sase", "oracle"] {
+        let (ok, out, stderr) = f.run(&["--slack", "3", "--engine", engine]);
+        assert!(ok, "{engine}: {stderr}");
+        assert_eq!(out, cogra_out, "{engine} output differs");
+    }
+}
+
+#[test]
+fn unsupported_engine_fails_cleanly() {
+    let f = Fixture::new("unsupported");
+    // GRETA cannot run a contiguous-semantics query (Table 9).
+    let (ok, _, stderr) = f.run(&["--slack", "3", "--engine", "greta"]);
+    assert!(!ok);
+    assert!(stderr.contains("skip-till-any-match"), "{stderr}");
+}
+
+#[test]
+fn explain_and_dot_render() {
+    let f = Fixture::new("explain");
+    let (ok, _, stderr) = f.run(&["--slack", "3", "--explain"]);
+    assert!(ok);
+    assert!(stderr.contains("granularity: pattern"), "{stderr}");
+    let (ok, stdout, _) = f.run(&["--dot"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph pattern {"), "{stdout}");
+}
+
+#[test]
+fn bad_arguments_report_errors() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cogra-run"))
+        .arg("--nonsense")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}

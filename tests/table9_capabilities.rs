@@ -1,0 +1,87 @@
+//! Table 9: the expressive-power matrix, enforced by the engine
+//! constructors — an engine must refuse exactly the query features its
+//! Table 9 row lacks.
+#![allow(clippy::assertions_on_constants)] // the constants ARE the matrix under test
+
+use cogra::baselines::{aseq_engine, flink_engine, greta_engine, sase_engine, Capabilities};
+use cogra::core::runtime::EngineConfig;
+use cogra::prelude::*;
+
+fn registry() -> TypeRegistry {
+    let mut r = TypeRegistry::new();
+    for t in ["A", "B"] {
+        r.register_type(t, vec![("v", ValueKind::Int)]);
+    }
+    r
+}
+
+fn query(semantics: &str, theta: bool) -> Query {
+    let theta = if theta { "WHERE A.v < NEXT(A).v " } else { "" };
+    parse(&format!(
+        "RETURN COUNT(*) PATTERN SEQ(A+, B) SEMANTICS {semantics} {theta}WITHIN 10 SLIDE 5"
+    ))
+    .unwrap()
+}
+
+#[test]
+fn cogra_supports_every_cell_of_table9() {
+    let reg = registry();
+    for sem in ["ANY", "NEXT", "CONT"] {
+        for theta in [false, true] {
+            assert!(
+                CograEngine::build(&query(sem, theta), &reg).is_ok(),
+                "{sem} theta={theta}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sase_supports_all_semantics_two_step() {
+    let reg = registry();
+    for sem in ["ANY", "NEXT", "CONT"] {
+        assert!(sase_engine(&query(sem, true), &reg).is_ok(), "{sem}");
+    }
+    assert!(!Capabilities::SASE.online);
+}
+
+#[test]
+fn greta_is_any_only() {
+    let reg = registry();
+    assert!(greta_engine(&query("ANY", true), &reg).is_ok());
+    assert!(greta_engine(&query("NEXT", false), &reg).is_err());
+    assert!(greta_engine(&query("CONT", false), &reg).is_err());
+    assert!(Capabilities::GRETA.online);
+}
+
+#[test]
+fn aseq_rejects_next_cont_and_adjacent_predicates() {
+    let reg = registry();
+    let cfg = EngineConfig::default();
+    assert!(aseq_engine(&query("ANY", false), &reg, cfg.clone()).is_ok());
+    assert!(aseq_engine(&query("ANY", true), &reg, cfg.clone()).is_err());
+    assert!(aseq_engine(&query("NEXT", false), &reg, cfg.clone()).is_err());
+    assert!(aseq_engine(&query("CONT", false), &reg, cfg).is_err());
+    assert!(!Capabilities::ASEQ.native_kleene);
+}
+
+#[test]
+fn flink_rejects_next_only() {
+    let reg = registry();
+    let cfg = EngineConfig::default();
+    assert!(flink_engine(&query("ANY", true), &reg, cfg.clone()).is_ok());
+    assert!(flink_engine(&query("CONT", true), &reg, cfg.clone()).is_ok());
+    assert!(flink_engine(&query("NEXT", false), &reg, cfg).is_err());
+    assert!(!Capabilities::FLINK.native_kleene);
+}
+
+#[test]
+fn capabilities_matrix_matches_paper_rows() {
+    // Spot-check the struct constants against Table 9.
+    assert!(Capabilities::COGRA.native_kleene && Capabilities::COGRA.online);
+    assert!(Capabilities::COGRA.any && Capabilities::COGRA.next && Capabilities::COGRA.cont);
+    assert!(Capabilities::SASE.next && !Capabilities::FLINK.next);
+    assert!(Capabilities::FLINK.cont && !Capabilities::GRETA.cont);
+    assert!(!Capabilities::ASEQ.adjacent_predicates);
+    assert!(Capabilities::GRETA.adjacent_predicates);
+}

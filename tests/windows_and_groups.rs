@@ -1,0 +1,184 @@
+//! Sliding-window and grouping behaviour of the full engine (§7):
+//! per-window aggregates, window finalization at the watermark, group
+//! emission, and cross-partition merging of equivalence sub-streams.
+
+use cogra::prelude::*;
+use cogra::core::run_to_completion;
+
+fn registry() -> TypeRegistry {
+    let mut r = TypeRegistry::new();
+    r.register_type(
+        "T",
+        vec![
+            ("g", ValueKind::Int),
+            ("k", ValueKind::Int),
+            ("v", ValueKind::Int),
+        ],
+    );
+    r
+}
+
+fn event(b: &mut EventBuilder, t: u64, g: i64, k: i64, v: i64) -> Event {
+    let reg = registry();
+    b.event(
+        t,
+        reg.id_of("T").unwrap(),
+        vec![Value::Int(g), Value::Int(k), Value::Int(v)],
+    )
+}
+
+#[test]
+fn overlapping_windows_count_independently() {
+    // T+ under ANY with WITHIN 4 SLIDE 2: an event at t participates in
+    // up to two windows, and each window's count covers exactly its
+    // events: n events → 2^n − 1 trends.
+    let reg = registry();
+    let mut engine = CograEngine::from_text(
+        "RETURN COUNT(*) PATTERN T+ SEMANTICS ANY WITHIN 4 SLIDE 2",
+        &reg,
+    )
+    .unwrap();
+    let mut b = EventBuilder::new();
+    let events: Vec<Event> = (1..=8).map(|t| event(&mut b, t, 0, 0, 0)).collect();
+    let (results, _) = run_to_completion(&mut engine, &events, 1);
+    // Window k covers [2k, 2k+4): w0 = {1,2,3} (t=0 unused), w1 = {2..5},
+    // w2 = {4..7}, w3 = {6,7,8} ... every full window holds 4 events.
+    for r in &results {
+        let start = r.window.0 * 2;
+        let n = (start..start + 4).filter(|t| (1..=8).contains(t)).count() as u32;
+        assert_eq!(
+            r.values[0],
+            AggValue::Count(2u64.pow(n) - 1),
+            "window {} holds {} events",
+            r.window.0,
+            n
+        );
+    }
+    // Windows keep opening while events keep arriving: w0..w4 non-empty.
+    assert_eq!(results.len(), 5);
+}
+
+#[test]
+fn results_arrive_when_window_closes() {
+    let reg = registry();
+    let mut engine = CograEngine::from_text(
+        "RETURN COUNT(*) PATTERN T+ SEMANTICS ANY WITHIN 4 SLIDE 4",
+        &reg,
+    )
+    .unwrap();
+    let mut b = EventBuilder::new();
+    engine.process(&event(&mut b, 1, 0, 0, 0));
+    engine.process(&event(&mut b, 2, 0, 0, 0));
+    assert!(engine.drain().is_empty(), "window 0 still open");
+    engine.process(&event(&mut b, 4, 0, 0, 0)); // watermark hits w0's end
+    let r = engine.drain();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0].values[0], AggValue::Count(3)); // {e1}, {e2}, {e1,e2}
+    assert!(engine.drain().is_empty(), "no double emission");
+    let rest = engine.finish();
+    assert_eq!(rest.len(), 1); // window 1 with the t=4 event
+}
+
+#[test]
+fn groups_are_reported_separately() {
+    let reg = registry();
+    let mut engine = CograEngine::from_text(
+        "RETURN g, COUNT(*) PATTERN T+ SEMANTICS ANY GROUP-BY g WITHIN 10 SLIDE 10",
+        &reg,
+    )
+    .unwrap();
+    let mut b = EventBuilder::new();
+    let events = vec![
+        event(&mut b, 1, 7, 0, 0),
+        event(&mut b, 2, 9, 0, 0),
+        event(&mut b, 3, 7, 0, 0),
+    ];
+    let (results, _) = run_to_completion(&mut engine, &events, 1);
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].group, vec![Value::Int(7)]);
+    assert_eq!(results[0].values[0], AggValue::Count(3));
+    assert_eq!(results[1].group, vec![Value::Int(9)]);
+    assert_eq!(results[1].values[0], AggValue::Count(1));
+}
+
+#[test]
+fn equivalence_partitions_merge_into_one_group() {
+    // [k] partitions the stream; GROUP-BY g groups the output. Two k
+    // partitions with the same g must merge — including a correctly
+    // combined AVG (sums and counts combine before the division).
+    let reg = registry();
+    let mut engine = CograEngine::from_text(
+        "RETURN g, COUNT(*), AVG(T.v) PATTERN T+ SEMANTICS ANY \
+         WHERE [k] GROUP-BY g WITHIN 10 SLIDE 10",
+        &reg,
+    )
+    .unwrap();
+    let mut b = EventBuilder::new();
+    let events = vec![
+        event(&mut b, 1, 1, 100, 10), // partition k=100: one event, v=10
+        event(&mut b, 2, 1, 200, 40), // partition k=200: two events
+        event(&mut b, 3, 1, 200, 40),
+    ];
+    let (results, _) = run_to_completion(&mut engine, &events, 1);
+    assert_eq!(results.len(), 1, "one output group g=1");
+    // Trends: k=100 → {e1}; k=200 → {e2}, {e3}, {e2,e3}: 4 total.
+    assert_eq!(results[0].values[0], AggValue::Count(4));
+    // AVG(T.v): occurrences 10 | 40, 40, 40+40 → sum 170 over 5
+    // occurrences = 34; the wrong way (averaging partition averages of 10
+    // and 40) would give 25.
+    assert_eq!(results[0].values[1], AggValue::Float(170.0 / 5.0));
+}
+
+#[test]
+fn empty_groups_are_not_emitted() {
+    let reg = registry();
+    let mut engine = CograEngine::from_text(
+        "RETURN g, COUNT(*) PATTERN SEQ(T X+, T Y+) SEMANTICS ANY \
+         WHERE X.v < 0 GROUP-BY g WITHIN 10 SLIDE 10",
+        &reg,
+    )
+    .unwrap();
+    let mut b = EventBuilder::new();
+    // v >= 0 everywhere: the X+ part never matches → no trends → no rows.
+    let events = vec![event(&mut b, 1, 1, 0, 5), event(&mut b, 2, 1, 0, 6)];
+    let (results, _) = run_to_completion(&mut engine, &events, 1);
+    assert!(results.is_empty());
+}
+
+#[test]
+fn tumbling_windows_partition_the_stream() {
+    let reg = registry();
+    let mut engine = CograEngine::from_text(
+        "RETURN COUNT(*) PATTERN T+ SEMANTICS ANY WITHIN 3 SLIDE 3",
+        &reg,
+    )
+    .unwrap();
+    let mut b = EventBuilder::new();
+    let events: Vec<Event> = (0..9).map(|t| event(&mut b, t + 1, 0, 0, 0)).collect();
+    let (results, _) = run_to_completion(&mut engine, &events, 1);
+    // Windows [0,3), [3,6), [6,9), [9,12) hold 2/3/3/1 events.
+    let counts: Vec<AggValue> = results.iter().map(|r| r.values[0]).collect();
+    assert_eq!(
+        counts,
+        vec![
+            AggValue::Count(3),
+            AggValue::Count(7),
+            AggValue::Count(7),
+            AggValue::Count(1)
+        ]
+    );
+}
+
+#[test]
+fn watermark_tracks_event_time() {
+    let reg = registry();
+    let mut engine = CograEngine::from_text(
+        "RETURN COUNT(*) PATTERN T+ SEMANTICS ANY WITHIN 5 SLIDE 5",
+        &reg,
+    )
+    .unwrap();
+    let mut b = EventBuilder::new();
+    assert_eq!(engine.watermark(), Timestamp(0));
+    engine.process(&event(&mut b, 42, 0, 0, 0));
+    assert_eq!(engine.watermark(), Timestamp(42));
+}

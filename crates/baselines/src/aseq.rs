@@ -20,8 +20,8 @@
 //! windows. Not supported (Table 9): other semantics, predicates on
 //! adjacent events, negation.
 
-use cogra_core::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
-use cogra_core::runtime::EngineConfig;
+use cogra_engine::runtime::EngineConfig;
+use cogra_engine::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
 use cogra_events::{Event, Timestamp, TypeRegistry};
 use cogra_query::{compile, Query, QueryError, QueryResult, Semantics, StateId};
 use std::sync::Arc;

@@ -101,9 +101,7 @@ impl Capabilities {
             Semantics::Cont if !self.cont => return Err(Unsupported("contiguous semantics")),
             _ => {}
         }
-        if !self.adjacent_predicates
-            && query.disjuncts.iter().any(|d| !d.adjacents.is_empty())
-        {
+        if !self.adjacent_predicates && query.disjuncts.iter().any(|d| !d.adjacents.is_empty()) {
             return Err(Unsupported("predicates on adjacent events"));
         }
         Ok(())

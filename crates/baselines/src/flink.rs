@@ -18,8 +18,8 @@
 //! Supported semantics (Table 9): skip-till-any-match and contiguous.
 
 use crate::oracle::{trend_cell, visit_any_capped, visit_cont_positional};
-use cogra_core::runtime::EngineConfig;
-use cogra_core::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
+use cogra_engine::runtime::EngineConfig;
+use cogra_engine::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
 use cogra_events::{Event, TypeRegistry};
 use cogra_query::{compile, Query, QueryError, QueryResult, Semantics, StateId};
 use std::sync::Arc;

@@ -11,8 +11,8 @@
 //! events. Time O(n²) per window, space Θ(n) — the gap to COGRA's
 //! O(n·l)/Θ(l) is exactly what Figures 7–10 measure.
 
-use cogra_core::runtime::DisjunctRuntime;
-use cogra_core::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
+use cogra_engine::runtime::DisjunctRuntime;
+use cogra_engine::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
 use cogra_events::{Event, TypeRegistry};
 use cogra_query::{compile, Query, QueryResult, Semantics, StateId};
 use std::sync::Arc;
@@ -30,7 +30,7 @@ struct Node {
 struct Graph {
     nodes: Vec<Node>,
     final_acc: Cell,
-    neg_clocks: Vec<cogra_core::runtime::NegClock>,
+    neg_clocks: Vec<cogra_engine::runtime::NegClock>,
 }
 
 /// Per-window GRETA state.
@@ -48,10 +48,7 @@ impl WindowAlgo for GretaWindow {
                 .map(|d| Graph {
                     nodes: Vec::new(),
                     final_acc: d.zero_cell(),
-                    neg_clocks: vec![
-                        Default::default();
-                        d.disjunct.automaton.num_negated()
-                    ],
+                    neg_clocks: vec![Default::default(); d.disjunct.automaton.num_negated()],
                 })
                 .collect(),
         }
@@ -112,12 +109,7 @@ impl WindowAlgo for GretaWindow {
 
 /// GRETA's per-event aggregate: scan all stored predecessor events
 /// (Definition 7 adjacency, evaluated per pair).
-fn compute_cell(
-    graph: &Graph,
-    drt: &DisjunctRuntime,
-    event: &Event,
-    s: StateId,
-) -> Option<Cell> {
+fn compute_cell(graph: &Graph, drt: &DisjunctRuntime, event: &Event, s: StateId) -> Option<Cell> {
     let mut cell = drt.zero_cell();
     if drt.is_start(s) {
         cell.start_trend();

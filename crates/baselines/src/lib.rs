@@ -2,7 +2,7 @@
 //!
 //! The state-of-the-art comparators of the COGRA evaluation (§9.1,
 //! Table 9), re-implemented from their papers' descriptions on top of the
-//! shared [`cogra_core::Router`] substrate, plus a brute-force oracle:
+//! shared [`cogra_engine::Router`] substrate, plus a brute-force oracle:
 //!
 //! * [`sase`] — SASE: two-step, stacks + predecessor pointers + DFS trend
 //!   construction; all semantics;

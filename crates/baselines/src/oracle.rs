@@ -4,8 +4,8 @@
 //! correct, as the ground truth for the engine-agreement tests and the
 //! Table 3 trend-count experiment.
 
-use cogra_core::runtime::DisjunctRuntime;
-use cogra_core::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
+use cogra_engine::runtime::DisjunctRuntime;
+use cogra_engine::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
 use cogra_events::{Event, Timestamp, TypeRegistry};
 use cogra_query::{compile, Query, QueryResult, Semantics, StateId};
 use std::sync::Arc;
@@ -70,11 +70,7 @@ fn adjacent(
 /// Visit every finished trend of one disjunct under skip-till-any-match
 /// (Definition 2): every strictly-time-increasing path through the FSA
 /// from the start state, reported whenever it reaches the end state.
-pub fn visit_any<F: FnMut(&[(usize, StateId)])>(
-    rt: &DisjunctRuntime,
-    events: &[Event],
-    f: F,
-) {
+pub fn visit_any<F: FnMut(&[(usize, StateId)])>(rt: &DisjunctRuntime, events: &[Event], f: F) {
     visit_any_capped(rt, events, None, f)
 }
 
@@ -324,8 +320,7 @@ impl WindowAlgo for OracleWindow {
     }
 
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.events.iter().map(Event::memory_bytes).sum::<usize>()
+        std::mem::size_of::<Self>() + self.events.iter().map(Event::memory_bytes).sum::<usize>()
     }
 }
 

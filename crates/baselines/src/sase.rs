@@ -17,8 +17,8 @@
 //!   without storing them"), so memory is events + pointers while latency
 //!   is exponential.
 
-use cogra_core::runtime::{DisjunctRuntime, NegClock};
-use cogra_core::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
+use cogra_engine::runtime::{DisjunctRuntime, NegClock};
+use cogra_engine::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
 use cogra_events::{Event, TypeRegistry};
 use cogra_query::{compile, Query, QueryResult, Semantics, StateId};
 use std::sync::Arc;
@@ -58,10 +58,7 @@ impl WindowAlgo for SaseWindow {
                 .map(|d| Stacks {
                     entries: Vec::new(),
                     el: Vec::new(),
-                    neg_clocks: vec![
-                        NegClock::default();
-                        d.disjunct.automaton.num_negated()
-                    ],
+                    neg_clocks: vec![NegClock::default(); d.disjunct.automaton.num_negated()],
                 })
                 .collect(),
         }
@@ -139,9 +136,10 @@ impl Stacks {
         {
             return false;
         }
-        !edge.negations.iter().any(|&n| {
-            self.neg_clocks[n.index()].blocked(prev.event.time, event.time)
-        })
+        !edge
+            .negations
+            .iter()
+            .any(|&n| self.neg_clocks[n.index()].blocked(prev.event.time, event.time))
     }
 
     /// Skip-till-any-match insertion: pointers to every compatible

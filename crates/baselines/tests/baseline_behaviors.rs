@@ -143,8 +143,8 @@ fn flink_materialization_spike_is_measured() {
     // periodic sampling happens between events.
     let reg = registry();
     let events = figure2_stream(&reg);
-    let q = parse("RETURN COUNT(*) PATTERN (SEQ(A+, B))+ SEMANTICS ANY WITHIN 100 SLIDE 100")
-        .unwrap();
+    let q =
+        parse("RETURN COUNT(*) PATTERN (SEQ(A+, B))+ SEMANTICS ANY WITHIN 100 SLIDE 100").unwrap();
     let mut flink = flink_engine(&q, &reg, EngineConfig::default()).unwrap();
     let (results, peak) = run_to_completion(&mut flink, &events, 1);
     assert_eq!(results[0].values[0], AggValue::Count(43));
@@ -163,8 +163,8 @@ fn flatten_cap_trades_coverage_for_feasibility() {
     // match exceeds the flattened workload.
     let reg = registry();
     let events = figure2_stream(&reg);
-    let q = parse("RETURN COUNT(*) PATTERN (SEQ(A+, B))+ SEMANTICS ANY WITHIN 100 SLIDE 100")
-        .unwrap();
+    let q =
+        parse("RETURN COUNT(*) PATTERN (SEQ(A+, B))+ SEMANTICS ANY WITHIN 100 SLIDE 100").unwrap();
     let capped = EngineConfig {
         flatten_cap: Some(2),
     };
@@ -213,8 +213,8 @@ fn aseq_memory_grows_with_window_content() {
 fn oracle_engine_runs_end_to_end() {
     let reg = registry();
     let events = figure2_stream(&reg);
-    let q = parse("RETURN COUNT(*) PATTERN (SEQ(A+, B))+ SEMANTICS CONT WITHIN 100 SLIDE 100")
-        .unwrap();
+    let q =
+        parse("RETURN COUNT(*) PATTERN (SEQ(A+, B))+ SEMANTICS CONT WITHIN 100 SLIDE 100").unwrap();
     let mut oracle = oracle_engine(&q, &reg).unwrap();
     let (results, peak) = run_to_completion(&mut oracle, &events, 1);
     assert_eq!(results[0].values[0], AggValue::Count(2));
@@ -230,11 +230,15 @@ fn engine_names_are_stable() {
     assert_eq!(sase_engine(&q, &reg).unwrap().name(), "sase");
     assert_eq!(greta_engine(&q, &reg).unwrap().name(), "greta");
     assert_eq!(
-        aseq_engine(&q, &reg, EngineConfig::default()).unwrap().name(),
+        aseq_engine(&q, &reg, EngineConfig::default())
+            .unwrap()
+            .name(),
         "aseq"
     );
     assert_eq!(
-        flink_engine(&q, &reg, EngineConfig::default()).unwrap().name(),
+        flink_engine(&q, &reg, EngineConfig::default())
+            .unwrap()
+            .name(),
         "flink"
     );
     assert_eq!(oracle_engine(&q, &reg).unwrap().name(), "oracle");

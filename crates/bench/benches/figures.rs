@@ -4,9 +4,9 @@
 //! *relative* ordering of the engines is what reproduces the paper (see
 //! EXPERIMENTS.md).
 
-use cogra_bench::engines::build;
-use cogra_core::runtime::EngineConfig;
 use cogra_core::run_to_completion;
+use cogra_core::runtime::EngineConfig;
+use cogra_core::session::EngineKind;
 use cogra_events::{Event, TypeRegistry};
 use cogra_workloads::{activity, stock, transport};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -26,17 +26,23 @@ fn scenario(registry: TypeRegistry, events: Vec<Event>, query: &str) -> Scenario
     }
 }
 
-fn bench_engines(c: &mut Criterion, group: &str, s: &Scenario, engines: &[&str]) {
+fn bench_engines(c: &mut Criterion, group: &str, s: &Scenario, engines: &[EngineKind]) {
     let mut g = c.benchmark_group(group);
     g.sample_size(10);
     for &engine in engines {
         let cfg = EngineConfig::default();
-        if build(engine, &s.query, &s.registry, &cfg).is_none() {
+        if !engine.supports(&s.query, &s.registry, &cfg) {
+            assert!(
+                !matches!(engine, EngineKind::Cogra | EngineKind::Sase),
+                "{engine} must support every bench query (Table 9)"
+            );
             continue; // unsupported (Table 9)
         }
-        g.bench_with_input(BenchmarkId::from_parameter(engine), &engine, |b, &name| {
+        g.bench_with_input(BenchmarkId::from_parameter(engine), &engine, |b, &kind| {
             b.iter(|| {
-                let mut e = build(name, &s.query, &s.registry, &cfg).expect("checked above");
+                let mut e = kind
+                    .build(&s.query, &s.registry, &cfg)
+                    .expect("checked above");
                 let (results, peak) =
                     run_to_completion(e.as_mut(), black_box(&s.events), usize::MAX);
                 black_box((results.len(), peak))
@@ -58,7 +64,12 @@ fn fig5(c: &mut Criterion) {
         activity::generate(&cfg),
         &activity::contiguous_count_query(w as u64, (w / 2) as u64),
     );
-    bench_engines(c, "fig5_contiguous", &s, &["flink", "sase", "cogra"]);
+    bench_engines(
+        c,
+        "fig5_contiguous",
+        &s,
+        &[EngineKind::Flink, EngineKind::Sase, EngineKind::Cogra],
+    );
 }
 
 /// Figure 6: skip-till-next-match, public transportation.
@@ -73,7 +84,7 @@ fn fig6(c: &mut Criterion) {
         transport::generate(&cfg),
         &transport::next_query(w as u64, (w / 2) as u64),
     );
-    bench_engines(c, "fig6_next", &s, &["sase", "cogra"]);
+    bench_engines(c, "fig6_next", &s, &[EngineKind::Sase, EngineKind::Cogra]);
 }
 
 /// Figure 7: skip-till-any-match, stock, all approaches (small window so
@@ -89,12 +100,7 @@ fn fig7(c: &mut Criterion) {
         stock::generate(&cfg),
         &stock::q3_query_no_adjacent(w as u64, (w / 2) as u64),
     );
-    bench_engines(
-        c,
-        "fig7_any_all",
-        &s,
-        &["flink", "sase", "greta", "aseq", "cogra"],
-    );
+    bench_engines(c, "fig7_any_all", &s, &EngineKind::PAPER_ROSTER);
 }
 
 /// Figure 8: skip-till-any-match at a higher rate, online approaches.
@@ -109,7 +115,12 @@ fn fig8(c: &mut Criterion) {
         stock::generate(&cfg),
         &stock::q3_query_no_adjacent(w as u64, (w / 2) as u64),
     );
-    bench_engines(c, "fig8_any_online", &s, &["greta", "aseq", "cogra"]);
+    bench_engines(
+        c,
+        "fig8_any_online",
+        &s,
+        &[EngineKind::Greta, EngineKind::Aseq, EngineKind::Cogra],
+    );
 }
 
 /// Figure 9: predicate selectivity (90% — the most demanding point).
@@ -125,7 +136,17 @@ fn fig9(c: &mut Criterion) {
         stock::generate(&cfg),
         &stock::selectivity_query(w as u64, (w / 2) as u64),
     );
-    bench_engines(c, "fig9_selectivity", &s, &["flink", "sase", "greta", "cogra"]);
+    bench_engines(
+        c,
+        "fig9_selectivity",
+        &s,
+        &[
+            EngineKind::Flink,
+            EngineKind::Sase,
+            EngineKind::Greta,
+            EngineKind::Cogra,
+        ],
+    );
 }
 
 /// Figure 10: trend grouping (30 groups — every engine terminates).
@@ -141,12 +162,7 @@ fn fig10(c: &mut Criterion) {
         transport::generate(&cfg),
         &transport::grouping_query(w as u64, (w / 2) as u64),
     );
-    bench_engines(
-        c,
-        "fig10_grouping",
-        &s,
-        &["flink", "sase", "greta", "aseq", "cogra"],
-    );
+    bench_engines(c, "fig10_grouping", &s, &EngineKind::PAPER_ROSTER);
 }
 
 /// Table 8: each aggregation function on COGRA (type granularity).
@@ -160,7 +176,13 @@ fn table8(c: &mut Criterion) {
     let registry = stock::registry();
     let mut g = c.benchmark_group("table8_functions");
     g.sample_size(10);
-    for agg in ["COUNT(*)", "COUNT(B)", "MIN(B.price)", "SUM(B.price)", "AVG(B.price)"] {
+    for agg in [
+        "COUNT(*)",
+        "COUNT(B)",
+        "MIN(B.price)",
+        "SUM(B.price)",
+        "AVG(B.price)",
+    ] {
         let text = format!(
             "RETURN company, {agg} PATTERN SEQ(Stock A+, Stock B+) \
              SEMANTICS skip-till-any-match WHERE [company] GROUP-BY company \
@@ -170,7 +192,9 @@ fn table8(c: &mut Criterion) {
         let query = cogra_query::parse(&text).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(agg), &query, |b, q| {
             b.iter(|| {
-                let mut e = build("cogra", q, &registry, &EngineConfig::default()).unwrap();
+                let mut e = EngineKind::Cogra
+                    .build(q, &registry, &EngineConfig::default())
+                    .unwrap();
                 let out = run_to_completion(e.as_mut(), black_box(&events), usize::MAX);
                 black_box(out.0.len())
             });

@@ -31,7 +31,10 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
     for name in names {
-        eprintln!("== running {name}{} ==", if quick { " (quick)" } else { "" });
+        eprintln!(
+            "== running {name}{} ==",
+            if quick { " (quick)" } else { "" }
+        );
         for (i, table) in run(name, &opts).iter().enumerate() {
             println!("{}", table.to_markdown());
             if let Some(dir) = &csv_dir {

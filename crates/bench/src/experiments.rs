@@ -13,10 +13,10 @@
 //! exponential in that number, so Flink's materialized sequences and
 //! SASE's DFS time blow up past any budget).
 
-use crate::engines::build;
 use crate::harness::{human_bytes, BudgetedSweep, Measurement, Outcome};
 use crate::table::Table;
 use cogra_core::runtime::EngineConfig;
+use cogra_core::session::EngineKind;
 use cogra_events::{Event, TypeRegistry};
 use cogra_query::{Query, Semantics};
 use cogra_workloads::{activity, rideshare, stock, transport};
@@ -50,11 +50,16 @@ struct Point {
     events: Vec<Event>,
     query: Query,
     /// Engines hard-skipped at this point (expected non-termination).
-    skip: Vec<&'static str>,
+    skip: Vec<EngineKind>,
 }
 
 impl Point {
-    fn new(label: impl Into<String>, registry: TypeRegistry, events: Vec<Event>, query_text: &str) -> Point {
+    fn new(
+        label: impl Into<String>,
+        registry: TypeRegistry,
+        events: Vec<Event>,
+        query_text: &str,
+    ) -> Point {
         Point {
             label: label.into(),
             registry,
@@ -74,10 +79,10 @@ impl Point {
         }
         let occupancy = max_partition_window_occupancy(&self.query, &self.registry, &self.events);
         if occupancy > FLINK_ANY_LIMIT {
-            self.skip.push("flink");
+            self.skip.push(EngineKind::Flink);
         }
         if occupancy > SASE_ANY_LIMIT {
-            self.skip.push("sase");
+            self.skip.push(EngineKind::Sase);
         }
         self
     }
@@ -114,13 +119,13 @@ fn max_partition_window_occupancy(
 fn run_sweep(
     figure: &str,
     param: &str,
-    engines: &[&str],
+    engines: &[EngineKind],
     points: Vec<Point>,
     budget: Duration,
     with_throughput: bool,
 ) -> Vec<Table> {
     let cfg = EngineConfig::default();
-    let mut sweeps: HashMap<&str, BudgetedSweep> = engines
+    let mut sweeps: HashMap<EngineKind, BudgetedSweep> = engines
         .iter()
         .map(|&e| (e, BudgetedSweep::new(budget)))
         .collect();
@@ -128,18 +133,26 @@ fn run_sweep(
     let mut outcomes: Vec<Vec<Option<Outcome>>> = Vec::new();
     for point in &points {
         let mut row = Vec::new();
-        let mut digests: Vec<(&str, u64, usize)> = Vec::new();
+        let mut digests: Vec<(EngineKind, u64, usize)> = Vec::new();
         for &engine in engines {
             if point.skip.contains(&engine) {
                 row.push(Some(Outcome::Dnf));
                 continue;
             }
-            let Some(built) = build(engine, &point.query, &point.registry, &cfg) else {
-                row.push(None); // unsupported (Table 9): not shown
-                continue;
+            let built = match engine.build(&point.query, &point.registry, &cfg) {
+                Ok(built) => built,
+                // COGRA and SASE support every query feature (Table 9) —
+                // a build failure there is a regression, not a skip.
+                Err(e) if matches!(engine, EngineKind::Cogra | EngineKind::Sase) => {
+                    panic!("{engine} must support every experiment query: {e}")
+                }
+                Err(_) => {
+                    row.push(None); // unsupported (Table 9): not shown
+                    continue;
+                }
             };
             let mut built = Some(built);
-            let outcome = sweeps.get_mut(engine).expect("registered").run(
+            let outcome = sweeps.get_mut(&engine).expect("registered").run(
                 || built.take().expect("engine built"),
                 &point.events,
                 (point.events.len() / 64).max(1),
@@ -163,7 +176,7 @@ fn run_sweep(
     }
 
     let mut columns = vec![param];
-    columns.extend(engines.iter().copied());
+    columns.extend(engines.iter().map(|e| e.name()));
     let render = |title: String, f: &dyn Fn(&Measurement) -> String| -> Table {
         let mut t = Table::new(title, columns.clone());
         for (point, row) in points.iter().zip(&outcomes) {
@@ -198,7 +211,11 @@ fn run_sweep(
 
 /// Events-per-window sweep sizes.
 fn sizes(opts: &ExpOptions, full: &[usize], quick: &[usize]) -> Vec<usize> {
-    if opts.quick { quick.to_vec() } else { full.to_vec() }
+    if opts.quick {
+        quick.to_vec()
+    } else {
+        full.to_vec()
+    }
 }
 
 /// Figure 5 — contiguous semantics, physical activity workload, all
@@ -222,7 +239,7 @@ pub fn fig5(opts: &ExpOptions) -> Vec<Table> {
     run_sweep(
         "Figure 5 (CONT, physical activity)",
         "events/window",
-        &["flink", "sase", "cogra"],
+        &[EngineKind::Flink, EngineKind::Sase, EngineKind::Cogra],
         points,
         Duration::from_secs(if opts.quick { 2 } else { 15 }),
         false,
@@ -254,7 +271,7 @@ pub fn fig6(opts: &ExpOptions) -> Vec<Table> {
     run_sweep(
         "Figure 6 (NEXT, public transportation)",
         "events/window",
-        &["sase", "cogra"],
+        &[EngineKind::Sase, EngineKind::Cogra],
         points,
         Duration::from_secs(if opts.quick { 2 } else { 15 }),
         false,
@@ -288,7 +305,7 @@ pub fn fig7(opts: &ExpOptions) -> Vec<Table> {
     run_sweep(
         "Figure 7 (ANY, stock, all approaches)",
         "events/window",
-        &["flink", "sase", "greta", "aseq", "cogra"],
+        &EngineKind::PAPER_ROSTER,
         points,
         Duration::from_secs(if opts.quick { 2 } else { 20 }),
         true,
@@ -316,7 +333,7 @@ pub fn fig8(opts: &ExpOptions) -> Vec<Table> {
     run_sweep(
         "Figure 8 (ANY, stock, online approaches)",
         "events/window",
-        &["greta", "aseq", "cogra"],
+        &[EngineKind::Greta, EngineKind::Aseq, EngineKind::Cogra],
         points,
         Duration::from_secs(if opts.quick { 2 } else { 20 }),
         true,
@@ -347,7 +364,12 @@ pub fn fig9(opts: &ExpOptions) -> Vec<Table> {
     run_sweep(
         "Figure 9 (predicate selectivity, stock)",
         "selectivity",
-        &["flink", "sase", "greta", "cogra"],
+        &[
+            EngineKind::Flink,
+            EngineKind::Sase,
+            EngineKind::Greta,
+            EngineKind::Cogra,
+        ],
         points,
         Duration::from_secs(if opts.quick { 3 } else { 20 }),
         false,
@@ -388,7 +410,7 @@ pub fn fig10(opts: &ExpOptions) -> Vec<Table> {
     run_sweep(
         "Figure 10 (trend groups, public transportation)",
         "groups",
-        &["flink", "sase", "greta", "aseq", "cogra"],
+        &EngineKind::PAPER_ROSTER,
         points,
         Duration::from_secs(if opts.quick { 3 } else { 20 }),
         false,
@@ -491,7 +513,8 @@ pub fn table8(opts: &ExpOptions) -> Vec<Table> {
                 w / 2
             );
             let query = cogra_query::parse(&text).unwrap();
-            let mut engine = build("cogra", &query, &reg, &EngineConfig::default())
+            let mut engine = EngineKind::Cogra
+                .build(&query, &reg, &EngineConfig::default())
                 .expect("cogra supports everything");
             let m = crate::harness::measure(engine.as_mut(), &events, events.len());
             cells.push(format!("{:.2}", m.latency_ms()));
@@ -518,7 +541,7 @@ pub fn rideshare_demo(opts: &ExpOptions) -> Vec<Table> {
     run_sweep(
         "Query q2 (ridesharing, NEXT)",
         "events/window",
-        &["sase", "cogra"],
+        &[EngineKind::Sase, EngineKind::Cogra],
         points,
         Duration::from_secs(30),
         true,

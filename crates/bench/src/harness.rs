@@ -78,9 +78,7 @@ pub fn digest(results: &[WindowResult]) -> u64 {
         for v in &r.values {
             match v {
                 cogra_core::AggValue::Count(c) => (0u8, *c).hash(&mut h),
-                cogra_core::AggValue::Float(f) => {
-                    (1u8, (f * 1e6).round() as i64).hash(&mut h)
-                }
+                cogra_core::AggValue::Float(f) => (1u8, (f * 1e6).round() as i64).hash(&mut h),
                 cogra_core::AggValue::Null => 2u8.hash(&mut h),
             }
         }
@@ -91,11 +89,7 @@ pub fn digest(results: &[WindowResult]) -> u64 {
 
 /// Run one engine over a stream, sampling memory every `sample_every`
 /// events.
-pub fn measure(
-    engine: &mut dyn TrendEngine,
-    events: &[Event],
-    sample_every: usize,
-) -> Measurement {
+pub fn measure(engine: &mut dyn TrendEngine, events: &[Event], sample_every: usize) -> Measurement {
     let name = engine.name();
     let start = Instant::now();
     let (results, peak) = run_to_completion(engine, events, sample_every);
@@ -209,9 +203,6 @@ mod tests {
             group: vec![Value::Int(2)],
             values: vec![AggValue::Float(1.5)],
         };
-        assert_eq!(
-            digest(&[a.clone(), b.clone()]),
-            digest(&[b, a])
-        );
+        assert_eq!(digest(&[a.clone(), b.clone()]), digest(&[b, a]));
     }
 }

@@ -4,12 +4,14 @@
 //! pattern-grained (Algorithm 3).
 
 use crate::agg::Cell;
+use crate::engine::TrendEngine;
 use crate::mixed_grained::MixedWindow;
+use crate::output::WindowResult;
 use crate::pattern_grained::PatternWindow;
 use crate::router::{EventBinds, Router, WindowAlgo};
 use crate::runtime::QueryRuntime;
 use crate::type_grained::TypeGrainedWindow;
-use cogra_events::{Event, TypeRegistry};
+use cogra_events::{Event, Timestamp, TypeRegistry};
 use cogra_query::{compile, Granularity, Query, QueryResult};
 use std::sync::Arc;
 
@@ -103,13 +105,14 @@ impl WindowAlgo for CograWindow {
     }
 }
 
-/// The COGRA engine: coarse-grained online event trend aggregation.
-pub type CograEngine = Router<CograWindow>;
+/// The COGRA engine: coarse-grained online event trend aggregation — the
+/// generic [`Router`] instantiated with [`CograWindow`].
+pub struct CograEngine(Router<CograWindow>);
 
 impl CograEngine {
     /// Build an engine from an already-compiled query runtime.
     pub fn from_runtime(rt: Arc<QueryRuntime>) -> CograEngine {
-        Router::new(rt, "cogra")
+        CograEngine(Router::new(rt, "cogra"))
     }
 
     /// Compile `query` against `registry` and build an engine.
@@ -123,5 +126,40 @@ impl CograEngine {
     pub fn from_text(query: &str, registry: &TypeRegistry) -> QueryResult<CograEngine> {
         let q = cogra_query::parse(query)?;
         CograEngine::build(&q, registry)
+    }
+
+    /// The query runtime (for introspection).
+    pub fn runtime(&self) -> &QueryRuntime {
+        self.0.runtime()
+    }
+}
+
+impl TrendEngine for CograEngine {
+    fn process(&mut self, event: &Event) {
+        self.0.process(event)
+    }
+
+    fn drain_into(&mut self, out: &mut dyn FnMut(WindowResult)) {
+        self.0.drain_into(out)
+    }
+
+    fn finish_into(&mut self, out: &mut dyn FnMut(WindowResult)) {
+        self.0.finish_into(out)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+
+    fn peak_hint(&self) -> usize {
+        self.0.peak_hint()
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn watermark(&self) -> Timestamp {
+        self.0.watermark()
     }
 }

@@ -1,10 +1,9 @@
 //! # cogra-core
 //!
 //! The COGRA runtime executor (§3–§8 of the paper): coarse-grained online
-//! event trend aggregation.
+//! event trend aggregation, plus the unified [`Session`] facade over every
+//! engine in the workspace.
 //!
-//! * [`agg`] — incremental aggregate cells implementing the Table 8
-//!   recurrences for COUNT(*)/COUNT(E)/MIN/MAX/SUM/AVG;
 //! * [`type_grained`] — Algorithm 1 (ANY, no adjacent predicates): one
 //!   aggregate per event type, O(n·l) time, Θ(l) space;
 //! * [`mixed_grained`] — Algorithm 2 (ANY with adjacent predicates):
@@ -13,28 +12,34 @@
 //!   event and the final aggregate, O(n) time, O(1) space;
 //! * [`cogra`] — the [`CograEngine`] router: partitioning (§7), sliding
 //!   windows, per-disjunct dispatch, result finalization;
-//! * [`engine`] — the [`TrendEngine`] trait shared with the baselines;
-//! * [`parallel`] — per-partition parallel execution (§8).
+//! * [`parallel`] — per-partition parallel execution (§8);
+//! * [`session`] — the [`Session`] pipeline: typed [`EngineKind`] roster
+//!   over COGRA and all baselines, builder-style configuration (slack,
+//!   workers, multi-query), push-based [`ResultSink`] emission.
+//!
+//! The engine substrate ([`agg`], [`engine`], [`output`], [`router`],
+//! [`runtime`]) lives in the `cogra-engine` crate and is re-exported here
+//! under its historical paths.
 
 #![warn(missing_docs)]
 
-pub mod agg;
 pub mod cogra;
-pub mod engine;
 pub mod mixed_grained;
-pub mod multi;
-pub mod output;
 pub mod parallel;
 pub mod pattern_grained;
-pub mod router;
-pub mod runtime;
+pub mod session;
 pub mod type_grained;
 
-pub use agg::{AggLayout, AggValue, Cell, Feed, Output, SlotFunc, Val};
+// Substrate re-exports: `cogra_core::agg`, `cogra_core::runtime`, ... keep
+// working even though the modules moved to `cogra-engine`.
+pub use cogra_engine::{agg, engine, output, router, runtime};
+
 pub use cogra::{CograEngine, CograWindow};
-pub use router::{EventBinds, Router, WindowAlgo};
-pub use engine::{run_to_completion, TrendEngine};
-pub use multi::{MultiEngine, TaggedResult};
-pub use output::{GroupKey, WindowResult};
+pub use cogra_engine::{
+    run_to_completion, AggLayout, AggValue, Cell, DisjunctRuntime, EngineConfig, EventBinds, Feed,
+    GroupKey, Output, QueryRuntime, Router, SlotFunc, TrendEngine, Val, WindowAlgo, WindowResult,
+};
 pub use parallel::{run_parallel, ParallelRun};
-pub use runtime::{DisjunctRuntime, QueryRuntime};
+pub use session::{
+    EngineKind, ResultSink, Session, SessionBuilder, SessionError, SessionRun, TaggedResult,
+};

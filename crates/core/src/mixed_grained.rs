@@ -76,11 +76,7 @@ impl MixedWindow {
     fn commit(&mut self, rt: &DisjunctRuntime) {
         if !self.pending_negs.is_empty() {
             for (shadow, edge) in self.shadows.iter_mut().zip(&rt.neg_edges) {
-                if edge
-                    .negations
-                    .iter()
-                    .any(|n| self.pending_negs.contains(n))
-                {
+                if edge.negations.iter().any(|n| self.pending_negs.contains(n)) {
                     shadow.reset();
                 }
             }
@@ -123,9 +119,10 @@ impl MixedWindow {
                         {
                             continue;
                         }
-                        let blocked = src.negations.iter().any(|n| {
-                            self.neg_clocks[n.index()].blocked(ep.event.time, event.time)
-                        });
+                        let blocked = src
+                            .negations
+                            .iter()
+                            .any(|n| self.neg_clocks[n.index()].blocked(ep.event.time, event.time));
                         if !blocked {
                             cell.merge(&ep.cell);
                         }

@@ -98,9 +98,10 @@ impl PatternWindow {
                         if !d.adjacency_predicates_pass(src.from, s, &el.event, event) {
                             continue;
                         }
-                        let blocked = src.negations.iter().any(|n| {
-                            self.neg_clocks[n.index()].blocked(el.event.time, event.time)
-                        });
+                        let blocked = src
+                            .negations
+                            .iter()
+                            .any(|n| self.neg_clocks[n.index()].blocked(el.event.time, event.time));
                         if !blocked {
                             cell.merge(el_cell);
                         }

@@ -1,0 +1,980 @@
+//! The unified `Session` pipeline: one ingestion API for every consumer.
+//!
+//! Historically each consumer wired the engines differently — a
+//! string-keyed factory in the bench crate, free `run_to_completion` /
+//! `run_parallel` calls, a separate `MultiEngine` fan-out, and hand-rolled
+//! `Reorderer` plumbing in the CLI. [`Session`] replaces all of that with
+//! one builder-style facade:
+//!
+//! ```
+//! use cogra_core::session::{EngineKind, Session};
+//! use cogra_events::{EventBuilder, TypeRegistry, Value, ValueKind};
+//!
+//! let mut registry = TypeRegistry::new();
+//! let a = registry.register_type("A", vec![("v", ValueKind::Int)]);
+//! let mut builder = EventBuilder::new();
+//! let events: Vec<_> = (1..=6)
+//!     .map(|t| builder.event(t, a, vec![Value::Int(t as i64)]))
+//!     .collect();
+//!
+//! let run = Session::builder()
+//!     .query("RETURN COUNT(*) PATTERN A+ SEMANTICS ANY WITHIN 4 SLIDE 2")
+//!     .engine(EngineKind::Cogra)
+//!     .build(&registry)
+//!     .unwrap()
+//!     .run(&events);
+//! assert!(!run.results().is_empty());
+//! ```
+//!
+//! * [`EngineKind`] is the typed roster of Table 1 / Table 9: building an
+//!   engine that does not support the query's features fails with the
+//!   constructor's `QueryError`, exactly as §9.2 charts omit unsupported
+//!   approaches.
+//! * `.slack(n)` fuses a [`Reorderer`] into ingestion: bounded disorder is
+//!   repaired before the engines see the events, and late drops are
+//!   surfaced via [`Session::late_events`].
+//! * `.workers(n)` routes execution through [`run_parallel`]'s
+//!   per-partition sharding (§8) — COGRA only, batch semantics.
+//! * Output is push-based: engines hand each [`WindowResult`] to a
+//!   [`ResultSink`] without materializing intermediate vectors.
+
+use crate::cogra::CograEngine;
+use crate::parallel::run_parallel;
+use cogra_baselines::{aseq_engine, flink_engine, greta_engine, oracle_engine, sase_engine};
+use cogra_engine::runtime::{EngineConfig, QueryRuntime};
+use cogra_engine::{TrendEngine, WindowResult};
+use cogra_events::{Event, Reorderer, Timestamp, TypeRegistry};
+use cogra_query::{compile, parse, Query, QueryError};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// The engines of Table 1 / Table 9, as a typed roster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// COGRA — this paper's coarse-grained online aggregator.
+    Cogra,
+    /// SASE — two-step: stacks, predecessor pointers, DFS construction.
+    Sase,
+    /// GRETA — online event-granularity graph (ANY only).
+    Greta,
+    /// A-Seq — online prefix counters (ANY, no adjacent predicates).
+    Aseq,
+    /// Flink-style — Kleene flattened into fixed-length sequence queries.
+    Flink,
+    /// Brute-force oracle enumerating Definitions 2–4 directly.
+    Oracle,
+}
+
+impl EngineKind {
+    /// Every kind, COGRA first.
+    pub const ALL: [EngineKind; 6] = [
+        EngineKind::Cogra,
+        EngineKind::Sase,
+        EngineKind::Greta,
+        EngineKind::Aseq,
+        EngineKind::Flink,
+        EngineKind::Oracle,
+    ];
+
+    /// The five compared approaches in the paper's presentation order
+    /// (Table 1); the oracle is a test fixture, not a contender.
+    pub const PAPER_ROSTER: [EngineKind; 5] = [
+        EngineKind::Flink,
+        EngineKind::Sase,
+        EngineKind::Greta,
+        EngineKind::Aseq,
+        EngineKind::Cogra,
+    ];
+
+    /// Lower-case engine name, as reported by [`TrendEngine::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Cogra => "cogra",
+            EngineKind::Sase => "sase",
+            EngineKind::Greta => "greta",
+            EngineKind::Aseq => "aseq",
+            EngineKind::Flink => "flink",
+            EngineKind::Oracle => "oracle",
+        }
+    }
+
+    /// Build this engine for `query`. Fails with the constructor's
+    /// [`QueryError`] when the engine does not support the query's
+    /// features (Table 9) or the query does not compile.
+    pub fn build(
+        self,
+        query: &Query,
+        registry: &TypeRegistry,
+        config: &EngineConfig,
+    ) -> Result<Box<dyn TrendEngine>, QueryError> {
+        Ok(match self {
+            EngineKind::Cogra => Box::new(CograEngine::from_runtime(cogra_runtime(
+                query, registry, config,
+            )?)),
+            EngineKind::Sase => Box::new(sase_engine(query, registry)?),
+            EngineKind::Greta => Box::new(greta_engine(query, registry)?),
+            EngineKind::Aseq => Box::new(aseq_engine(query, registry, config.clone())?),
+            EngineKind::Flink => Box::new(flink_engine(query, registry, config.clone())?),
+            EngineKind::Oracle => Box::new(oracle_engine(query, registry)?),
+        })
+    }
+
+    /// Whether this engine supports `query` (Table 9), without keeping the
+    /// built engine.
+    pub fn supports(self, query: &Query, registry: &TypeRegistry, config: &EngineConfig) -> bool {
+        self.build(query, registry, config).is_ok()
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EngineKind, String> {
+        EngineKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                format!("unknown engine `{s}` (expected cogra|sase|greta|aseq|flink|oracle)")
+            })
+    }
+}
+
+/// Errors building or running a [`Session`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// A query failed to parse or compile, or the chosen engine does not
+    /// support its features (Table 9). `query` is the index of the
+    /// offending `.query(...)` call, in registration order, so callers
+    /// can attribute the failure (e.g. to a query file).
+    Query {
+        /// Index of the failing query.
+        query: usize,
+        /// What went wrong.
+        error: QueryError,
+    },
+    /// The builder was given no `.query(...)`.
+    NoQueries,
+    /// `.workers(n > 1)` with an engine other than COGRA — per-partition
+    /// sharding (§8) is COGRA's execution strategy.
+    ParallelUnsupported(EngineKind),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Query { query, error } => write!(f, "query {query}: {error}"),
+            SessionError::NoQueries => write!(f, "session has no queries"),
+            SessionError::ParallelUnsupported(kind) => {
+                write!(f, "workers > 1 requires the cogra engine, not `{kind}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Shared COGRA runtime construction for the streaming and `.workers(n)`
+/// paths — one site, so `config` handling cannot silently diverge.
+fn cogra_runtime(
+    query: &Query,
+    registry: &TypeRegistry,
+    config: &EngineConfig,
+) -> Result<Arc<QueryRuntime>, QueryError> {
+    let compiled = compile(query, registry)?;
+    Ok(Arc::new(
+        QueryRuntime::new(compiled, registry).with_config(config.clone()),
+    ))
+}
+
+/// A query handed to the builder: raw text (parsed at
+/// [`SessionBuilder::build`]) or an already-parsed [`Query`].
+#[derive(Debug, Clone)]
+pub enum QuerySpec {
+    /// Query text in the paper's language.
+    Text(String),
+    /// A parsed query.
+    Parsed(Query),
+}
+
+impl From<&str> for QuerySpec {
+    fn from(text: &str) -> QuerySpec {
+        QuerySpec::Text(text.to_string())
+    }
+}
+
+impl From<String> for QuerySpec {
+    fn from(text: String) -> QuerySpec {
+        QuerySpec::Text(text)
+    }
+}
+
+impl From<Query> for QuerySpec {
+    fn from(query: Query) -> QuerySpec {
+        QuerySpec::Parsed(query)
+    }
+}
+
+impl From<&Query> for QuerySpec {
+    fn from(query: &Query) -> QuerySpec {
+        QuerySpec::Parsed(query.clone())
+    }
+}
+
+/// Fluent configuration of a [`Session`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    queries: Vec<QuerySpec>,
+    engine: Option<EngineKind>,
+    config: EngineConfig,
+    slack: Option<u64>,
+    workers: usize,
+}
+
+impl SessionBuilder {
+    /// An empty builder (engine defaults to [`EngineKind::Cogra`]).
+    pub fn new() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Add one query — call repeatedly for a multi-query workload. Every
+    /// query runs on the session's engine kind over the same stream.
+    pub fn query(mut self, query: impl Into<QuerySpec>) -> SessionBuilder {
+        self.queries.push(query.into());
+        self
+    }
+
+    /// Select the engine (default: COGRA).
+    pub fn engine(mut self, kind: EngineKind) -> SessionBuilder {
+        self.engine = Some(kind);
+        self
+    }
+
+    /// Engine-level configuration knobs (e.g. the Flink/A-Seq flatten cap).
+    pub fn config(mut self, config: EngineConfig) -> SessionBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Fuse a [`Reorderer`] into ingestion: repair up to `slack` ticks of
+    /// disorder before the engines see the events. Dropped late events are
+    /// counted ([`Session::late_events`]).
+    pub fn slack(mut self, slack: u64) -> SessionBuilder {
+        self.slack = Some(slack);
+        self
+    }
+
+    /// Execute with `workers` parallel per-partition shards (§8) — COGRA
+    /// only. Sharded execution is batch: results are emitted at
+    /// [`Session::finish_into`] / [`Session::run`].
+    pub fn workers(mut self, workers: usize) -> SessionBuilder {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Resolve queries and construct the engines.
+    pub fn build(self, registry: &TypeRegistry) -> Result<Session, SessionError> {
+        if self.queries.is_empty() {
+            return Err(SessionError::NoQueries);
+        }
+        let kind = self.engine.unwrap_or(EngineKind::Cogra);
+        if self.workers > 1 && kind != EngineKind::Cogra {
+            return Err(SessionError::ParallelUnsupported(kind));
+        }
+        let attribute =
+            |query: usize| move |error: QueryError| SessionError::Query { query, error };
+        let queries: Vec<Query> = self
+            .queries
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| match spec {
+                QuerySpec::Text(text) => parse(&text).map_err(attribute(i)),
+                QuerySpec::Parsed(q) => Ok(q),
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mode = if self.workers > 1 {
+            let runtimes = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| cogra_runtime(q, registry, &self.config).map_err(attribute(i)))
+                .collect::<Result<Vec<_>, SessionError>>()?;
+            Mode::Parallel {
+                runtimes,
+                workers: self.workers,
+                buffered: Vec::new(),
+                watermark: Timestamp::ZERO,
+                peak: 0,
+                effective: 1,
+            }
+        } else {
+            let engines = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| kind.build(q, registry, &self.config).map_err(attribute(i)))
+                .collect::<Result<Vec<_>, SessionError>>()?;
+            Mode::Streaming { engines }
+        };
+
+        Ok(Session {
+            kind,
+            mode,
+            reorderer: self.slack.map(Reorderer::new),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Convenience: [`SessionBuilder::build`] + [`Session::run`].
+    pub fn run(
+        self,
+        registry: &TypeRegistry,
+        events: &[Event],
+    ) -> Result<SessionRun, SessionError> {
+        Ok(self.build(registry)?.run(events))
+    }
+}
+
+enum Mode {
+    /// Push-through: every released event goes straight into the engines.
+    Streaming { engines: Vec<Box<dyn TrendEngine>> },
+    /// §8 sharded execution: buffer the (reordered) stream, run
+    /// [`run_parallel`] per query when the session finishes.
+    Parallel {
+        runtimes: Vec<Arc<QueryRuntime>>,
+        workers: usize,
+        buffered: Vec<Event>,
+        watermark: Timestamp,
+        /// Filled in by `finish_into`: summed worker peaks and the widest
+        /// effective worker count `run_parallel` actually used.
+        peak: usize,
+        effective: usize,
+    },
+}
+
+/// Push-based consumer of session results.
+///
+/// Implemented for closures (`FnMut(usize, WindowResult)`), for
+/// `Vec<WindowResult>` (query index discarded) and for
+/// `Vec<TaggedResult>`.
+pub trait ResultSink {
+    /// Receive one finalized result of query `query`.
+    fn emit(&mut self, query: usize, result: WindowResult);
+}
+
+impl<F: FnMut(usize, WindowResult)> ResultSink for F {
+    fn emit(&mut self, query: usize, result: WindowResult) {
+        self(query, result)
+    }
+}
+
+impl ResultSink for Vec<WindowResult> {
+    fn emit(&mut self, _query: usize, result: WindowResult) {
+        self.push(result);
+    }
+}
+
+impl ResultSink for Vec<TaggedResult> {
+    fn emit(&mut self, query: usize, result: WindowResult) {
+        self.push(TaggedResult { query, result });
+    }
+}
+
+/// A window result tagged with the query that produced it (multi-query
+/// sessions interleave their queries' outputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedResult {
+    /// Index of the query, in `.query(...)` registration order.
+    pub query: usize,
+    /// The result.
+    pub result: WindowResult,
+}
+
+/// Outcome of a batch [`Session::run`].
+#[derive(Debug)]
+pub struct SessionRun {
+    /// Per query (in registration order): its results, deterministically
+    /// sorted by (window, group) — byte-identical to what
+    /// [`run_to_completion`] / [`run_parallel`] produce for the same
+    /// query and stream.
+    ///
+    /// [`run_to_completion`]: cogra_engine::run_to_completion
+    pub per_query: Vec<Vec<WindowResult>>,
+    /// Peak logical memory across the run. Streaming mode sums the
+    /// engines (every query is live at once); `.workers(n)` mode reports
+    /// the widest single query (queries shard one after another, with
+    /// each query's concurrent worker peaks summed by `run_parallel`).
+    pub peak_bytes: usize,
+    /// Workers actually used (1 unless `.workers(n)` applied).
+    pub workers: usize,
+    /// Late events dropped by the `.slack(n)` reorderer (0 without slack).
+    pub late_events: u64,
+}
+
+impl SessionRun {
+    /// The first (often only) query's results.
+    pub fn results(&self) -> &[WindowResult] {
+        &self.per_query[0]
+    }
+
+    /// Flatten into tagged results, in query order.
+    pub fn tagged(self) -> Vec<TaggedResult> {
+        self.per_query
+            .into_iter()
+            .enumerate()
+            .flat_map(|(query, results)| {
+                results
+                    .into_iter()
+                    .map(move |result| TaggedResult { query, result })
+            })
+            .collect()
+    }
+}
+
+/// A configured pipeline: queries × engine × ingestion options. Built by
+/// [`SessionBuilder`]; see the module docs for the full tour.
+pub struct Session {
+    kind: EngineKind,
+    mode: Mode,
+    reorderer: Option<Reorderer>,
+    scratch: Vec<Event>,
+}
+
+impl Session {
+    /// Start configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The engine kind every query runs on.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Number of queries.
+    pub fn queries(&self) -> usize {
+        match &self.mode {
+            Mode::Streaming { engines } => engines.len(),
+            Mode::Parallel { runtimes, .. } => runtimes.len(),
+        }
+    }
+
+    /// Ingest one event. With `.slack(n)` the event may be buffered (or
+    /// dropped as late); in `.workers(n)` mode released events are
+    /// retained until [`Session::finish_into`].
+    pub fn process(&mut self, event: &Event) {
+        if self.reorderer.is_some() {
+            self.pump(|reorderer, out| reorderer.push(event.clone(), out));
+        } else {
+            self.mode.route(event);
+        }
+    }
+
+    /// Let `fill` release events out of the reorderer into the scratch
+    /// buffer, then route them. No-op without a reorderer.
+    fn pump(&mut self, fill: impl FnOnce(&mut Reorderer, &mut Vec<Event>)) {
+        let Some(reorderer) = &mut self.reorderer else {
+            return;
+        };
+        self.scratch.clear();
+        fill(reorderer, &mut self.scratch);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for e in scratch.drain(..) {
+            self.mode.route_owned(e);
+        }
+        self.scratch = scratch;
+    }
+
+    /// Emit every result final at the current watermark. In `.workers(n)`
+    /// mode execution is deferred to the end of the stream, so this emits
+    /// nothing.
+    pub fn drain_into(&mut self, sink: &mut dyn ResultSink) {
+        if let Mode::Streaming { engines } = &mut self.mode {
+            for (i, engine) in engines.iter_mut().enumerate() {
+                engine.drain_into(&mut |r| sink.emit(i, r));
+            }
+        }
+    }
+
+    /// End of stream: flush the reorderer, close every open window, and —
+    /// in `.workers(n)` mode — run the sharded execution.
+    pub fn finish_into(&mut self, sink: &mut dyn ResultSink) {
+        self.pump(|reorderer, out| reorderer.flush(out));
+        match &mut self.mode {
+            Mode::Streaming { engines } => {
+                for (i, engine) in engines.iter_mut().enumerate() {
+                    engine.finish_into(&mut |r| sink.emit(i, r));
+                }
+            }
+            Mode::Parallel {
+                runtimes,
+                workers,
+                buffered,
+                peak,
+                effective,
+                ..
+            } => {
+                for (i, rt) in runtimes.iter().enumerate() {
+                    let run = run_parallel(rt, buffered, *workers);
+                    // Queries execute one after another here, so the
+                    // concurrent peak is the widest query, not the sum.
+                    *peak = (*peak).max(run.peak_bytes);
+                    *effective = (*effective).max(run.workers);
+                    for r in run.results {
+                        sink.emit(i, r);
+                    }
+                }
+                buffered.clear();
+            }
+        }
+    }
+
+    /// Collecting wrapper over [`Session::drain_into`].
+    pub fn drain(&mut self) -> Vec<TaggedResult> {
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Collecting wrapper over [`Session::finish_into`].
+    pub fn finish(&mut self) -> Vec<TaggedResult> {
+        let mut out = Vec::new();
+        self.finish_into(&mut out);
+        out
+    }
+
+    /// Events dropped as too late by the `.slack(n)` reorderer.
+    pub fn late_events(&self) -> u64 {
+        self.reorderer.as_ref().map_or(0, Reorderer::late_events)
+    }
+
+    /// Logical memory footprint: the engines' exact accounting in
+    /// streaming mode, the buffered stream in `.workers(n)` mode (events
+    /// are retained until [`Session::finish_into`] shards them). The
+    /// `.slack(n)` reorder buffer is excluded — it is bounded by
+    /// slack × rate and not an engine metric of §9.1.
+    pub fn memory_bytes(&self) -> usize {
+        match &self.mode {
+            Mode::Streaming { engines } => engines.iter().map(|e| e.memory_bytes()).sum(),
+            Mode::Parallel { buffered, .. } => buffered.iter().map(Event::memory_bytes).sum(),
+        }
+    }
+
+    /// The minimum engine watermark across queries — results at or before
+    /// it are final everywhere. (In `.workers(n)` mode: the latest
+    /// buffered event time.)
+    pub fn watermark(&self) -> Timestamp {
+        match &self.mode {
+            Mode::Streaming { engines } => engines
+                .iter()
+                .map(|e| e.watermark())
+                .min()
+                .unwrap_or(Timestamp::ZERO),
+            Mode::Parallel { watermark, .. } => *watermark,
+        }
+    }
+
+    /// Access one query's engine (streaming mode only).
+    pub fn engine(&self, query: usize) -> Option<&dyn TrendEngine> {
+        match &self.mode {
+            Mode::Streaming { engines } => engines.get(query).map(|e| e.as_ref()),
+            Mode::Parallel { .. } => None,
+        }
+    }
+
+    /// Run the whole stream through the session and collect everything:
+    /// results (sorted per query), peak memory (sampled every 64 events,
+    /// like the harness), workers used, and late-event drops.
+    pub fn run(mut self, events: &[Event]) -> SessionRun {
+        // Fast path: sharded execution over an already-ordered batch can
+        // consume the caller's slice directly — no per-event buffering
+        // clone (run_parallel clones once, into the shards).
+        if self.reorderer.is_none() {
+            if let Mode::Parallel {
+                runtimes,
+                workers,
+                buffered,
+                ..
+            } = &self.mode
+            {
+                if buffered.is_empty() {
+                    let mut per_query = Vec::with_capacity(runtimes.len());
+                    let mut peak = 0usize;
+                    let mut effective = 1usize;
+                    for rt in runtimes {
+                        let run = run_parallel(rt, events, *workers);
+                        // Queries run sequentially: peak = widest query.
+                        peak = peak.max(run.peak_bytes);
+                        effective = effective.max(run.workers);
+                        per_query.push(run.results);
+                    }
+                    return SessionRun {
+                        per_query,
+                        peak_bytes: peak,
+                        workers: effective,
+                        late_events: 0,
+                    };
+                }
+                // Events already ingested via process() sit in `buffered`;
+                // fall through to the generic path so they are included.
+            }
+        }
+        let mut per_query: Vec<Vec<WindowResult>> = vec![Vec::new(); self.queries()];
+        let mut peak = self.memory_bytes();
+        {
+            let mut sink = |query: usize, result: WindowResult| per_query[query].push(result);
+            for (i, event) in events.iter().enumerate() {
+                self.process(event);
+                self.drain_into(&mut sink);
+                if i % 64 == 0 {
+                    peak = peak.max(self.memory_bytes());
+                }
+            }
+            peak = peak.max(self.memory_bytes());
+            self.finish_into(&mut sink);
+        }
+        for results in &mut per_query {
+            WindowResult::sort(results);
+        }
+        let (peak, workers) = match &self.mode {
+            Mode::Streaming { engines } => (
+                peak.max(engines.iter().map(|e| e.peak_hint()).sum::<usize>()),
+                1,
+            ),
+            // Engine peaks only (run_parallel accounted them inside
+            // finish_into) — the ingestion buffer is not an engine
+            // metric, and the batch fast path never sees one, so both
+            // paths report the same §9.1 quantity.
+            Mode::Parallel {
+                peak: shard_peak,
+                effective,
+                ..
+            } => (*shard_peak, *effective),
+        };
+        SessionRun {
+            per_query,
+            peak_bytes: peak,
+            workers,
+            late_events: self.late_events(),
+        }
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("kind", &self.kind)
+            .field("queries", &self.queries())
+            .field("slack", &self.reorderer.as_ref().map(|_| ()))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mode {
+    fn route(&mut self, event: &Event) {
+        match self {
+            Mode::Streaming { engines } => {
+                for engine in engines {
+                    engine.process(event);
+                }
+            }
+            Mode::Parallel { .. } => self.route_owned(event.clone()),
+        }
+    }
+
+    /// Like [`Mode::route`], but consumes the event — spares the clone
+    /// when buffering for sharded execution.
+    fn route_owned(&mut self, event: Event) {
+        match self {
+            Mode::Streaming { .. } => self.route(&event),
+            Mode::Parallel {
+                buffered,
+                watermark,
+                ..
+            } => {
+                *watermark = (*watermark).max(event.time);
+                buffered.push(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_to_completion;
+    use cogra_events::{EventBuilder, Value, ValueKind};
+
+    fn registry() -> TypeRegistry {
+        let mut r = TypeRegistry::new();
+        for t in ["A", "B"] {
+            r.register_type(t, vec![("g", ValueKind::Int), ("v", ValueKind::Int)]);
+        }
+        r
+    }
+
+    fn stream(reg: &TypeRegistry, n: usize) -> Vec<Event> {
+        let a = reg.id_of("A").unwrap();
+        let b = reg.id_of("B").unwrap();
+        let mut builder = EventBuilder::new();
+        (0..n)
+            .map(|i| {
+                builder.event(
+                    (i + 1) as u64,
+                    if i % 3 == 2 { b } else { a },
+                    vec![Value::Int((i % 4) as i64), Value::Int(i as i64)],
+                )
+            })
+            .collect()
+    }
+
+    const Q_ANY: &str = "RETURN g, COUNT(*) PATTERN SEQ(A+, B) SEMANTICS ANY \
+                         GROUP-BY g WITHIN 10 SLIDE 5";
+    const Q_NEXT: &str = "RETURN g, COUNT(*) PATTERN SEQ(A+, B) SEMANTICS NEXT \
+                          GROUP-BY g WITHIN 10 SLIDE 5";
+    const Q_NEXT_NO_GROUP: &str =
+        "RETURN COUNT(*) PATTERN SEQ(A+, B) SEMANTICS NEXT WITHIN 10 SLIDE 5";
+
+    #[test]
+    fn roster_builds_every_supported_engine() {
+        let reg = registry();
+        let any = parse(Q_ANY).unwrap();
+        let next = parse(Q_NEXT).unwrap();
+        let cfg = EngineConfig::default();
+        for kind in EngineKind::ALL {
+            assert!(kind.build(&any, &reg, &cfg).is_ok(), "{kind} on ANY");
+        }
+        // Table 9: NEXT is COGRA/SASE/oracle-only.
+        for kind in [EngineKind::Cogra, EngineKind::Sase, EngineKind::Oracle] {
+            assert!(kind.build(&next, &reg, &cfg).is_ok(), "{kind} on NEXT");
+        }
+        for kind in [EngineKind::Greta, EngineKind::Aseq, EngineKind::Flink] {
+            assert!(kind.build(&next, &reg, &cfg).is_err(), "{kind} on NEXT");
+            assert!(!kind.supports(&next, &reg, &cfg));
+        }
+    }
+
+    #[test]
+    fn kind_round_trips_through_names() {
+        for kind in EngineKind::ALL {
+            assert_eq!(kind.name().parse::<EngineKind>().unwrap(), kind);
+        }
+        assert!("spark".parse::<EngineKind>().is_err());
+    }
+
+    #[test]
+    fn single_query_session_matches_run_to_completion() {
+        let reg = registry();
+        let events = stream(&reg, 40);
+        let run = Session::builder()
+            .query(Q_ANY)
+            .build(&reg)
+            .unwrap()
+            .run(&events);
+        let mut engine = CograEngine::from_text(Q_ANY, &reg).unwrap();
+        let (expected, _) = run_to_completion(&mut engine, &events, 64);
+        assert_eq!(run.per_query, vec![expected]);
+        assert_eq!(run.workers, 1);
+        assert_eq!(run.late_events, 0);
+        assert!(run.peak_bytes > 0);
+    }
+
+    #[test]
+    fn multi_query_fan_out_matches_individual_runs() {
+        let reg = registry();
+        let events = stream(&reg, 30);
+        let mut session = Session::builder()
+            .query(Q_ANY)
+            .query(Q_NEXT)
+            .build(&reg)
+            .unwrap();
+        let mut tagged: Vec<TaggedResult> = Vec::new();
+        for e in &events {
+            session.process(e);
+            session.drain_into(&mut tagged);
+        }
+        session.finish_into(&mut tagged);
+
+        for (i, q) in [Q_ANY, Q_NEXT].iter().enumerate() {
+            let mut single = CograEngine::from_text(q, &reg).unwrap();
+            let (expected, _) = run_to_completion(&mut single, &events, 64);
+            let mut got: Vec<WindowResult> = tagged
+                .iter()
+                .filter(|t| t.query == i)
+                .map(|t| t.result.clone())
+                .collect();
+            WindowResult::sort(&mut got);
+            assert_eq!(got, expected, "query {i}");
+        }
+    }
+
+    #[test]
+    fn slack_fuses_reordering_and_counts_late_drops() {
+        let reg = registry();
+        let mut ordered = stream(&reg, 20);
+        // Disorder the stream by swapping adjacent pairs, then append a
+        // hopelessly late straggler.
+        for i in (0..ordered.len() - 1).step_by(2) {
+            ordered.swap(i, i + 1);
+        }
+        let straggler = {
+            let mut b = EventBuilder::new();
+            b.event(
+                1,
+                reg.id_of("A").unwrap(),
+                vec![Value::Int(0), Value::Int(0)],
+            )
+        };
+        let mut disordered = ordered.clone();
+        disordered.push(straggler);
+
+        let run = Session::builder()
+            .query(Q_ANY)
+            .slack(2)
+            .build(&reg)
+            .unwrap()
+            .run(&disordered);
+        assert_eq!(run.late_events, 1, "the straggler is dropped and counted");
+
+        let repaired = stream(&reg, 20);
+        let mut engine = CograEngine::from_text(Q_ANY, &reg).unwrap();
+        let (expected, _) = run_to_completion(&mut engine, &repaired, 64);
+        assert_eq!(run.per_query, vec![expected]);
+    }
+
+    #[test]
+    fn workers_route_through_run_parallel() {
+        let reg = registry();
+        let events = stream(&reg, 60);
+        let sequential = Session::builder()
+            .query(Q_ANY)
+            .build(&reg)
+            .unwrap()
+            .run(&events);
+        let parallel = Session::builder()
+            .query(Q_ANY)
+            .workers(4)
+            .build(&reg)
+            .unwrap()
+            .run(&events);
+        assert_eq!(parallel.workers, 4);
+        assert_eq!(parallel.per_query, sequential.per_query);
+
+        // No GROUP-BY ⇒ run_parallel falls back to one worker.
+        let fallback = Session::builder()
+            .query(Q_NEXT_NO_GROUP)
+            .workers(4)
+            .build(&reg)
+            .unwrap()
+            .run(&events);
+        assert_eq!(fallback.workers, 1);
+    }
+
+    #[test]
+    fn workers_run_includes_previously_processed_events() {
+        let reg = registry();
+        let events = stream(&reg, 60);
+        let (head, tail) = events.split_at(20);
+
+        // Streaming reference over the whole stream.
+        let expected = Session::builder()
+            .query(Q_ANY)
+            .build(&reg)
+            .unwrap()
+            .run(&events);
+
+        // Workers session: part pushed via process(), rest via run() —
+        // the batch fast path must not drop the buffered head.
+        let mut sharded = Session::builder()
+            .query(Q_ANY)
+            .workers(4)
+            .build(&reg)
+            .unwrap();
+        for e in head {
+            sharded.process(e);
+        }
+        assert!(sharded.memory_bytes() > 0, "buffered events are accounted");
+        let run = sharded.run(tail);
+        assert_eq!(run.per_query, expected.per_query);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configurations() {
+        let reg = registry();
+        assert_eq!(
+            Session::builder().build(&reg).unwrap_err(),
+            SessionError::NoQueries
+        );
+        assert!(matches!(
+            Session::builder()
+                .query(Q_ANY)
+                .engine(EngineKind::Greta)
+                .workers(2)
+                .build(&reg)
+                .unwrap_err(),
+            SessionError::ParallelUnsupported(EngineKind::Greta)
+        ));
+        assert!(matches!(
+            Session::builder()
+                .query(Q_NEXT)
+                .engine(EngineKind::Greta)
+                .build(&reg)
+                .unwrap_err(),
+            SessionError::Query { .. }
+        ));
+        assert!(matches!(
+            Session::builder().query("NOT A QUERY").build(&reg),
+            Err(SessionError::Query { .. })
+        ));
+    }
+
+    #[test]
+    fn baseline_engine_sessions_agree_with_cogra() {
+        let reg = registry();
+        let events = stream(&reg, 24);
+        let reference = Session::builder()
+            .query(Q_ANY)
+            .build(&reg)
+            .unwrap()
+            .run(&events);
+        for kind in [EngineKind::Sase, EngineKind::Greta, EngineKind::Oracle] {
+            let run = Session::builder()
+                .query(Q_ANY)
+                .engine(kind)
+                .build(&reg)
+                .unwrap()
+                .run(&events);
+            assert_eq!(run.per_query, reference.per_query, "{kind}");
+        }
+    }
+
+    #[test]
+    fn memory_is_summed_and_watermark_is_min() {
+        let reg = registry();
+        let events = stream(&reg, 5);
+        let mut session = Session::builder()
+            .query(Q_ANY)
+            .query(Q_ANY)
+            .build(&reg)
+            .unwrap();
+        for e in &events {
+            session.process(e);
+        }
+        let single = {
+            let mut engine = CograEngine::from_text(Q_ANY, &reg).unwrap();
+            for e in &events {
+                engine.process(e);
+            }
+            engine.memory_bytes()
+        };
+        assert_eq!(session.memory_bytes(), 2 * single);
+        assert_eq!(session.watermark(), Timestamp(5));
+        assert_eq!(session.queries(), 2);
+        assert_eq!(session.engine(0).unwrap().name(), "cogra");
+    }
+}

@@ -65,11 +65,7 @@ impl TypeGrainedWindow {
         // events (same t) are merged afterwards and stay valid.
         if !self.pending_negs.is_empty() {
             for (shadow, edge) in self.shadows.iter_mut().zip(&rt.neg_edges) {
-                if edge
-                    .negations
-                    .iter()
-                    .any(|n| self.pending_negs.contains(n))
-                {
+                if edge.negations.iter().any(|n| self.pending_negs.contains(n)) {
                     shadow.reset();
                 }
             }

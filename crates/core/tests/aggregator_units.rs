@@ -61,9 +61,8 @@ fn type_grained_simultaneous_events_do_not_chain() {
 fn type_grained_negation_shadow_blocks_old_contributions_only() {
     // SEQ(A+, NOT C, B): a C match invalidates a-counts accumulated
     // before it for the A→B edge, but a's arriving after the C count.
-    let rt = runtime(
-        "RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B) SEMANTICS ANY WITHIN 100 SLIDE 100",
-    );
+    let rt =
+        runtime("RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B) SEMANTICS ANY WITHIN 100 SLIDE 100");
     let drt = &rt.disjuncts[0];
     let reg = registry();
     let mut b = EventBuilder::new();
@@ -132,9 +131,7 @@ fn pattern_grained_next_skips_where_cont_resets() {
 fn pattern_grained_shared_type_tracks_multiple_bindings() {
     // SEQ(S X+, S Y+) under NEXT: one S event may extend as X and as Y;
     // the last-event cell table carries both bindings.
-    let rt = runtime(
-        "RETURN COUNT(*) PATTERN SEQ(S X+, S Y+) SEMANTICS NEXT WITHIN 100 SLIDE 100",
-    );
+    let rt = runtime("RETURN COUNT(*) PATTERN SEQ(S X+, S Y+) SEMANTICS NEXT WITHIN 100 SLIDE 100");
     let drt = &rt.disjuncts[0];
     let reg = registry();
     let mut b = EventBuilder::new();
@@ -175,7 +172,11 @@ fn mixed_grained_stores_only_te_events() {
     }
     let e = ev(&mut b, &reg, 6, "B", 0);
     w.on_event(drt, &e, &binds(&rt, &e));
-    assert_eq!(w.stored_events(), 5, "five a's stored, b aggregated per type");
+    assert_eq!(
+        w.stored_events(),
+        5,
+        "five a's stored, b aggregated per type"
+    );
     // Increasing values: every subset of a's in order forms a trend ended
     // by b → 2^5 - 1 = 31.
     assert_eq!(w.final_cell(drt).count, 31);

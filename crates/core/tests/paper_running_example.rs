@@ -89,10 +89,7 @@ fn table6_mixed_grained_count_is_33() {
     .unwrap();
     // The analyzer must select mixed granularity with B event-grained.
     let rt = engine.runtime();
-    assert_eq!(
-        rt.query.granularity(),
-        cogra_query::Granularity::Mixed
-    );
+    assert_eq!(rt.query.granularity(), cogra_query::Granularity::Mixed);
     let d = &rt.disjuncts[0].disjunct;
     let b_state = d.automaton.state_of_var("B").unwrap();
     let a_state = d.automaton.state_of_var("A").unwrap();

@@ -153,9 +153,9 @@ impl AggLayout {
         let mut feeds: Vec<Vec<Feed>> = vec![Vec::new(); n_states];
 
         let add_slot = |func: SlotFunc,
-                            targets: &[(StateId, Option<AttrId>)],
-                            slots: &mut Vec<SlotFunc>,
-                            feeds: &mut Vec<Vec<Feed>>|
+                        targets: &[(StateId, Option<AttrId>)],
+                        slots: &mut Vec<SlotFunc>,
+                        feeds: &mut Vec<Vec<Feed>>|
          -> usize {
             let idx = slots.len();
             slots.push(func);
@@ -438,10 +438,7 @@ mod tests {
     fn outputs_render_ratio_and_null() {
         let layout = AggLayout {
             slots: vec![SlotFunc::Sum, SlotFunc::CountVar],
-            outputs: vec![
-                Output::CountStar,
-                Output::Ratio { sum: 0, cnt: 1 },
-            ],
+            outputs: vec![Output::CountStar, Output::Ratio { sum: 0, cnt: 1 }],
         };
         let mut cell = layout.zero_cell();
         assert_eq!(

@@ -10,18 +10,40 @@ use cogra_events::{Event, Timestamp};
 /// Contract:
 /// * events are fed in non-decreasing time order ([`TrendEngine::process`]);
 /// * a window's result is final once the engine has seen an event at or
-///   past the window's end; [`TrendEngine::drain`] returns (and forgets)
+///   past the window's end; [`TrendEngine::drain_into`] emits (and forgets)
 ///   all results final at the current watermark;
-/// * [`TrendEngine::finish`] closes every remaining window.
+/// * [`TrendEngine::finish_into`] closes every remaining window.
+///
+/// The push-based `*_into` methods are the primitives — implementations
+/// hand each result to the sink as it is finalized, without building an
+/// intermediate `Vec` on the per-event hot path. The collecting
+/// [`TrendEngine::drain`] / [`TrendEngine::finish`] are thin compatibility
+/// wrappers for callers that want owned results.
 pub trait TrendEngine {
     /// Ingest one event.
     fn process(&mut self, event: &Event);
 
-    /// Emit results for all windows closed at the current watermark.
-    fn drain(&mut self) -> Vec<WindowResult>;
+    /// Emit results for all windows closed at the current watermark,
+    /// pushing each into `out`.
+    fn drain_into(&mut self, out: &mut dyn FnMut(WindowResult));
 
-    /// End of stream: emit results for every window still open.
-    fn finish(&mut self) -> Vec<WindowResult>;
+    /// End of stream: emit results for every window still open, pushing
+    /// each into `out`.
+    fn finish_into(&mut self, out: &mut dyn FnMut(WindowResult));
+
+    /// Collecting wrapper over [`TrendEngine::drain_into`].
+    fn drain(&mut self) -> Vec<WindowResult> {
+        let mut results = Vec::new();
+        self.drain_into(&mut |r| results.push(r));
+        results
+    }
+
+    /// Collecting wrapper over [`TrendEngine::finish_into`].
+    fn finish(&mut self) -> Vec<WindowResult> {
+        let mut results = Vec::new();
+        self.finish_into(&mut |r| results.push(r));
+        results
+    }
 
     /// Current logical memory footprint in bytes — aggregates, stored
     /// events, stacks, pointers, graphs, depending on the engine. This is
@@ -55,15 +77,16 @@ pub fn run_to_completion(
     let stride = sample_every.max(1);
     let mut peak = engine.memory_bytes();
     let mut results = Vec::new();
+    let mut push = |r| results.push(r);
     for (i, e) in events.iter().enumerate() {
         engine.process(e);
-        results.extend(engine.drain());
+        engine.drain_into(&mut push);
         if i % stride == 0 {
             peak = peak.max(engine.memory_bytes());
         }
     }
     peak = peak.max(engine.memory_bytes());
-    results.extend(engine.finish());
+    engine.finish_into(&mut push);
     peak = peak.max(engine.peak_hint());
     WindowResult::sort(&mut results);
     (results, peak)

@@ -1,0 +1,36 @@
+//! # cogra-engine
+//!
+//! The engine substrate shared by the COGRA executor (`cogra-core`) and
+//! the baseline engines (`cogra-baselines`):
+//!
+//! * [`agg`] — incremental aggregate cells implementing the Table 8
+//!   recurrences for COUNT(*)/COUNT(E)/MIN/MAX/SUM/AVG;
+//! * [`engine`] — the [`TrendEngine`] trait every aggregation engine
+//!   implements, with push-based ([`TrendEngine::drain_into`]) and
+//!   collecting ([`TrendEngine::drain`]) result emission;
+//! * [`output`] — [`WindowResult`], the unit of engine output;
+//! * [`router`] — the generic partition/window [`Router`] turning any
+//!   per-window algorithm into a full engine (§7 of the paper);
+//! * [`runtime`] — precomputed per-disjunct routing tables and the
+//!   [`runtime::EngineConfig`] knobs.
+//!
+//! Splitting this substrate out of `cogra-core` lets `cogra-core` host
+//! the [`Session`]/`EngineKind` roster over *all* engines (it depends on
+//! `cogra-baselines`, which depends only on this crate) without a
+//! dependency cycle.
+//!
+//! [`Session`]: https://docs.rs/cogra-core
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod engine;
+pub mod output;
+pub mod router;
+pub mod runtime;
+
+pub use agg::{AggLayout, AggValue, Cell, Feed, Output, SlotFunc, Val};
+pub use engine::{run_to_completion, TrendEngine};
+pub use output::{GroupKey, WindowResult};
+pub use router::{EventBinds, Router, WindowAlgo};
+pub use runtime::{DisjunctRuntime, EngineConfig, QueryRuntime};

@@ -106,7 +106,9 @@ impl<W: WindowAlgo> Router<W> {
         &self.rt
     }
 
-    fn emit_up_to(&mut self, up_to: WindowId) -> Vec<WindowResult> {
+    /// Finalize every window at or before `up_to` and push the merged
+    /// results into `out` in deterministic (window, group) order.
+    fn emit_up_to(&mut self, up_to: WindowId, out: &mut dyn FnMut(WindowResult)) {
         let rt = Arc::clone(&self.rt);
         let group_prefix = rt.query.group_prefix;
         let mut combined: BTreeMap<(WindowId, GroupKey), Cell> = BTreeMap::new();
@@ -142,14 +144,13 @@ impl<W: WindowAlgo> Router<W> {
             Some(d) => WindowId(d.0.max(up_to.0)),
             None => up_to,
         });
-        combined
-            .into_iter()
-            .map(|((window, group), cell)| WindowResult {
+        for ((window, group), cell) in combined {
+            out(WindowResult {
                 window,
                 group,
                 values: cell.outputs(&rt.layout),
-            })
-            .collect()
+            });
+        }
     }
 }
 
@@ -188,15 +189,14 @@ impl<W: WindowAlgo> TrendEngine for Router<W> {
         }
     }
 
-    fn drain(&mut self) -> Vec<WindowResult> {
-        match self.rt.query.window.last_closed(self.watermark) {
-            Some(wid) => self.emit_up_to(wid),
-            None => Vec::new(),
+    fn drain_into(&mut self, out: &mut dyn FnMut(WindowResult)) {
+        if let Some(wid) = self.rt.query.window.last_closed(self.watermark) {
+            self.emit_up_to(wid, out);
         }
     }
 
-    fn finish(&mut self) -> Vec<WindowResult> {
-        self.emit_up_to(WindowId(u64::MAX))
+    fn finish_into(&mut self, out: &mut dyn FnMut(WindowResult)) {
+        self.emit_up_to(WindowId(u64::MAX), out);
     }
 
     fn memory_bytes(&self) -> usize {

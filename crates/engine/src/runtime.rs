@@ -43,7 +43,11 @@ pub struct DisjunctRuntime {
 }
 
 impl DisjunctRuntime {
-    fn build(disjunct: CompiledDisjunct, feeds: DisjunctFeeds, layout: &AggLayout) -> DisjunctRuntime {
+    fn build(
+        disjunct: CompiledDisjunct,
+        feeds: DisjunctFeeds,
+        layout: &AggLayout,
+    ) -> DisjunctRuntime {
         let n = disjunct.automaton.num_states();
         let mut pred_sources: Vec<Vec<PredSource>> = Vec::with_capacity(n);
         let mut neg_edges = Vec::new();
@@ -238,8 +242,14 @@ mod tests {
         assert!(!c.blocked(Timestamp(0), Timestamp(10)));
         c.record(Timestamp(5));
         assert!(c.blocked(Timestamp(0), Timestamp(10)));
-        assert!(!c.blocked(Timestamp(5), Timestamp(10)), "m == after is not between");
-        assert!(!c.blocked(Timestamp(0), Timestamp(5)), "m == before is not between");
+        assert!(
+            !c.blocked(Timestamp(5), Timestamp(10)),
+            "m == after is not between"
+        );
+        assert!(
+            !c.blocked(Timestamp(0), Timestamp(5)),
+            "m == before is not between"
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! ```
 
 use crate::event::Event;
-use crate::stream::EventBuilder;
 use crate::schema::TypeRegistry;
+use crate::stream::EventBuilder;
 use crate::value::{Value, ValueKind};
 use std::fmt;
 
@@ -123,12 +123,12 @@ pub fn read_events(text: &str, registry: &TypeRegistry) -> Result<Vec<Event>, Cs
         let schema = registry.schema(type_id);
         let mut attrs = Vec::with_capacity(schema.arity());
         for (attr_name, kind) in schema.iter() {
-            let col = columns
-                .iter()
-                .position(|c| c == attr_name)
-                .ok_or_else(|| {
-                    err(line_no, format!("missing column for attribute `{attr_name}`"))
-                })?;
+            let col = columns.iter().position(|c| c == attr_name).ok_or_else(|| {
+                err(
+                    line_no,
+                    format!("missing column for attribute `{attr_name}`"),
+                )
+            })?;
             let raw = &fields[col];
             if raw.is_empty() {
                 return Err(err(
@@ -143,12 +143,7 @@ pub fn read_events(text: &str, registry: &TypeRegistry) -> Result<Vec<Event>, Cs
     Ok(out)
 }
 
-fn parse_value(
-    raw: &str,
-    kind: ValueKind,
-    line_no: usize,
-    attr: &str,
-) -> Result<Value, CsvError> {
+fn parse_value(raw: &str, kind: ValueKind, line_no: usize, attr: &str) -> Result<Value, CsvError> {
     match kind {
         ValueKind::Int => raw
             .parse::<i64>()
@@ -244,9 +239,17 @@ mod tests {
         let s = reg.id_of("Stock").unwrap();
         let mut b = EventBuilder::new();
         let events = vec![
-            b.event(1, m, vec![Value::Int(7), Value::str("pas,sive"), Value::Int(62)]),
+            b.event(
+                1,
+                m,
+                vec![Value::Int(7), Value::str("pas,sive"), Value::Int(62)],
+            ),
             b.event(2, s, vec![Value::Int(3), Value::Float(10.25)]),
-            b.event(2, m, vec![Value::Int(8), Value::str("a\"b"), Value::Int(70)]),
+            b.event(
+                2,
+                m,
+                vec![Value::Int(8), Value::str("a\"b"), Value::Int(70)],
+            ),
         ];
         let text = write_events(&events, &reg);
         let back = read_events(&text, &reg).unwrap();

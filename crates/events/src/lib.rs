@@ -15,8 +15,8 @@
 
 pub mod csv;
 pub mod event;
-pub mod schema;
 pub mod reorder;
+pub mod schema;
 pub mod stream;
 pub mod value;
 pub mod window;

@@ -138,7 +138,10 @@ mod tests {
             r.push(ev(i as u64, t), &mut out);
         }
         r.flush(&mut out);
-        (out.iter().map(|e| e.time.ticks()).collect(), r.late_events())
+        (
+            out.iter().map(|e| e.time.ticks()).collect(),
+            r.late_events(),
+        )
     }
 
     #[test]
@@ -205,7 +208,10 @@ mod tests {
         assert!(out.is_empty(), "nothing is 10 ticks behind yet");
         assert_eq!(r.buffered(), 3);
         r.push(ev(20, 20), &mut out);
-        assert_eq!(out.iter().map(|e| e.time.ticks()).collect::<Vec<_>>(), vec![3, 5, 8]);
+        assert_eq!(
+            out.iter().map(|e| e.time.ticks()).collect::<Vec<_>>(),
+            vec![3, 5, 8]
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl Schema {
         let mut by_name = HashMap::with_capacity(attrs.len());
         for (i, (n, _)) in attrs.iter().enumerate() {
             let prev = by_name.insert(Arc::clone(n), AttrId(i as u32));
-            assert!(prev.is_none(), "duplicate attribute `{n}` in schema `{name}`");
+            assert!(
+                prev.is_none(),
+                "duplicate attribute `{n}` in schema `{name}`"
+            );
         }
         Schema {
             name,

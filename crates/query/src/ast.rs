@@ -484,8 +484,8 @@ mod tests {
     #[test]
     fn pattern_length_counts_type_occurrences() {
         // (SEQ(A+, B))+ has length 2.
-        let p = PatternExpr::seq(vec![PatternExpr::leaf("A").plus(), PatternExpr::leaf("B")])
-            .plus();
+        let p =
+            PatternExpr::seq(vec![PatternExpr::leaf("A").plus(), PatternExpr::leaf("B")]).plus();
         assert_eq!(p.length(), 2);
         assert!(p.is_kleene());
         // SEQ(A, B, C) has length 3 and is not Kleene.
@@ -527,7 +527,14 @@ mod tests {
 
     #[test]
     fn cmp_op_flip_round_trip() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             assert_eq!(op.flipped().flipped(), op);
         }
         assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);

@@ -124,7 +124,10 @@ impl Automaton {
         }
         let mut by_type: HashMap<TypeId, Vec<StateId>> = HashMap::new();
         for (i, v) in b.states.iter().enumerate() {
-            by_type.entry(v.type_id).or_default().push(StateId(i as u32));
+            by_type
+                .entry(v.type_id)
+                .or_default()
+                .push(StateId(i as u32));
         }
         let mut neg_by_type: HashMap<TypeId, Vec<NegId>> = HashMap::new();
         for (i, v) in b.negated.iter().enumerate() {
@@ -259,9 +262,9 @@ struct Builder<'a> {
 
 impl Builder<'_> {
     fn resolve(&self, leaf: &Leaf) -> QueryResult<TypeId> {
-        self.registry.id_of(&leaf.event_type).ok_or_else(|| {
-            QueryError::compile(format!("unknown event type `{}`", leaf.event_type))
-        })
+        self.registry
+            .id_of(&leaf.event_type)
+            .ok_or_else(|| QueryError::compile(format!("unknown event type `{}`", leaf.event_type)))
     }
 
     fn add_state(&mut self, leaf: &Leaf) -> QueryResult<StateId> {

@@ -274,12 +274,7 @@ pub fn compile(query: &Query, registry: &TypeRegistry) -> QueryResult<CompiledQu
     let disjunct_patterns = rewrite::to_disjuncts(&query.pattern)?;
     let mut disjuncts = Vec::with_capacity(disjunct_patterns.len());
     for pattern in &disjunct_patterns {
-        disjuncts.push(compile_disjunct(
-            pattern,
-            query,
-            &agg_calls,
-            registry,
-        )?);
+        disjuncts.push(compile_disjunct(pattern, query, &agg_calls, registry)?);
     }
 
     Ok(CompiledQuery {
@@ -499,8 +494,7 @@ fn compile_disjunct(
                     let attr_id = match attr {
                         Some(a) => {
                             let id = resolve_attr(v, a, s)?;
-                            let kind =
-                                registry.schema(automaton.state(s).type_id).attr_kind(id);
+                            let kind = registry.schema(automaton.state(s).type_id).attr_kind(id);
                             if !matches!(kind, ValueKind::Int | ValueKind::Float) {
                                 return Err(QueryError::compile(format!(
                                     "aggregate {call} requires a numeric attribute, `{a}` is {kind}"
@@ -518,8 +512,7 @@ fn compile_disjunct(
         // A variable that exists in the surface pattern but not in this
         // disjunct (dropped by star/optional expansion) yields empty
         // targets: the disjunct contributes the aggregation identity.
-        if func != AggFunc::CountStar && targets.is_empty() && !states_exist_somewhere(var, query)
-        {
+        if func != AggFunc::CountStar && targets.is_empty() && !states_exist_somewhere(var, query) {
             return Err(QueryError::compile(format!(
                 "aggregate references unknown variable `{}`",
                 var.map(String::as_str).unwrap_or("?")
@@ -630,14 +623,8 @@ mod tests {
 
     #[test]
     fn granularity_table4() {
-        assert_eq!(
-            select_granularity(Semantics::Any, false),
-            Granularity::Type
-        );
-        assert_eq!(
-            select_granularity(Semantics::Any, true),
-            Granularity::Mixed
-        );
+        assert_eq!(select_granularity(Semantics::Any, false), Granularity::Type);
+        assert_eq!(select_granularity(Semantics::Any, true), Granularity::Mixed);
         assert_eq!(
             select_granularity(Semantics::Next, false),
             Granularity::Pattern
@@ -735,7 +722,8 @@ mod tests {
     #[test]
     fn any_without_adjacent_predicates_is_type_grained() {
         let mut q = q3_query();
-        q.predicates.retain(|p| matches!(p, PredicateExpr::Equivalence { .. }));
+        q.predicates
+            .retain(|p| matches!(p, PredicateExpr::Equivalence { .. }));
         let cq = compile(&q, &registry()).unwrap();
         assert_eq!(cq.granularity(), Granularity::Type);
     }
@@ -751,10 +739,7 @@ mod tests {
     #[test]
     fn aggregate_requires_numeric_attr() {
         let q = Query {
-            ret: vec![ReturnItem::Agg(AggCall::Sum(
-                "M".into(),
-                "activity".into(),
-            ))],
+            ret: vec![ReturnItem::Agg(AggCall::Sum("M".into(), "activity".into()))],
             pattern: PatternExpr::Leaf(Leaf::aliased("Measurement", "M")).plus(),
             semantics: Semantics::Any,
             predicates: vec![],
@@ -830,7 +815,8 @@ mod tests {
         // B.price > A.price written "backwards": B never precedes A, so
         // the compiler flips it onto the A→B edge.
         let mut q = q3_query();
-        q.predicates.retain(|p| matches!(p, PredicateExpr::Equivalence { .. }));
+        q.predicates
+            .retain(|p| matches!(p, PredicateExpr::Equivalence { .. }));
         q.predicates.push(PredicateExpr::Adjacent {
             lhs: AttrRef {
                 var: "B".into(),
@@ -860,10 +846,7 @@ mod tests {
         r.register_type("B", vec![("v", ValueKind::Int)]);
         let q = Query {
             ret: vec![ReturnItem::Agg(AggCall::CountVar("A".into()))],
-            pattern: PatternExpr::seq(vec![
-                PatternExpr::leaf("A").star(),
-                PatternExpr::leaf("B"),
-            ]),
+            pattern: PatternExpr::seq(vec![PatternExpr::leaf("A").star(), PatternExpr::leaf("B")]),
             semantics: Semantics::Any,
             predicates: vec![],
             group_by: vec![],

@@ -211,9 +211,8 @@ mod tests {
 
     #[test]
     fn dot_contains_states_edges_and_negations() {
-        let cq = compiled(
-            "RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B) SEMANTICS ANY WITHIN 10 SLIDE 5",
-        );
+        let cq =
+            compiled("RETURN COUNT(*) PATTERN SEQ(A+, NOT C, B) SEMANTICS ANY WITHIN 10 SLIDE 5");
         let dot = to_dot(&cq);
         assert!(dot.starts_with("digraph pattern {"));
         assert!(dot.contains("label=\"A\""));
@@ -228,7 +227,10 @@ mod tests {
             "RETURN COUNT(*) PATTERN A+ SEMANTICS ANY WHERE A.v < NEXT(A).v WITHIN 10 SLIDE 5",
         );
         let dot = to_dot(&cq);
-        assert!(dot.contains("lightyellow"), "Te states are highlighted: {dot}");
+        assert!(
+            dot.contains("lightyellow"),
+            "Te states are highlighted: {dot}"
+        );
     }
 
     #[test]

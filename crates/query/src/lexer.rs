@@ -101,59 +101,101 @@ pub fn lex(src: &str) -> QueryResult<Vec<Token>> {
                 }
             }
             '(' => {
-                out.push(Token { tok: Tok::LParen, offset: start });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { tok: Tok::RParen, offset: start });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Token { tok: Tok::LBracket, offset: start });
+                out.push(Token {
+                    tok: Tok::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { tok: Tok::RBracket, offset: start });
+                out.push(Token {
+                    tok: Tok::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { tok: Tok::Comma, offset: start });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { tok: Tok::Dot, offset: start });
+                out.push(Token {
+                    tok: Tok::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { tok: Tok::Plus, offset: start });
+                out.push(Token {
+                    tok: Tok::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { tok: Tok::Star, offset: start });
+                out.push(Token {
+                    tok: Tok::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '?' => {
-                out.push(Token { tok: Tok::Question, offset: start });
+                out.push(Token {
+                    tok: Tok::Question,
+                    offset: start,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Le, offset: start });
+                    out.push(Token {
+                        tok: Tok::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token { tok: Tok::Ne, offset: start });
+                    out.push(Token {
+                        tok: Tok::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Lt, offset: start });
+                    out.push(Token {
+                        tok: Tok::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Ge, offset: start });
+                    out.push(Token {
+                        tok: Tok::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Gt, offset: start });
+                    out.push(Token {
+                        tok: Tok::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -163,11 +205,17 @@ pub fn lex(src: &str) -> QueryResult<Vec<Token>> {
                 } else {
                     i += 1;
                 }
-                out.push(Token { tok: Tok::Eq, offset: start });
+                out.push(Token {
+                    tok: Tok::Eq,
+                    offset: start,
+                });
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Ne, offset: start });
+                    out.push(Token {
+                        tok: Tok::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(QueryError::Lex {
@@ -346,11 +394,7 @@ mod tests {
     fn member_access_is_dotted() {
         assert_eq!(
             toks("M.rate"),
-            vec![
-                Tok::Ident("M".into()),
-                Tok::Dot,
-                Tok::Ident("rate".into())
-            ]
+            vec![Tok::Ident("M".into()), Tok::Dot, Tok::Ident("rate".into())]
         );
     }
 

@@ -293,8 +293,14 @@ impl Parser {
         {
             // A following identifier is a variable alias unless it is a
             // clause keyword.
-            const CLAUSE_KWS: [&str; 6] =
-                ["SEMANTICS", "WHERE", "GROUP-BY", "WITHIN", "SLIDE", "PATTERN"];
+            const CLAUSE_KWS: [&str; 6] = [
+                "SEMANTICS",
+                "WHERE",
+                "GROUP-BY",
+                "WITHIN",
+                "SLIDE",
+                "PATTERN",
+            ];
             if !CLAUSE_KWS.iter().any(|k| v.eq_ignore_ascii_case(k)) {
                 let var = v.clone();
                 self.pos += 1;
@@ -514,7 +520,9 @@ mod tests {
         assert_eq!(q.window, WindowSpec::new(600, 30));
         assert_eq!(q.ret.len(), 3);
         assert_eq!(q.predicates.len(), 3);
-        assert!(matches!(&q.predicates[0], PredicateExpr::Equivalence { attr } if attr == "patient"));
+        assert!(
+            matches!(&q.predicates[0], PredicateExpr::Equivalence { attr } if attr == "patient")
+        );
         assert!(matches!(&q.predicates[1], PredicateExpr::Adjacent { rhs, .. } if rhs.next));
         assert!(
             matches!(&q.predicates[2], PredicateExpr::Local { rhs: Literal::Str(s), .. } if s == "passive")
@@ -581,8 +589,7 @@ mod tests {
 
     #[test]
     fn pattern_negation() {
-        let q =
-            parse("RETURN COUNT(*) PATTERN SEQ(A, NOT C, B) WITHIN 10 SLIDE 10").unwrap();
+        let q = parse("RETURN COUNT(*) PATTERN SEQ(A, NOT C, B) WITHIN 10 SLIDE 10").unwrap();
         assert_eq!(q.pattern.to_string(), "SEQ(A, NOT C, B)");
     }
 

@@ -121,13 +121,17 @@ fn check_core(expr: &PatternExpr, under_plus: bool) -> QueryResult<()> {
         PatternExpr::Leaf(_) => Ok(()),
         PatternExpr::Plus(p) => {
             if matches!(p.as_ref(), PatternExpr::Not(_)) {
-                return Err(QueryError::compile("NOT may not appear under a Kleene plus"));
+                return Err(QueryError::compile(
+                    "NOT may not appear under a Kleene plus",
+                ));
             }
             check_core(p, true)
         }
         PatternExpr::Not(_) => {
             if under_plus {
-                Err(QueryError::compile("NOT may not appear under a Kleene plus"))
+                Err(QueryError::compile(
+                    "NOT may not appear under a Kleene plus",
+                ))
             } else {
                 Err(QueryError::compile(
                     "NOT may only appear between elements of a SEQ",
@@ -293,7 +297,10 @@ mod tests {
         // SEQ(A?, B) = SEQ(A, B) ∨ B
         let p = PatternExpr::seq(vec![leaf("A").opt(), leaf("B")]);
         let d = to_disjuncts(&p).unwrap();
-        assert_eq!(d, vec![PatternExpr::seq(vec![leaf("A"), leaf("B")]), leaf("B")]);
+        assert_eq!(
+            d,
+            vec![PatternExpr::seq(vec![leaf("A"), leaf("B")]), leaf("B")]
+        );
     }
 
     #[test]

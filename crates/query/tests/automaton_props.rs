@@ -1,8 +1,8 @@
 //! Property tests on the Pattern Analyzer: structural invariants of the
 //! FSA translation (§3.1) over randomly generated core patterns.
 
-use cogra_query::{Automaton, PatternExpr};
 use cogra_events::{TypeRegistry, ValueKind};
+use cogra_query::{Automaton, PatternExpr};
 use proptest::prelude::*;
 use std::collections::HashSet;
 

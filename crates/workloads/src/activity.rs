@@ -227,10 +227,7 @@ mod tests {
         for q in [q1_query(600, 30), contiguous_count_query(600, 30)] {
             let parsed = cogra_query::parse(&q).unwrap();
             let compiled = cogra_query::compile(&parsed, &reg).unwrap();
-            assert_eq!(
-                compiled.granularity(),
-                cogra_query::Granularity::Pattern
-            );
+            assert_eq!(compiled.granularity(), cogra_query::Granularity::Pattern);
         }
     }
 }

@@ -49,7 +49,10 @@ pub const TYPES: [&str; 6] = ["Accept", "Call", "Cancel", "Finish", "InTransit",
 pub fn registry() -> TypeRegistry {
     let mut r = TypeRegistry::new();
     for t in TYPES {
-        r.register_type(t, vec![("driver", ValueKind::Int), ("rider", ValueKind::Int)]);
+        r.register_type(
+            t,
+            vec![("driver", ValueKind::Int), ("rider", ValueKind::Int)],
+        );
     }
     r
 }
@@ -79,7 +82,11 @@ pub fn generate(cfg: &RideshareConfig) -> Vec<Event> {
         let rider = rng.random_range(0..1_000);
         let attrs = vec![Value::Int(d as i64), Value::Int(rider)];
         if rng.random::<f64>() < cfg.noise_prob {
-            let noise = if rng.random::<bool>() { in_transit } else { drop_off };
+            let noise = if rng.random::<bool>() {
+                in_transit
+            } else {
+                drop_off
+            };
             out.push(b.event(t, noise, attrs));
             continue;
         }
@@ -165,7 +172,10 @@ mod tests {
             ..Default::default()
         };
         let reg = registry();
-        let driver_attr = reg.schema(reg.id_of("Accept").unwrap()).attr("driver").unwrap();
+        let driver_attr = reg
+            .schema(reg.id_of("Accept").unwrap())
+            .attr("driver")
+            .unwrap();
         let accept = reg.id_of("Accept").unwrap();
         let call = reg.id_of("Call").unwrap();
         let cancel = reg.id_of("Cancel").unwrap();

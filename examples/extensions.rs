@@ -1,11 +1,12 @@
 //! The §8 language extensions and the supporting substrates, end to end:
 //! negated sub-patterns, Kleene star / optional / disjunction rewrites,
 //! minimal-trend-length unrolling, plan explanation with DOT export, CSV
-//! event interchange, and bounded out-of-order repair.
+//! event interchange, and bounded out-of-order repair fused into the
+//! [`Session`] via `.slack(n)`.
 //!
 //! Run: `cargo run --example extensions`
 
-use cogra::events::{read_events, write_events, Reorderer};
+use cogra::events::{read_events, write_events};
 use cogra::prelude::*;
 use cogra::query::{explain_text, rewrite, to_dot};
 
@@ -22,7 +23,10 @@ fn main() {
                       SEMANTICS skip-till-any-match \
                       WHERE [node] GROUP-BY node \
                       WITHIN 100 SLIDE 100";
-    println!("== plan ==\n{}", explain_text(query_text, &registry).unwrap());
+    println!(
+        "== plan ==\n{}",
+        explain_text(query_text, &registry).unwrap()
+    );
     let compiled = compile(&parse(query_text).unwrap(), &registry).unwrap();
     println!("== automaton (Graphviz) ==\n{}", to_dot(&compiled));
 
@@ -39,36 +43,38 @@ fn main() {
         builder.event(8, r, vec![Value::Int(2)]),
     ];
 
-    // --- Bounded reordering repairs the stream before ingestion.
-    let mut reorderer = Reorderer::new(3);
-    let mut ordered = Vec::new();
-    for e in disordered {
-        reorderer.push(e, &mut ordered);
-    }
-    reorderer.flush(&mut ordered);
-    println!(
-        "reorderer: {} events released in order, {} late",
-        ordered.len(),
-        reorderer.late_events()
-    );
-
     // --- CSV round trip (what a recorded data set would look like).
-    let csv = write_events(&ordered, &registry);
+    let csv = write_events(&disordered, &registry);
     println!("== CSV interchange ==\n{csv}");
     let replayed = read_events(&csv, &registry).expect("round trip");
-    assert_eq!(replayed.len(), ordered.len());
+    assert_eq!(replayed.len(), disordered.len());
 
-    let mut engine = CograEngine::from_text(query_text, &registry).unwrap();
-    let (results, _) = cogra::core::run_to_completion(&mut engine, &replayed, 1);
+    // --- Bounded reordering is fused into ingestion: `.slack(3)` repairs
+    // the disorder before the engine sees the events and counts any event
+    // too late to save.
+    let run = Session::builder()
+        .query(query_text)
+        .slack(3)
+        .build(&registry)
+        .expect("session builds")
+        .run(&replayed);
+    println!(
+        "session: {} results, {} late event(s) dropped",
+        run.results().len(),
+        run.late_events
+    );
     println!("== results (alert bursts ending in unmaintained recovery) ==");
-    for res in &results {
-        println!("  node {} → {} suspicious bursts", res.group[0], res.values[0]);
+    for res in run.results() {
+        println!(
+            "  node {} → {} suspicious bursts",
+            res.group[0], res.values[0]
+        );
     }
     // Node 1: alerts at t=2,4 then recovery at 7 with no maintenance →
     // trends {a2}, {a4}, {a2,a4} each followed by r: 3. Node 2's recovery
     // is blocked by the maintenance event at t=5.
-    assert_eq!(results.len(), 1);
-    assert_eq!(results[0].group, vec![Value::Int(1)]);
+    assert_eq!(run.results().len(), 1);
+    assert_eq!(run.results()[0].group, vec![Value::Int(1)]);
 
     // --- Kleene star / optional / disjunction expand into disjuncts.
     let sugar = parse(
@@ -76,17 +82,16 @@ fn main() {
     )
     .unwrap();
     let disjuncts = rewrite::to_disjuncts(&sugar.pattern).unwrap();
-    println!("\nSEQ(Alert A*, Recovery R?) expands into {} disjuncts:", disjuncts.len());
+    println!(
+        "\nSEQ(Alert A*, Recovery R?) expands into {} disjuncts:",
+        disjuncts.len()
+    );
     for d in &disjuncts {
         println!("  {d}");
     }
 
     // --- Minimal trend length (§8): only bursts of >= 3 alerts.
-    let long_bursts = rewrite::unroll_min_length(
-        &parse(query_text).unwrap().pattern,
-        "A",
-        3,
-    )
-    .unwrap();
+    let long_bursts =
+        rewrite::unroll_min_length(&parse(query_text).unwrap().pattern, "A", 3).unwrap();
     println!("\nA+ unrolled to minimum length 3: {long_bursts}");
 }

@@ -21,31 +21,37 @@ fn main() {
     let query_text = activity::q1_query(600, 30); // 10 min / 30 s
     println!("q1:\n  {}\n", query_text.replace(" PATTERN", "\n  PATTERN"));
 
-    let mut engine = CograEngine::from_text(&query_text, &registry).expect("q1 compiles");
     // q1 runs under the contiguous semantics → the granularity selector
     // must pick the pattern-grained aggregator (Table 4).
-    assert_eq!(engine.runtime().query.granularity(), Granularity::Pattern);
+    let compiled =
+        compile(&parse(&query_text).expect("q1 parses"), &registry).expect("q1 compiles");
+    assert_eq!(compiled.granularity(), Granularity::Pattern);
 
-    let (results, peak) = run_to_completion(&mut engine, &events, 256);
+    let run = Session::builder()
+        .query(query_text.as_str())
+        .build(&registry)
+        .expect("session builds")
+        .run(&events);
     println!(
         "{} events → {} (window, patient) results; peak memory {} bytes",
         events.len(),
-        results.len(),
-        peak
+        run.results().len(),
+        run.peak_bytes
     );
-    for r in results.iter().take(8) {
+    for r in run.results().iter().take(8) {
         println!(
             "  window {:>4}  patient {}  min rate {}  max rate {}",
             r.window.0, r.group[0], r.values[0], r.values[1]
         );
     }
-    if results.len() > 8 {
-        println!("  ... {} more", results.len() - 8);
+    if run.results().len() > 8 {
+        println!("  ... {} more", run.results().len() - 8);
     }
 
     // Alarm logic a downstream consumer would attach: resting heart rate
     // ramps ending above 120 bpm are worth a look.
-    let alarms = results
+    let alarms = run
+        .results()
         .iter()
         .filter(|r| matches!(r.values[1], AggValue::Float(max) if max > 120.0))
         .count();

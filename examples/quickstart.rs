@@ -18,10 +18,19 @@ fn main() {
 
     // The Figure 2 stream: letters are types, numbers are time stamps.
     let mut builder = EventBuilder::new();
-    let stream: Vec<Event> = [(a, 1), (b, 2), (a, 3), (a, 4), (c, 5), (b, 6), (a, 7), (b, 8)]
-        .into_iter()
-        .map(|(ty, t)| builder.event(t, ty, vec![Value::Int(t as i64)]))
-        .collect();
+    let stream: Vec<Event> = [
+        (a, 1),
+        (b, 2),
+        (a, 3),
+        (a, 4),
+        (c, 5),
+        (b, 6),
+        (a, 7),
+        (b, 8),
+    ]
+    .into_iter()
+    .map(|(ty, t)| builder.event(t, ty, vec![Value::Int(t as i64)]))
+    .collect();
 
     for semantics in ["skip-till-any-match", "skip-till-next-match", "contiguous"] {
         let query = format!(
@@ -30,15 +39,22 @@ fn main() {
              SEMANTICS {semantics} \
              WITHIN 100 SLIDE 100"
         );
-        let mut engine =
-            CograEngine::from_text(&query, &registry).expect("query compiles");
-        println!(
-            "{semantics:>22}: granularity = {}",
-            engine.runtime().query.granularity()
-        );
-        let (results, peak) = run_to_completion(&mut engine, &stream, 1);
-        for r in &results {
-            println!("{:>22}  {} trends, peak memory {} bytes", "", r.values[0], peak);
+        // The static analyzer picks the coarsest granularity the
+        // semantics permits (Table 4).
+        let compiled =
+            compile(&parse(&query).expect("query parses"), &registry).expect("query compiles");
+        println!("{semantics:>22}: granularity = {}", compiled.granularity());
+        let run = Session::builder()
+            .query(query.as_str())
+            .engine(EngineKind::Cogra)
+            .build(&registry)
+            .expect("session builds")
+            .run(&stream);
+        for r in run.results() {
+            println!(
+                "{:>22}  {} trends, peak memory {} bytes",
+                "", r.values[0], run.peak_bytes
+            );
         }
     }
 }

@@ -3,11 +3,10 @@
 //!
 //! Also demonstrates the paper's correctness criterion live: the online
 //! COGRA result equals the two-step SASE result, at a fraction of the
-//! memory.
+//! memory — both engines selected through the same [`Session`] API.
 //!
 //! Run: `cargo run --release --example ridesharing`
 
-use cogra::baselines::sase_engine;
 use cogra::prelude::*;
 use cogra::workloads::rideshare::{self, RideshareConfig};
 
@@ -22,32 +21,37 @@ fn main() {
     let query_text = rideshare::q2_query(600, 30);
     println!("q2:\n  {}\n", query_text.replace(" PATTERN", "\n  PATTERN"));
 
-    let mut cogra = CograEngine::from_text(&query_text, &registry).expect("q2 compiles");
-    let (cogra_results, cogra_peak) = run_to_completion(&mut cogra, &events, 256);
-
-    let query = parse(&query_text).expect("q2 parses");
-    let mut sase = sase_engine(&query, &registry).expect("SASE supports NEXT");
-    let (sase_results, sase_peak) = run_to_completion(&mut sase, &events, 256);
+    let run_with = |kind: EngineKind| {
+        Session::builder()
+            .query(query_text.as_str())
+            .engine(kind)
+            .build(&registry)
+            .expect("q2 compiles on this engine")
+            .run(&events)
+    };
+    let cogra = run_with(EngineKind::Cogra);
+    let sase = run_with(EngineKind::Sase);
 
     assert_eq!(
-        cogra_results, sase_results,
+        cogra.per_query, sase.per_query,
         "online COGRA must equal the two-step baseline"
     );
     println!(
         "{} events → {} (window, driver) trip counts; results identical to SASE",
         events.len(),
-        cogra_results.len()
+        cogra.results().len()
     );
     println!(
         "peak memory: COGRA {} bytes vs SASE {} bytes ({}x)",
-        cogra_peak,
-        sase_peak,
-        sase_peak / cogra_peak.max(1)
+        cogra.peak_bytes,
+        sase.peak_bytes,
+        sase.peak_bytes / cogra.peak_bytes.max(1)
     );
 
     // Busiest drivers of the first full window.
-    if let Some(first_window) = cogra_results.first().map(|r| r.window) {
-        let mut per_driver: Vec<_> = cogra_results
+    if let Some(first_window) = cogra.results().first().map(|r| r.window) {
+        let mut per_driver: Vec<_> = cogra
+            .results()
             .iter()
             .filter(|r| r.window == first_window)
             .collect();

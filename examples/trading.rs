@@ -2,15 +2,13 @@
 //! stock, under skip-till-any-match with a predicate on adjacent events —
 //! the query class that forces COGRA's *mixed* granularity (Table 4).
 //!
-//! Also shows the §8 parallel per-partition execution: the same compiled
-//! query run with 1 and 8 workers, with identical results.
+//! Also shows the §8 parallel per-partition execution: the same query run
+//! through a 1-worker and an 8-worker [`Session`], with identical results.
 //!
 //! Run: `cargo run --release --example trading`
 
-use cogra::core::QueryRuntime;
 use cogra::prelude::*;
 use cogra::workloads::stock::{self, StockConfig};
-use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -40,28 +38,37 @@ fn main() {
         disjunct.event_grained[b.index()],
     );
 
-    let rt = Arc::new(QueryRuntime::new(compiled, &registry));
     let start = Instant::now();
-    let sequential = run_parallel(&rt, &events, 1);
+    let sequential = Session::builder()
+        .query(&query)
+        .build(&registry)
+        .expect("session builds")
+        .run(&events);
     let seq_elapsed = start.elapsed();
     let start = Instant::now();
-    let parallel = run_parallel(&rt, &events, 8);
+    let parallel = Session::builder()
+        .query(&query)
+        .workers(8)
+        .build(&registry)
+        .expect("session builds")
+        .run(&events);
     let par_elapsed = start.elapsed();
 
-    assert_eq!(sequential.results, parallel.results);
+    assert_eq!(sequential.per_query, parallel.per_query);
     println!(
         "{} events → {} (window, company) results",
         events.len(),
-        sequential.results.len()
+        sequential.results().len()
     );
     println!(
-        "1 worker: {:.1} ms   8 workers: {:.1} ms (identical results)",
+        "1 worker: {:.1} ms   {} workers: {:.1} ms (identical results)",
         seq_elapsed.as_secs_f64() * 1e3,
+        parallel.workers,
         par_elapsed.as_secs_f64() * 1e3,
     );
 
     // Sample: average price of the follower trend B per company.
-    for r in sequential.results.iter().take(5) {
+    for r in sequential.results().iter().take(5) {
         println!(
             "  window {:>3} company {:>2}: {} down-trend continuations, avg follower price {}",
             r.window.0, r.group[0], r.values[0], r.values[1]

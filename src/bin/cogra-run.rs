@@ -1,9 +1,9 @@
-//! `cogra-run` — run an event trend aggregation query against a recorded
-//! CSV stream from the command line.
+//! `cogra-run` — run event trend aggregation queries against a recorded
+//! CSV stream from the command line, through the unified [`Session`] API.
 //!
 //! ```text
 //! cogra-run --schema schema.csv --events stream.csv --query query.cep
-//!           [--engine cogra|sase|greta|aseq|flink|oracle]
+//!           [--engine cogra|sase|greta|aseq|flink|oracle] [--workers N]
 //!           [--explain] [--dot] [--slack N] [--memory]
 //! ```
 //!
@@ -11,16 +11,15 @@
 //!   declaring the event types;
 //! * `--events` — the stream in the `cogra_events::csv` format
 //!   (`type,time,<attribute columns>`);
-//! * `--query`  — a file containing one query in the paper's language;
+//! * `--query`  — a file containing one query in the paper's language
+//!   (repeat the flag for a multi-query workload over the same stream);
 //! * `--engine` — which engine to run (default `cogra`);
-//! * `--slack`  — repair up to N ticks of disorder before ingestion;
+//! * `--workers` — parallel per-partition shards (§8, COGRA only);
+//! * `--slack`  — repair up to N ticks of disorder before ingestion and
+//!   report how many late events had to be dropped;
 //! * `--explain` / `--dot` — print the compiled plan / Graphviz automaton;
 //! * `--memory` — report peak memory after the run.
 
-use cogra::baselines::{aseq_engine, flink_engine, greta_engine, oracle_engine, sase_engine};
-use cogra::core::runtime::EngineConfig;
-use cogra::core::{run_to_completion, TrendEngine};
-use cogra::events::{read_events, Reorderer};
 use cogra::prelude::*;
 use cogra::query::{explain, to_dot};
 use std::process::ExitCode;
@@ -28,8 +27,9 @@ use std::process::ExitCode;
 struct Args {
     schema: String,
     events: String,
-    query: String,
-    engine: String,
+    queries: Vec<String>,
+    engine: EngineKind,
+    workers: usize,
     slack: Option<u64>,
     explain: bool,
     dot: bool,
@@ -39,22 +39,26 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut schema = None;
     let mut events = None;
-    let mut query = None;
-    let mut engine = "cogra".to_string();
+    let mut queries = Vec::new();
+    let mut engine = EngineKind::Cogra;
+    let mut workers = 1usize;
     let mut slack = None;
     let mut explain = false;
     let mut dot = false;
     let mut memory = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--schema" => schema = Some(value("--schema")?),
             "--events" => events = Some(value("--events")?),
-            "--query" => query = Some(value("--query")?),
-            "--engine" => engine = value("--engine")?,
+            "--query" => queries.push(value("--query")?),
+            "--engine" => engine = value("--engine")?.parse()?,
+            "--workers" => {
+                workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?
+            }
             "--slack" => {
                 slack = Some(
                     value("--slack")?
@@ -69,11 +73,15 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if queries.is_empty() {
+        return Err("--query is required".into());
+    }
     Ok(Args {
         schema: schema.ok_or("--schema is required")?,
         events: events.ok_or("--events is required")?,
-        query: query.ok_or("--query is required")?,
+        queries,
         engine,
+        workers,
         slack,
         explain,
         dot,
@@ -107,10 +115,7 @@ fn load_registry(text: &str) -> Result<TypeRegistry, String> {
     }
     let mut registry = TypeRegistry::new();
     for (ty, attrs) in &decls {
-        registry.register_type(
-            ty,
-            attrs.iter().map(|(a, k)| (a.as_str(), *k)).collect(),
-        );
+        registry.register_type(ty, attrs.iter().map(|(a, k)| (a.as_str(), *k)).collect());
     }
     if registry.is_empty() {
         return Err("schema declares no event types".into());
@@ -118,72 +123,79 @@ fn load_registry(text: &str) -> Result<TypeRegistry, String> {
     Ok(registry)
 }
 
-fn build_engine(
-    name: &str,
-    query: &Query,
-    registry: &TypeRegistry,
-) -> Result<Box<dyn TrendEngine>, String> {
-    let cfg = EngineConfig::default();
-    let err = |e: cogra::query::QueryError| e.to_string();
-    Ok(match name {
-        "cogra" => Box::new(CograEngine::build(query, registry).map_err(err)?),
-        "sase" => Box::new(sase_engine(query, registry).map_err(err)?),
-        "greta" => Box::new(greta_engine(query, registry).map_err(err)?),
-        "aseq" => Box::new(aseq_engine(query, registry, cfg).map_err(err)?),
-        "flink" => Box::new(flink_engine(query, registry, cfg).map_err(err)?),
-        "oracle" => Box::new(oracle_engine(query, registry).map_err(err)?),
-        other => return Err(format!("unknown engine `{other}`")),
-    })
-}
-
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
     let registry = load_registry(&read(&args.schema)?)?;
-    let query_text = read(&args.query)?;
-    let query = parse(&query_text).map_err(|e| e.to_string())?;
-    let compiled = compile(&query, &registry).map_err(|e| e.to_string())?;
-    if args.explain {
-        eprintln!("{}", explain(&compiled, &registry));
-    }
-    if args.dot {
-        println!("{}", to_dot(&compiled));
-        if !args.explain {
+    let queries: Vec<Query> = args
+        .queries
+        .iter()
+        .map(|path| parse(&read(path)?).map_err(|e| format!("{path}: {e}")))
+        .collect::<Result<_, String>>()?;
+    if args.explain || args.dot {
+        for query in &queries {
+            let compiled = compile(query, &registry).map_err(|e| e.to_string())?;
+            if args.explain {
+                eprintln!("{}", explain(&compiled, &registry));
+            }
+            if args.dot {
+                println!("{}", to_dot(&compiled));
+            }
+        }
+        if args.dot && !args.explain {
             return Ok(());
         }
     }
 
-    let mut events = read_events(&read(&args.events)?, &registry).map_err(|e| e.to_string())?;
-    if let Some(slack) = args.slack {
-        let mut reorderer = Reorderer::new(slack);
-        let mut ordered = Vec::with_capacity(events.len());
-        for e in events {
-            reorderer.push(e, &mut ordered);
-        }
-        reorderer.flush(&mut ordered);
-        if reorderer.late_events() > 0 {
-            eprintln!("warning: dropped {} late event(s)", reorderer.late_events());
-        }
-        events = ordered;
-    } else {
-        cogra::events::validate_ordered(&events).map_err(|e| {
-            format!("{e}; pass --slack N to repair bounded disorder")
-        })?;
+    let events = read_events(&read(&args.events)?, &registry).map_err(|e| e.to_string())?;
+    if args.slack.is_none() {
+        cogra::events::validate_ordered(&events)
+            .map_err(|e| format!("{e}; pass --slack N to repair bounded disorder"))?;
     }
 
-    let mut engine = build_engine(&args.engine, &query, &registry)?;
-    let (results, peak) = run_to_completion(engine.as_mut(), &events, 256);
-    for r in &results {
-        println!("{r}");
+    let mut builder = Session::builder().engine(args.engine).workers(args.workers);
+    if let Some(slack) = args.slack {
+        builder = builder.slack(slack);
     }
+    for query in &queries {
+        builder = builder.query(query);
+    }
+    let session = builder.build(&registry).map_err(|e| match e {
+        // Attribute per-query failures to their query file.
+        SessionError::Query { query, error } => format!("{}: {error}", args.queries[query]),
+        other => other.to_string(),
+    })?;
+    let multi = queries.len() > 1;
+    let run = session.run(&events);
+
+    for (i, results) in run.per_query.iter().enumerate() {
+        for r in results {
+            if multi {
+                println!("q{i}: {r}");
+            } else {
+                println!("{r}");
+            }
+        }
+    }
+    let total: usize = run.per_query.iter().map(Vec::len).sum();
+    // Count what the engines actually ingested: late drops are reported
+    // on their own line, not in the headline.
+    let ingested = events.len() as u64 - run.late_events;
     eprintln!(
-        "{} events → {} results ({})",
-        events.len(),
-        results.len(),
-        args.engine
+        "{ingested} events → {} results ({}{})",
+        total,
+        args.engine,
+        if run.workers > 1 {
+            format!(", {} workers", run.workers)
+        } else {
+            String::new()
+        }
     );
+    if args.slack.is_some() {
+        eprintln!("reorder: {} late event(s) dropped", run.late_events);
+    }
     if args.memory {
-        eprintln!("peak memory: {peak} bytes");
+        eprintln!("peak memory: {} bytes", run.peak_bytes);
     }
     Ok(())
 }
@@ -194,7 +206,7 @@ fn main() -> ExitCode {
         Err(msg) if msg.is_empty() => {
             eprintln!(
                 "usage: cogra-run --schema schema.csv --events stream.csv --query query.cep \
-                 [--engine cogra|sase|greta|aseq|flink|oracle] [--slack N] \
+                 [--engine cogra|sase|greta|aseq|flink|oracle] [--workers N] [--slack N] \
                  [--explain] [--dot] [--memory]"
             );
             ExitCode::SUCCESS

@@ -7,6 +7,9 @@
 //! skip-till-any-match semantics, at the coarsest aggregate granularity
 //! each semantics permits.
 //!
+//! Every consumer talks to the engines through the unified
+//! [`Session`](prelude::Session) pipeline:
+//!
 //! ```
 //! use cogra::prelude::*;
 //!
@@ -17,51 +20,70 @@
 //!     vec![("company", ValueKind::Int), ("price", ValueKind::Float)],
 //! );
 //!
-//! // 2. Write the query in the paper's language and build the engine.
-//! let mut engine = CograEngine::from_text(
-//!     "RETURN company, COUNT(*) \
-//!      PATTERN Stock S+ \
-//!      SEMANTICS skip-till-any-match \
-//!      WHERE [company] AND S.price > NEXT(S).price \
-//!      GROUP-BY company \
-//!      WITHIN 10 SLIDE 10",
-//!     &registry,
-//! ).unwrap();
+//! // 2. Build the stream (any recorded or live source works).
+//! let mut builder = EventBuilder::new();
+//! let events: Vec<Event> = [5.0, 4.0, 3.0, 6.0, 2.0]
+//!     .into_iter()
+//!     .enumerate()
+//!     .map(|(i, price)| {
+//!         builder.event(i as u64 + 1, stock, vec![Value::Int(1), Value::Float(price)])
+//!     })
+//!     .collect();
 //!
-//! // 3. Stream events; collect finalized window results.
-//! let mut results = Vec::new();
-//! for (i, price) in [5.0, 4.0, 3.0, 6.0, 2.0].into_iter().enumerate() {
-//!     let e = Event::new(i as u64, i as u64 + 1, stock,
-//!                        vec![Value::Int(1), Value::Float(price)]);
-//!     engine.process(&e);
-//!     results.extend(engine.drain());
-//! }
-//! results.extend(engine.finish());
-//! assert_eq!(results.len(), 1); // one window, one company
+//! // 3. Configure a session: query in the paper's language, engine from
+//! //    the typed roster, and run it to completion.
+//! let run = Session::builder()
+//!     .query(
+//!         "RETURN company, COUNT(*) \
+//!          PATTERN Stock S+ \
+//!          SEMANTICS skip-till-any-match \
+//!          WHERE [company] AND S.price > NEXT(S).price \
+//!          GROUP-BY company \
+//!          WITHIN 10 SLIDE 10",
+//!     )
+//!     .engine(EngineKind::Cogra)
+//!     .build(&registry)
+//!     .unwrap()
+//!     .run(&events);
+//! assert_eq!(run.results().len(), 1); // one window, one company
 //! ```
+//!
+//! Streaming consumers call [`Session::process`](prelude::Session::process)
+//! per event and receive results through a push-based
+//! [`ResultSink`](prelude::ResultSink) — no intermediate vectors on the
+//! hot path. `.slack(n)` fuses bounded out-of-order repair into
+//! ingestion; `.workers(n)` shards execution per partition (§8);
+//! repeating `.query(...)` fans one stream out to a whole query workload.
 //!
 //! The workspace crates are re-exported:
 //! * [`events`] — event model, schemas, sliding windows;
 //! * [`query`] — pattern AST, parser, static analyzer (FSA, predicate
 //!   classifier, granularity selector);
+//! * [`engine`] — the engine substrate: `TrendEngine`, aggregate cells,
+//!   the partition/window router;
 //! * [`core`] — the COGRA executor (type-/mixed-/pattern-grained
-//!   aggregators) and the engine abstraction;
+//!   aggregators) and the `Session` facade;
 //! * [`baselines`] — SASE, Flink-flat, GRETA, A-Seq and the oracle;
 //! * [`workloads`] — the evaluation's data-set generators.
 
 pub use cogra_baselines as baselines;
 pub use cogra_core as core;
+pub use cogra_engine as engine;
 pub use cogra_events as events;
 pub use cogra_query as query;
 pub use cogra_workloads as workloads;
 
 /// Everything needed for typical use.
 pub mod prelude {
+    pub use cogra_core::session::{
+        EngineKind, ResultSink, Session, SessionBuilder, SessionError, SessionRun, TaggedResult,
+    };
     pub use cogra_core::{
-        run_parallel, run_to_completion, AggValue, CograEngine, TrendEngine, WindowResult,
+        run_parallel, run_to_completion, AggValue, CograEngine, EngineConfig, TrendEngine,
+        WindowResult,
     };
     pub use cogra_events::{
-        Event, EventBuilder, Timestamp, TypeRegistry, Value, ValueKind, WindowSpec,
+        read_events, Event, EventBuilder, Timestamp, TypeRegistry, Value, ValueKind, WindowSpec,
     };
     pub use cogra_query::{compile, parse, Granularity, PatternExpr, Query, Semantics};
 }

@@ -2,8 +2,8 @@
 //! parser round-trips, window arithmetic, aggregate consistency, and
 //! cross-granularity agreement on randomized queries.
 
-use cogra::prelude::*;
 use cogra::core::run_to_completion;
+use cogra::prelude::*;
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------- parser

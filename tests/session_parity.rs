@@ -1,0 +1,191 @@
+//! Parity: the [`Session`] facade must be observationally identical to
+//! the direct engine entry points (`run_to_completion`, `run_parallel`,
+//! manual `Reorderer` plumbing) it replaced — byte-identical
+//! `WindowResult`s on the evaluation's stock and transport workloads, in
+//! every configuration the builder offers.
+
+use cogra::core::QueryRuntime;
+use cogra::events::Reorderer;
+use cogra::prelude::*;
+use cogra::workloads::{stock, transport, StockConfig, TransportConfig};
+use std::sync::Arc;
+
+fn stock_setup() -> (TypeRegistry, Vec<Event>, String) {
+    let registry = stock::registry();
+    let events = stock::generate(&StockConfig {
+        events: 240,
+        ..Default::default()
+    });
+    let query = stock::q3_query_no_adjacent(60, 30);
+    (registry, events, query)
+}
+
+fn transport_setup() -> (TypeRegistry, Vec<Event>, String) {
+    let registry = transport::registry();
+    let events = transport::generate(&TransportConfig {
+        events: 600,
+        ..Default::default()
+    });
+    let query = transport::grouping_query(120, 60);
+    (registry, events, query)
+}
+
+fn direct(
+    kind: EngineKind,
+    query: &str,
+    registry: &TypeRegistry,
+    events: &[Event],
+) -> Vec<WindowResult> {
+    let parsed = parse(query).expect("query parses");
+    let mut engine = kind
+        .build(&parsed, registry, &EngineConfig::default())
+        .expect("engine supports query");
+    run_to_completion(engine.as_mut(), events, 64).0
+}
+
+fn session(kind: EngineKind, query: &str, registry: &TypeRegistry, events: &[Event]) -> SessionRun {
+    Session::builder()
+        .query(query)
+        .engine(kind)
+        .build(registry)
+        .expect("session builds")
+        .run(events)
+}
+
+#[test]
+fn single_query_matches_run_to_completion_on_stock() {
+    let (registry, events, query) = stock_setup();
+    for kind in [
+        EngineKind::Cogra,
+        EngineKind::Sase,
+        EngineKind::Greta,
+        EngineKind::Aseq,
+    ] {
+        let expected = direct(kind, &query, &registry, &events);
+        let run = session(kind, &query, &registry, &events);
+        assert!(!expected.is_empty(), "{kind}: workload produces results");
+        assert_eq!(run.per_query, vec![expected], "{kind}");
+    }
+}
+
+#[test]
+fn single_query_matches_run_to_completion_on_transport() {
+    let (registry, events, query) = transport_setup();
+    for kind in [EngineKind::Cogra, EngineKind::Sase] {
+        let expected = direct(kind, &query, &registry, &events);
+        let run = session(kind, &query, &registry, &events);
+        assert!(!expected.is_empty(), "{kind}: workload produces results");
+        assert_eq!(run.per_query, vec![expected], "{kind}");
+    }
+}
+
+#[test]
+fn multi_query_session_matches_individual_runs() {
+    let (registry, events, _) = transport_setup();
+    let queries = [
+        transport::grouping_query(120, 60),
+        transport::next_query(120, 60),
+    ];
+    let run = Session::builder()
+        .query(queries[0].as_str())
+        .query(queries[1].as_str())
+        .build(&registry)
+        .expect("session builds")
+        .run(&events);
+    assert_eq!(run.per_query.len(), 2);
+    for (i, q) in queries.iter().enumerate() {
+        let expected = direct(EngineKind::Cogra, q, &registry, &events);
+        assert_eq!(run.per_query[i], expected, "query {i}");
+    }
+}
+
+/// Deterministically disorder a stream: reverse blocks of `block` events.
+fn disorder(events: &[Event], block: usize) -> Vec<Event> {
+    let mut out = Vec::with_capacity(events.len());
+    for chunk in events.chunks(block) {
+        out.extend(chunk.iter().rev().cloned());
+    }
+    out
+}
+
+#[test]
+fn slack_session_matches_manual_reorder_pipeline() {
+    let (registry, events, query) = transport_setup();
+    let shuffled = disorder(&events, 5);
+    for slack in [0, 3, 50] {
+        // The replaced pipeline: manual Reorderer, then run_to_completion.
+        let mut reorderer = Reorderer::new(slack);
+        let mut repaired = Vec::with_capacity(shuffled.len());
+        for e in &shuffled {
+            reorderer.push(e.clone(), &mut repaired);
+        }
+        reorderer.flush(&mut repaired);
+        let expected = direct(EngineKind::Cogra, &query, &registry, &repaired);
+
+        let run = Session::builder()
+            .query(query.as_str())
+            .slack(slack)
+            .build(&registry)
+            .expect("session builds")
+            .run(&shuffled);
+        assert_eq!(run.per_query, vec![expected], "slack={slack}");
+        assert_eq!(run.late_events, reorderer.late_events(), "slack={slack}");
+    }
+}
+
+#[test]
+fn workers_session_matches_run_parallel() {
+    let (registry, events, query) = transport_setup();
+    let parsed = parse(&query).expect("query parses");
+    let rt = Arc::new(QueryRuntime::new(
+        compile(&parsed, &registry).expect("query compiles"),
+        &registry,
+    ));
+    for workers in [2, 4, 8] {
+        let expected = run_parallel(&rt, &events, workers);
+        let run = Session::builder()
+            .query(query.as_str())
+            .workers(workers)
+            .build(&registry)
+            .expect("session builds")
+            .run(&events);
+        assert_eq!(run.per_query, vec![expected.results], "workers={workers}");
+        assert_eq!(run.workers, expected.workers, "workers={workers}");
+    }
+}
+
+#[test]
+fn one_worker_equals_many_workers() {
+    let (registry, events, query) = transport_setup();
+    let base = session(EngineKind::Cogra, &query, &registry, &events);
+    for workers in [2, 4, 8] {
+        let sharded = Session::builder()
+            .query(query.as_str())
+            .workers(workers)
+            .build(&registry)
+            .expect("session builds")
+            .run(&events);
+        assert_eq!(sharded.per_query, base.per_query, "workers={workers}");
+    }
+}
+
+#[test]
+fn slack_composes_with_workers() {
+    let (registry, events, query) = transport_setup();
+    let shuffled = disorder(&events, 4);
+    let streaming = Session::builder()
+        .query(query.as_str())
+        .slack(10)
+        .build(&registry)
+        .expect("session builds")
+        .run(&shuffled);
+    let sharded = Session::builder()
+        .query(query.as_str())
+        .slack(10)
+        .workers(4)
+        .build(&registry)
+        .expect("session builds")
+        .run(&shuffled);
+    assert_eq!(sharded.per_query, streaming.per_query);
+    assert_eq!(sharded.late_events, streaming.late_events);
+}

@@ -2,8 +2,8 @@
 //! per-window aggregates, window finalization at the watermark, group
 //! emission, and cross-partition merging of equivalence sub-streams.
 
-use cogra::prelude::*;
 use cogra::core::run_to_completion;
+use cogra::prelude::*;
 
 fn registry() -> TypeRegistry {
     let mut r = TypeRegistry::new();

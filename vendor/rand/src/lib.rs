@@ -1,0 +1,232 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the small slice of the `rand` API the workspace uses — a
+//! seedable deterministic generator ([`rngs::StdRng`]), the [`SeedableRng`]
+//! constructor trait and the [`RngExt`] sampling extension — with the same
+//! call syntax (`rng.random::<f64>()`, `rng.random_range(0..n)`).
+//!
+//! Determinism is part of the contract: the workload generators document
+//! that their output is reproducible under a seed, so the generator here is
+//! a fixed xoshiro256** seeded through SplitMix64 and will never change
+//! between builds.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators.
+pub mod rngs {
+    /// Deterministic xoshiro256** generator (stand-in for rand's `StdRng`).
+    ///
+    /// Not cryptographically secure — none of the workloads need that.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Next raw 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed into the xoshiro state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator's raw bits.
+pub trait Standard: Sized {
+    /// Sample one value.
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    #[inline]
+    fn sample(rng: &mut rngs::StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types that can be drawn uniformly from a range (drives the literal
+/// type inference in `rng.random_range(0..n)`, like rand's homonym).
+pub trait SampleUniform: Sized + Copy {
+    /// Uniform in `[lo, hi)`; panics when empty.
+    fn sample_half_open(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+    /// Uniform in `[lo, hi]`; panics when empty.
+    fn sample_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+/// Rejection-free-enough uniform integer in `[0, span)` (Lemire-style
+/// widening multiply; the tiny modulo bias of plain `% span` is avoided).
+#[inline]
+fn uniform_below(rng: &mut rngs::StdRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(rng: &mut rngs::StdRng, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+            #[inline]
+            fn sample_inclusive(rng: &mut rngs::StdRng, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open(rng: &mut rngs::StdRng, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "cannot sample empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+    #[inline]
+    fn sample_inclusive(rng: &mut rngs::StdRng, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Ranges that can be sampled uniformly, producing `T`.
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range. Panics when empty.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut rngs::StdRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Sampling extension methods (the crate's analogue of rand's `Rng`).
+pub trait RngExt {
+    /// Sample a value of type `T` from its standard distribution
+    /// (`bool`: fair coin, `f64`: uniform `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T;
+
+    /// Sample uniformly from a range; panics if the range is empty.
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl RngExt for rngs::StdRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.random_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let p: f64 = rng.random();
+            assert!((0.0..1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let heads = (0..1000).filter(|_| rng.random::<bool>()).count();
+        assert!((400..600).contains(&heads), "{heads}");
+        let spread: std::collections::HashSet<u64> =
+            (0..100).map(|_| rng.random_range(0..10u64)).collect();
+        assert_eq!(spread.len(), 10);
+    }
+}

@@ -6,7 +6,7 @@
 
 use cogra_core::run_to_completion;
 use cogra_core::runtime::EngineConfig;
-use cogra_core::session::EngineKind;
+use cogra_core::session::{EngineKind, Session};
 use cogra_events::{Event, TypeRegistry};
 use cogra_workloads::{activity, stock, transport};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -165,6 +165,37 @@ fn fig10(c: &mut Criterion) {
     bench_engines(c, "fig10_grouping", &s, &EngineKind::PAPER_ROSTER);
 }
 
+/// §8 scalability: the Figure 10 trend-grouping scenario executed through
+/// the streaming shard router at increasing worker counts — the `workers`
+/// axis that makes the sharding speedup measurable.
+fn fig10_workers(c: &mut Criterion) {
+    let w = 240usize;
+    let cfg = transport::TransportConfig {
+        passengers: 30,
+        events: 8 * w,
+        ..Default::default()
+    };
+    let registry = transport::registry();
+    let events = transport::generate(&cfg);
+    let query = transport::grouping_query(w as u64, (w / 2) as u64);
+    let mut g = c.benchmark_group("fig10_workers");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &n| {
+            b.iter(|| {
+                let run = Session::builder()
+                    .query(query.as_str())
+                    .workers(n)
+                    .build(&registry)
+                    .expect("bench session builds")
+                    .run(black_box(&events));
+                black_box((run.per_query[0].len(), run.peak_bytes))
+            });
+        });
+    }
+    g.finish();
+}
+
 /// Table 8: each aggregation function on COGRA (type granularity).
 fn table8(c: &mut Criterion) {
     let w = 4_000usize;
@@ -203,5 +234,15 @@ fn table8(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, fig5, fig6, fig7, fig8, fig9, fig10, table8);
+criterion_group!(
+    benches,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig10_workers,
+    table8
+);
 criterion_main!(benches);

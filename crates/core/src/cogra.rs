@@ -162,4 +162,8 @@ impl TrendEngine for CograEngine {
     fn watermark(&self) -> Timestamp {
         self.0.watermark()
     }
+
+    fn advance_watermark(&mut self, to: Timestamp) {
+        self.0.advance_watermark(to)
+    }
 }

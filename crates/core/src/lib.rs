@@ -12,7 +12,9 @@
 //!   event and the final aggregate, O(n) time, O(1) space;
 //! * [`cogra`] — the [`CograEngine`] router: partitioning (§7), sliding
 //!   windows, per-disjunct dispatch, result finalization;
-//! * [`parallel`] — per-partition parallel execution (§8);
+//! * [`parallel`] — per-partition parallel execution (§8): the batch
+//!   reference [`run_parallel`] and the live [`StreamingPool`] shard
+//!   router (worker threads + bounded channels + watermark broadcasts);
 //! * [`session`] — the [`Session`] pipeline: typed [`EngineKind`] roster
 //!   over COGRA and all baselines, builder-style configuration (slack,
 //!   workers, multi-query), push-based [`ResultSink`] emission.
@@ -39,7 +41,7 @@ pub use cogra_engine::{
     run_to_completion, AggLayout, AggValue, Cell, DisjunctRuntime, EngineConfig, EventBinds, Feed,
     GroupKey, Output, QueryRuntime, Router, SlotFunc, TrendEngine, Val, WindowAlgo, WindowResult,
 };
-pub use parallel::{run_parallel, ParallelRun};
+pub use parallel::{run_parallel, ParallelRun, StreamingPool};
 pub use session::{
     EngineKind, ResultSink, Session, SessionBuilder, SessionError, SessionRun, TaggedResult,
 };

@@ -12,15 +12,46 @@
 //! lands on the same worker and no cross-worker aggregate merging is
 //! needed. A query without `GROUP-BY` falls back to a single worker
 //! (there is nothing to partition results by).
+//!
+//! Two implementations share the same shard hash:
+//! * [`run_parallel`] — the batch reference: shard a finite recorded
+//!   stream, run every shard to completion under `std::thread::scope`,
+//!   merge. Kept as the executable specification the streaming tests
+//!   diff against.
+//! * [`StreamingPool`] — live execution: long-lived worker threads fed
+//!   by bounded channels, events hashed to their shard *at ingest time*,
+//!   and watermark broadcasts so a drain emits every result that is
+//!   globally final — even on shards whose sub-stream went quiet.
 
 use crate::cogra::CograEngine;
-use crate::engine::run_to_completion;
+use crate::engine::{run_to_completion, TrendEngine};
 use crate::output::WindowResult;
 use crate::runtime::QueryRuntime;
-use cogra_events::Event;
+use cogra_events::{Event, Timestamp, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shard index of one output group — THE hash both the batch reference
+/// ([`run_parallel`]) and the [`StreamingPool`] use, kept in one place so
+/// the two execution modes cannot disagree about event placement.
+fn shard_of(group: &[Value], shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    group.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// How many shards a query can use: the requested worker count, unless
+/// the query has no `GROUP-BY` prefix to shard on.
+fn effective_workers(rt: &QueryRuntime, requested: usize) -> usize {
+    if rt.query.group_prefix == 0 {
+        1
+    } else {
+        requested.max(1)
+    }
+}
 
 /// Outcome of a parallel run.
 #[derive(Debug)]
@@ -37,9 +68,8 @@ pub struct ParallelRun {
 /// shards. Returns the same results as a single [`CograEngine`] fed the
 /// whole stream (asserted by the `parallel_equals_sequential` tests).
 pub fn run_parallel(rt: &Arc<QueryRuntime>, events: &[Event], workers: usize) -> ParallelRun {
-    let workers = workers.max(1);
     let group_prefix = rt.query.group_prefix;
-    let effective = if group_prefix == 0 { 1 } else { workers };
+    let effective = effective_workers(rt, workers);
     if effective == 1 {
         let mut engine = CograEngine::from_runtime(Arc::clone(rt));
         let (results, peak) = run_to_completion(&mut engine, events, 64);
@@ -56,10 +86,7 @@ pub fn run_parallel(rt: &Arc<QueryRuntime>, events: &[Event], workers: usize) ->
         let Some(key) = rt.partition_key(e) else {
             continue; // dropped consistently with every engine
         };
-        let mut h = DefaultHasher::new();
-        key[..group_prefix].hash(&mut h);
-        let shard = (h.finish() % effective as u64) as usize;
-        shards[shard].push(e.clone());
+        shards[shard_of(&key[..group_prefix], effective)].push(e.clone());
     }
 
     let mut outputs: Vec<(Vec<WindowResult>, usize)> = Vec::with_capacity(effective);
@@ -90,6 +117,287 @@ pub fn run_parallel(rt: &Arc<QueryRuntime>, events: &[Event], workers: usize) ->
         results,
         peak_bytes: peak,
         workers: effective,
+    }
+}
+
+/// Commands the coordinator sends down a worker's bounded channel.
+enum Cmd {
+    /// One event of this shard's sub-stream, in global time order.
+    Event(Event),
+    /// Advance to the global watermark and emit everything now final.
+    Drain(Timestamp),
+    /// End of stream: close every open window, report, and exit.
+    Finish,
+}
+
+/// A worker's answer to [`Cmd::Drain`] / [`Cmd::Finish`].
+struct Reply {
+    /// Results finalized since the previous drain, in deterministic
+    /// (window, group) order.
+    results: Vec<WindowResult>,
+    /// The shard engine's current logical memory.
+    memory: usize,
+    /// The shard engine's peak logical memory so far (sampled every 64
+    /// events plus at every drain, like the measurement harness).
+    peak: usize,
+}
+
+struct Worker {
+    /// `None` once the pool has finished (dropping it closes the channel).
+    tx: Option<SyncSender<Cmd>>,
+    rx: Receiver<Reply>,
+    thread: Option<JoinHandle<()>>,
+    /// Mirrors of the worker's last report, so [`StreamingPool::memory_bytes`]
+    /// needs no synchronous round trip.
+    memory: usize,
+    peak: usize,
+}
+
+/// A worker's channel closed before the pool finished: the worker exited
+/// early, almost certainly by panicking. Join it and re-raise the original
+/// payload so the root cause is not masked by a generic channel error.
+fn reap(w: &mut Worker) -> ! {
+    w.tx = None;
+    match w.thread.take().map(JoinHandle::join) {
+        Some(Err(payload)) => std::panic::resume_unwind(payload),
+        _ => panic!("shard worker exited unexpectedly"),
+    }
+}
+
+/// Per-event backpressure bound: a worker that falls this many events
+/// behind blocks ingestion instead of buffering without limit.
+const CHANNEL_CAPACITY: usize = 1024;
+
+/// Live §8 sharded execution: one long-lived [`CograEngine`] worker
+/// thread per shard, fed through bounded channels, with watermark-driven
+/// result emission.
+///
+/// Events are hashed to their shard *at ingest time* (same group-prefix
+/// hash as [`run_parallel`], so the two modes are byte-identical), each
+/// worker aggregates its sub-stream independently, and
+/// [`StreamingPool::drain_into`] broadcasts the global watermark before
+/// collecting: every window that closed globally is emitted, even on a
+/// shard whose own sub-stream went quiet. The final merged output equals
+/// the batch reference — asserted by `tests/streaming_parallel_props.rs`.
+pub struct StreamingPool {
+    rt: Arc<QueryRuntime>,
+    workers: Vec<Worker>,
+    /// Global stream progress: the largest event time routed so far.
+    watermark: Timestamp,
+    finished: bool,
+}
+
+impl StreamingPool {
+    /// Spawn `workers` shard threads for a compiled query (clamped to 1
+    /// when the query has no `GROUP-BY` prefix to shard on).
+    pub fn new(rt: Arc<QueryRuntime>, workers: usize) -> StreamingPool {
+        let effective = effective_workers(&rt, workers);
+        let workers = (0..effective)
+            .map(|_| {
+                let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel(CHANNEL_CAPACITY);
+                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                let rt = Arc::clone(&rt);
+                let thread = std::thread::spawn(move || shard_worker(rt, cmd_rx, reply_tx));
+                Worker {
+                    tx: Some(cmd_tx),
+                    rx: reply_rx,
+                    thread: Some(thread),
+                    memory: 0,
+                    peak: 0,
+                }
+            })
+            .collect();
+        StreamingPool {
+            rt,
+            workers,
+            watermark: Timestamp::ZERO,
+            finished: false,
+        }
+    }
+
+    /// Number of shards actually in use (1 for queries without `GROUP-BY`).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Global stream progress: the largest event time routed so far.
+    /// Results for windows closing at or before it are final after the
+    /// next [`StreamingPool::drain_into`].
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// Summed shard-engine memory, as of each worker's last drain (the
+    /// engines run concurrently; there is no synchronous round trip here).
+    pub fn memory_bytes(&self) -> usize {
+        self.workers.iter().map(|w| w.memory).sum()
+    }
+
+    /// Summed shard-engine peaks (the workers run concurrently), as of
+    /// each worker's last drain; final once the pool has finished.
+    pub fn peak_bytes(&self) -> usize {
+        self.workers.iter().map(|w| w.peak).sum()
+    }
+
+    /// Route one event to its shard. Blocks when the shard is
+    /// [`CHANNEL_CAPACITY`] events behind (backpressure, not unbounded
+    /// buffering). Events must arrive in non-decreasing time order.
+    pub fn route(&mut self, event: &Event) {
+        assert!(!self.finished, "streaming pool already finished");
+        self.watermark = self.watermark.max(event.time);
+        if let Some(shard) = self.shard_for(event) {
+            self.send_event(shard, event.clone());
+        }
+    }
+
+    /// Like [`StreamingPool::route`], consuming the event.
+    pub fn route_owned(&mut self, event: Event) {
+        assert!(!self.finished, "streaming pool already finished");
+        self.watermark = self.watermark.max(event.time);
+        if let Some(shard) = self.shard_for(&event) {
+            self.send_event(shard, event);
+        }
+    }
+
+    /// The shard `event` belongs to; `None` drops it (no partition key),
+    /// consistently with every engine — decided *before* any clone.
+    fn shard_for(&self, event: &Event) -> Option<usize> {
+        if self.workers.len() == 1 {
+            // Single shard: the engine sees the whole stream, including
+            // events without a partition key (it drops them itself,
+            // exactly like a sequential run).
+            return Some(0);
+        }
+        let key = self.rt.partition_key(event)?;
+        Some(shard_of(
+            &key[..self.rt.query.group_prefix],
+            self.workers.len(),
+        ))
+    }
+
+    fn send_event(&mut self, shard: usize, event: Event) {
+        let w = &mut self.workers[shard];
+        let tx = w.tx.as_ref().expect("pool not finished");
+        if tx.send(Cmd::Event(event)).is_err() {
+            reap(w);
+        }
+    }
+
+    /// Emit every result final at the global watermark, merged across
+    /// shards in deterministic (window, group) order. Broadcasts the
+    /// watermark first, so shards whose sub-stream went quiet still close
+    /// the windows that closed globally.
+    pub fn drain_into(&mut self, out: &mut dyn FnMut(WindowResult)) {
+        if self.finished {
+            return;
+        }
+        self.round_trip(Cmd::Drain(self.watermark), out);
+    }
+
+    /// End of stream: close every open window on every shard, emit the
+    /// merged remainder, and join the worker threads. Further drains are
+    /// no-ops; further routing is a bug (and panics).
+    pub fn finish_into(&mut self, out: &mut dyn FnMut(WindowResult)) {
+        if self.finished {
+            return;
+        }
+        self.round_trip(Cmd::Finish, out);
+        self.finished = true;
+        for w in &mut self.workers {
+            w.tx = None; // close the channel …
+            if let Some(t) = w.thread.take() {
+                t.join().expect("shard worker panicked"); // … and reap
+            }
+        }
+    }
+
+    /// Broadcast one command to every shard, then merge the replies.
+    /// Command fan-out happens before any reply collection so the shards
+    /// drain concurrently.
+    fn round_trip(&mut self, cmd: Cmd, out: &mut dyn FnMut(WindowResult)) {
+        for w in &mut self.workers {
+            let c = match &cmd {
+                Cmd::Drain(wm) => Cmd::Drain(*wm),
+                Cmd::Finish => Cmd::Finish,
+                Cmd::Event(_) => unreachable!("events are routed, not broadcast"),
+            };
+            let tx = w.tx.as_ref().expect("pool not finished");
+            if tx.send(c).is_err() {
+                reap(w);
+            }
+        }
+        let mut merged = Vec::new();
+        for w in &mut self.workers {
+            let Ok(reply) = w.rx.recv() else { reap(w) };
+            w.memory = reply.memory;
+            w.peak = reply.peak;
+            merged.extend(reply.results);
+        }
+        // Shards own disjoint (window, group) result spaces, so this sort
+        // is a deterministic merge — independent of the shard count.
+        WindowResult::sort(&mut merged);
+        for r in merged {
+            out(r);
+        }
+    }
+}
+
+impl Drop for StreamingPool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.tx = None; // close the channel so the worker loop exits
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+/// One shard's worker loop: a private [`CograEngine`] over the shard's
+/// sub-stream, replying to drain/finish round trips.
+fn shard_worker(rt: Arc<QueryRuntime>, rx: Receiver<Cmd>, tx: Sender<Reply>) {
+    let mut engine = CograEngine::from_runtime(rt);
+    let mut peak = engine.memory_bytes();
+    let mut since_sample = 0usize;
+    for cmd in rx {
+        match cmd {
+            Cmd::Event(e) => {
+                engine.process(&e);
+                since_sample += 1;
+                if since_sample >= 64 {
+                    peak = peak.max(engine.memory_bytes());
+                    since_sample = 0;
+                }
+            }
+            Cmd::Drain(wm) => {
+                peak = peak.max(engine.memory_bytes());
+                engine.advance_watermark(wm);
+                let mut results = Vec::new();
+                engine.drain_into(&mut |r| results.push(r));
+                if tx
+                    .send(Reply {
+                        results,
+                        memory: engine.memory_bytes(),
+                        peak,
+                    })
+                    .is_err()
+                {
+                    return; // coordinator dropped mid-drain
+                }
+            }
+            Cmd::Finish => {
+                peak = peak.max(engine.memory_bytes());
+                let mut results = Vec::new();
+                engine.finish_into(&mut |r| results.push(r));
+                peak = peak.max(engine.peak_hint());
+                let _ = tx.send(Reply {
+                    results,
+                    memory: engine.memory_bytes(),
+                    peak,
+                });
+                return;
+            }
+        }
     }
 }
 
@@ -159,5 +467,114 @@ mod tests {
         let run = run_parallel(&rt, &events, 8);
         assert_eq!(run.workers, 1);
         assert!(!run.results.is_empty());
+    }
+
+    #[test]
+    fn streaming_pool_matches_batch_reference() {
+        let (rt, events) = setup(300);
+        let batch = run_parallel(&rt, &events, 1);
+        for workers in [1, 2, 4, 8] {
+            let mut pool = StreamingPool::new(Arc::clone(&rt), workers);
+            let mut results = Vec::new();
+            let mut push = |r: WindowResult| results.push(r);
+            for (i, e) in events.iter().enumerate() {
+                pool.route(e);
+                if i % 50 == 49 {
+                    pool.drain_into(&mut push);
+                }
+            }
+            pool.finish_into(&mut push);
+            WindowResult::sort(&mut results);
+            assert_eq!(results, batch.results, "workers={workers}");
+            assert_eq!(pool.workers(), workers);
+            assert!(pool.peak_bytes() > 0, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn streaming_pool_drains_live_before_finish() {
+        let (rt, events) = setup(300);
+        let mut pool = StreamingPool::new(Arc::clone(&rt), 4);
+        let mut live = Vec::new();
+        for e in &events {
+            pool.route(e);
+        }
+        pool.drain_into(&mut |r| live.push(r));
+        assert!(
+            !live.is_empty(),
+            "closed windows are emitted before finish()"
+        );
+        // The window containing the watermark is still open.
+        let spec = rt.query.window;
+        let last_closed = spec.last_closed(pool.watermark()).unwrap();
+        assert!(live.iter().all(|r| r.window <= last_closed));
+        let mut rest = Vec::new();
+        pool.finish_into(&mut |r| rest.push(r));
+        live.extend(rest);
+        WindowResult::sort(&mut live);
+        assert_eq!(live, run_parallel(&rt, &events, 4).results);
+    }
+
+    #[test]
+    fn quiet_shard_still_closes_global_windows() {
+        // Every event goes to one group, so with many shards all but one
+        // worker see an empty sub-stream — the watermark broadcast alone
+        // must close their (empty) windows and the drain must still emit
+        // the busy shard's finalized results.
+        let mut reg = TypeRegistry::new();
+        let a = reg.register_type("A", vec![("g", ValueKind::Int), ("v", ValueKind::Int)]);
+        let b = reg.register_type("B", vec![("g", ValueKind::Int), ("v", ValueKind::Int)]);
+        let q = cogra_query::parse(
+            "RETURN g, COUNT(*) PATTERN SEQ(A+, B) SEMANTICS ANY \
+             GROUP-BY g WITHIN 8 SLIDE 4",
+        )
+        .unwrap();
+        let rt = Arc::new(QueryRuntime::new(
+            cogra_query::compile(&q, &reg).unwrap(),
+            &reg,
+        ));
+        let mut builder = EventBuilder::new();
+        let events: Vec<Event> = (0..40)
+            .map(|i| {
+                let ty = if i % 3 == 2 { b } else { a };
+                builder.event((i + 1) as u64, ty, vec![Value::Int(1), Value::Int(i)])
+            })
+            .collect();
+        let mut pool = StreamingPool::new(Arc::clone(&rt), 8);
+        let mut live = Vec::new();
+        for e in &events {
+            pool.route(e);
+        }
+        pool.drain_into(&mut |r| live.push(r));
+        assert!(!live.is_empty());
+        pool.finish_into(&mut |r| live.push(r));
+        WindowResult::sort(&mut live);
+        assert_eq!(live, run_parallel(&rt, &events, 8).results);
+    }
+
+    #[test]
+    fn pool_finish_is_idempotent_and_no_group_clamps_to_one() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register_type("A", vec![("v", ValueKind::Int)]);
+        let q = cogra_query::parse("RETURN COUNT(*) PATTERN A+ WITHIN 8 SLIDE 4").unwrap();
+        let rt = Arc::new(QueryRuntime::new(
+            cogra_query::compile(&q, &reg).unwrap(),
+            &reg,
+        ));
+        let mut pool = StreamingPool::new(Arc::clone(&rt), 8);
+        assert_eq!(pool.workers(), 1, "no GROUP-BY ⇒ one shard");
+        let mut b = EventBuilder::new();
+        for i in 0..20u64 {
+            pool.route_owned(b.event(i + 1, a, vec![Value::Int(i as i64)]));
+        }
+        let mut out = Vec::new();
+        pool.finish_into(&mut |r| out.push(r));
+        assert!(!out.is_empty());
+        let n = out.len();
+        let mut extra = 0usize;
+        pool.finish_into(&mut |_| extra += 1);
+        pool.drain_into(&mut |_| extra += 1);
+        assert_eq!(extra, 0, "post-finish drains emit nothing");
+        assert_eq!(out.len(), n);
     }
 }

@@ -33,13 +33,15 @@
 //! * `.slack(n)` fuses a [`Reorderer`] into ingestion: bounded disorder is
 //!   repaired before the engines see the events, and late drops are
 //!   surfaced via [`Session::late_events`].
-//! * `.workers(n)` routes execution through [`run_parallel`]'s
-//!   per-partition sharding (§8) — COGRA only, batch semantics.
+//! * `.workers(n)` shards execution across a live [`StreamingPool`] (§8)
+//!   — COGRA only. Events are hashed to per-worker threads at ingest
+//!   time and [`Session::drain_into`] emits results for closed windows
+//!   while the stream is still running, exactly as in sequential mode.
 //! * Output is push-based: engines hand each [`WindowResult`] to a
 //!   [`ResultSink`] without materializing intermediate vectors.
 
 use crate::cogra::CograEngine;
-use crate::parallel::run_parallel;
+use crate::parallel::StreamingPool;
 use cogra_baselines::{aseq_engine, flink_engine, greta_engine, oracle_engine, sase_engine};
 use cogra_engine::runtime::{EngineConfig, QueryRuntime};
 use cogra_engine::{TrendEngine, WindowResult};
@@ -271,8 +273,11 @@ impl SessionBuilder {
     }
 
     /// Execute with `workers` parallel per-partition shards (§8) — COGRA
-    /// only. Sharded execution is batch: results are emitted at
-    /// [`Session::finish_into`] / [`Session::run`].
+    /// only. Sharded execution is live: every query gets a
+    /// [`StreamingPool`] of long-lived worker threads, events are hashed
+    /// to their shard at ingest time, and [`Session::drain_into`] emits
+    /// results for closed windows while the stream is still flowing.
+    /// Queries without a `GROUP-BY` prefix clamp to one shard.
     pub fn workers(mut self, workers: usize) -> SessionBuilder {
         self.workers = workers.max(1);
         self
@@ -300,19 +305,16 @@ impl SessionBuilder {
             .collect::<Result<_, _>>()?;
 
         let mode = if self.workers > 1 {
-            let runtimes = queries
+            let pools = queries
                 .iter()
                 .enumerate()
-                .map(|(i, q)| cogra_runtime(q, registry, &self.config).map_err(attribute(i)))
+                .map(|(i, q)| {
+                    cogra_runtime(q, registry, &self.config)
+                        .map(|rt| StreamingPool::new(rt, self.workers))
+                        .map_err(attribute(i))
+                })
                 .collect::<Result<Vec<_>, SessionError>>()?;
-            Mode::Parallel {
-                runtimes,
-                workers: self.workers,
-                buffered: Vec::new(),
-                watermark: Timestamp::ZERO,
-                peak: 0,
-                effective: 1,
-            }
+            Mode::Parallel { pools }
         } else {
             let engines = queries
                 .iter()
@@ -343,18 +345,10 @@ impl SessionBuilder {
 enum Mode {
     /// Push-through: every released event goes straight into the engines.
     Streaming { engines: Vec<Box<dyn TrendEngine>> },
-    /// §8 sharded execution: buffer the (reordered) stream, run
-    /// [`run_parallel`] per query when the session finishes.
-    Parallel {
-        runtimes: Vec<Arc<QueryRuntime>>,
-        workers: usize,
-        buffered: Vec<Event>,
-        watermark: Timestamp,
-        /// Filled in by `finish_into`: summed worker peaks and the widest
-        /// effective worker count `run_parallel` actually used.
-        peak: usize,
-        effective: usize,
-    },
+    /// §8 sharded execution, live: every released event is hashed to its
+    /// shard's worker thread at ingest time (one [`StreamingPool`] per
+    /// query), and drains emit watermark-final results mid-stream.
+    Parallel { pools: Vec<StreamingPool> },
 }
 
 /// Push-based consumer of session results.
@@ -406,11 +400,13 @@ pub struct SessionRun {
     /// [`run_to_completion`]: cogra_engine::run_to_completion
     pub per_query: Vec<Vec<WindowResult>>,
     /// Peak logical memory across the run. Streaming mode sums the
-    /// engines (every query is live at once); `.workers(n)` mode reports
-    /// the widest single query (queries shard one after another, with
-    /// each query's concurrent worker peaks summed by `run_parallel`).
+    /// engines (every query is live at once); `.workers(n)` mode sums the
+    /// shard engines' own peaks across every query's pool (all shard
+    /// workers run concurrently).
     pub peak_bytes: usize,
-    /// Workers actually used (1 unless `.workers(n)` applied).
+    /// Workers actually used: the widest effective shard count across
+    /// queries (1 unless `.workers(n)` applied; also 1 when no query has
+    /// a `GROUP-BY` prefix to shard on).
     pub workers: usize,
     /// Late events dropped by the `.slack(n)` reorderer (0 without slack).
     pub late_events: u64,
@@ -460,13 +456,13 @@ impl Session {
     pub fn queries(&self) -> usize {
         match &self.mode {
             Mode::Streaming { engines } => engines.len(),
-            Mode::Parallel { runtimes, .. } => runtimes.len(),
+            Mode::Parallel { pools } => pools.len(),
         }
     }
 
     /// Ingest one event. With `.slack(n)` the event may be buffered (or
-    /// dropped as late); in `.workers(n)` mode released events are
-    /// retained until [`Session::finish_into`].
+    /// dropped as late); in `.workers(n)` mode released events are hashed
+    /// to their shard's worker thread immediately.
     pub fn process(&mut self, event: &Event) {
         if self.reorderer.is_some() {
             self.pump(|reorderer, out| reorderer.push(event.clone(), out));
@@ -491,18 +487,29 @@ impl Session {
     }
 
     /// Emit every result final at the current watermark. In `.workers(n)`
-    /// mode execution is deferred to the end of the stream, so this emits
-    /// nothing.
+    /// mode this broadcasts the global watermark to the shards first, so
+    /// results flow live even when some shard's sub-stream went quiet.
     pub fn drain_into(&mut self, sink: &mut dyn ResultSink) {
-        if let Mode::Streaming { engines } = &mut self.mode {
-            for (i, engine) in engines.iter_mut().enumerate() {
-                engine.drain_into(&mut |r| sink.emit(i, r));
+        match &mut self.mode {
+            Mode::Streaming { engines } => {
+                for (i, engine) in engines.iter_mut().enumerate() {
+                    engine.drain_into(&mut |r| sink.emit(i, r));
+                }
+            }
+            Mode::Parallel { pools } => {
+                for (i, pool) in pools.iter_mut().enumerate() {
+                    pool.drain_into(&mut |r| sink.emit(i, r));
+                }
             }
         }
     }
 
     /// End of stream: flush the reorderer, close every open window, and —
-    /// in `.workers(n)` mode — run the sharded execution.
+    /// in `.workers(n)` mode — join the shard workers.
+    ///
+    /// The session is exhausted afterwards: further
+    /// [`Session::process`] calls are unsupported (in `.workers(n)` mode
+    /// they panic — the shard workers are gone).
     pub fn finish_into(&mut self, sink: &mut dyn ResultSink) {
         self.pump(|reorderer, out| reorderer.flush(out));
         match &mut self.mode {
@@ -511,25 +518,10 @@ impl Session {
                     engine.finish_into(&mut |r| sink.emit(i, r));
                 }
             }
-            Mode::Parallel {
-                runtimes,
-                workers,
-                buffered,
-                peak,
-                effective,
-                ..
-            } => {
-                for (i, rt) in runtimes.iter().enumerate() {
-                    let run = run_parallel(rt, buffered, *workers);
-                    // Queries execute one after another here, so the
-                    // concurrent peak is the widest query, not the sum.
-                    *peak = (*peak).max(run.peak_bytes);
-                    *effective = (*effective).max(run.workers);
-                    for r in run.results {
-                        sink.emit(i, r);
-                    }
+            Mode::Parallel { pools } => {
+                for (i, pool) in pools.iter_mut().enumerate() {
+                    pool.finish_into(&mut |r| sink.emit(i, r));
                 }
-                buffered.clear();
             }
         }
     }
@@ -554,20 +546,21 @@ impl Session {
     }
 
     /// Logical memory footprint: the engines' exact accounting in
-    /// streaming mode, the buffered stream in `.workers(n)` mode (events
-    /// are retained until [`Session::finish_into`] shards them). The
-    /// `.slack(n)` reorder buffer is excluded — it is bounded by
-    /// slack × rate and not an engine metric of §9.1.
+    /// streaming mode; in `.workers(n)` mode the summed shard engines,
+    /// as of each worker's last drain (the shards run concurrently, so
+    /// there is no synchronous round trip here). The `.slack(n)` reorder
+    /// buffer is excluded — it is bounded by slack × rate and not an
+    /// engine metric of §9.1.
     pub fn memory_bytes(&self) -> usize {
         match &self.mode {
             Mode::Streaming { engines } => engines.iter().map(|e| e.memory_bytes()).sum(),
-            Mode::Parallel { buffered, .. } => buffered.iter().map(Event::memory_bytes).sum(),
+            Mode::Parallel { pools } => pools.iter().map(StreamingPool::memory_bytes).sum(),
         }
     }
 
     /// The minimum engine watermark across queries — results at or before
-    /// it are final everywhere. (In `.workers(n)` mode: the latest
-    /// buffered event time.)
+    /// it are final everywhere. (In `.workers(n)` mode: the latest event
+    /// time routed to the shards.)
     pub fn watermark(&self) -> Timestamp {
         match &self.mode {
             Mode::Streaming { engines } => engines
@@ -575,7 +568,11 @@ impl Session {
                 .map(|e| e.watermark())
                 .min()
                 .unwrap_or(Timestamp::ZERO),
-            Mode::Parallel { watermark, .. } => *watermark,
+            Mode::Parallel { pools } => pools
+                .iter()
+                .map(StreamingPool::watermark)
+                .min()
+                .unwrap_or(Timestamp::ZERO),
         }
     }
 
@@ -591,48 +588,29 @@ impl Session {
     /// results (sorted per query), peak memory (sampled every 64 events,
     /// like the harness), workers used, and late-event drops.
     pub fn run(mut self, events: &[Event]) -> SessionRun {
-        // Fast path: sharded execution over an already-ordered batch can
-        // consume the caller's slice directly — no per-event buffering
-        // clone (run_parallel clones once, into the shards).
-        if self.reorderer.is_none() {
-            if let Mode::Parallel {
-                runtimes,
-                workers,
-                buffered,
-                ..
-            } = &self.mode
-            {
-                if buffered.is_empty() {
-                    let mut per_query = Vec::with_capacity(runtimes.len());
-                    let mut peak = 0usize;
-                    let mut effective = 1usize;
-                    for rt in runtimes {
-                        let run = run_parallel(rt, events, *workers);
-                        // Queries run sequentially: peak = widest query.
-                        peak = peak.max(run.peak_bytes);
-                        effective = effective.max(run.workers);
-                        per_query.push(run.results);
-                    }
-                    return SessionRun {
-                        per_query,
-                        peak_bytes: peak,
-                        workers: effective,
-                        late_events: 0,
-                    };
-                }
-                // Events already ingested via process() sit in `buffered`;
-                // fall through to the generic path so they are included.
-            }
-        }
         let mut per_query: Vec<Vec<WindowResult>> = vec![Vec::new(); self.queries()];
+        let sharded = matches!(self.mode, Mode::Parallel { .. });
         let mut peak = self.memory_bytes();
         {
             let mut sink = |query: usize, result: WindowResult| per_query[query].push(result);
             for (i, event) in events.iter().enumerate() {
                 self.process(event);
-                self.drain_into(&mut sink);
-                if i % 64 == 0 {
-                    peak = peak.max(self.memory_bytes());
+                if sharded {
+                    // A shard drain is a cross-thread round trip; amortize
+                    // it over a coarse stride instead of paying it per
+                    // event. (Drains also refresh the memory mirrors, so
+                    // sampling rides along; the workers sample their own
+                    // peaks besides.) Emission timing is coarser, but the
+                    // collected result set is identical.
+                    if i % 256 == 255 {
+                        self.drain_into(&mut sink);
+                        peak = peak.max(self.memory_bytes());
+                    }
+                } else {
+                    self.drain_into(&mut sink);
+                    if i % 64 == 0 {
+                        peak = peak.max(self.memory_bytes());
+                    }
                 }
             }
             peak = peak.max(self.memory_bytes());
@@ -646,15 +624,13 @@ impl Session {
                 peak.max(engines.iter().map(|e| e.peak_hint()).sum::<usize>()),
                 1,
             ),
-            // Engine peaks only (run_parallel accounted them inside
-            // finish_into) — the ingestion buffer is not an engine
-            // metric, and the batch fast path never sees one, so both
-            // paths report the same §9.1 quantity.
-            Mode::Parallel {
-                peak: shard_peak,
-                effective,
-                ..
-            } => (*shard_peak, *effective),
+            // The workers' own peak accounting (sampled inside the shard
+            // threads, summed across the concurrent pools) — the
+            // coordinator-side samples above only mirror it with a lag.
+            Mode::Parallel { pools } => (
+                pools.iter().map(StreamingPool::peak_bytes).sum(),
+                pools.iter().map(StreamingPool::workers).max().unwrap_or(1),
+            ),
         };
         SessionRun {
             per_query,
@@ -683,23 +659,20 @@ impl Mode {
                     engine.process(event);
                 }
             }
-            Mode::Parallel { .. } => self.route_owned(event.clone()),
+            Mode::Parallel { pools } => {
+                for pool in pools {
+                    pool.route(event);
+                }
+            }
         }
     }
 
-    /// Like [`Mode::route`], but consumes the event — spares the clone
-    /// when buffering for sharded execution.
+    /// Like [`Mode::route`], but consumes the event — spares one clone on
+    /// the single-query sharded path.
     fn route_owned(&mut self, event: Event) {
         match self {
-            Mode::Streaming { .. } => self.route(&event),
-            Mode::Parallel {
-                buffered,
-                watermark,
-                ..
-            } => {
-                *watermark = (*watermark).max(event.time);
-                buffered.push(event);
-            }
+            Mode::Parallel { pools } if pools.len() == 1 => pools[0].route_owned(event),
+            _ => self.route(&event),
         }
     }
 }
@@ -889,7 +862,7 @@ mod tests {
             .run(&events);
 
         // Workers session: part pushed via process(), rest via run() —
-        // the batch fast path must not drop the buffered head.
+        // the shards must already hold the head of the stream.
         let mut sharded = Session::builder()
             .query(Q_ANY)
             .workers(4)
@@ -898,9 +871,39 @@ mod tests {
         for e in head {
             sharded.process(e);
         }
-        assert!(sharded.memory_bytes() > 0, "buffered events are accounted");
+        assert_eq!(sharded.watermark(), Timestamp(20), "head already routed");
         let run = sharded.run(tail);
         assert_eq!(run.per_query, expected.per_query);
+    }
+
+    #[test]
+    fn workers_drain_is_live_before_finish() {
+        let reg = registry();
+        let events = stream(&reg, 60);
+        let mut session = Session::builder()
+            .query(Q_ANY)
+            .workers(4)
+            .build(&reg)
+            .unwrap();
+        let mut live: Vec<TaggedResult> = Vec::new();
+        for e in &events {
+            session.process(e);
+        }
+        session.drain_into(&mut live);
+        assert!(
+            !live.is_empty(),
+            "closed windows are emitted before finish() under workers"
+        );
+        session.finish_into(&mut live);
+
+        let mut got: Vec<WindowResult> = live.into_iter().map(|t| t.result).collect();
+        WindowResult::sort(&mut got);
+        let expected = Session::builder()
+            .query(Q_ANY)
+            .build(&reg)
+            .unwrap()
+            .run(&events);
+        assert_eq!(vec![got], expected.per_query);
     }
 
     #[test]

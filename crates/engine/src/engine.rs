@@ -62,6 +62,16 @@ pub trait TrendEngine {
 
     /// The latest event time seen.
     fn watermark(&self) -> Timestamp;
+
+    /// Advance the watermark without an event, promising that every event
+    /// still to come has time `>= to`. Used by sharded execution: a
+    /// coordinator broadcasts global stream progress so a shard whose
+    /// sub-stream went quiet can still finalize windows that closed
+    /// globally. Times already passed are ignored; the default is a no-op
+    /// for engines that only ever see the whole stream.
+    fn advance_watermark(&mut self, to: Timestamp) {
+        let _ = to;
+    }
 }
 
 /// Run an engine over a full stream, tracking the peak of

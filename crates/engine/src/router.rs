@@ -222,4 +222,13 @@ impl<W: WindowAlgo> TrendEngine for Router<W> {
     fn watermark(&self) -> Timestamp {
         self.watermark
     }
+
+    fn advance_watermark(&mut self, to: Timestamp) {
+        // Safe because callers promise no event with time < `to` follows:
+        // windows containing `to` itself stay open (a window is closed
+        // only when its *exclusive* end is at or before the watermark), so
+        // an in-flight stream transaction at exactly `to` still lands in
+        // every window it belongs to.
+        self.watermark = self.watermark.max(to);
+    }
 }

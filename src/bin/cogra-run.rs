@@ -15,6 +15,9 @@
 //!   (repeat the flag for a multi-query workload over the same stream);
 //! * `--engine` — which engine to run (default `cogra`);
 //! * `--workers` — parallel per-partition shards (§8, COGRA only);
+//!   execution streams through per-worker threads and the summary line
+//!   reports the *effective* shard count (1 when a query has no
+//!   `GROUP-BY` prefix to shard on);
 //! * `--slack`  — repair up to N ticks of disorder before ingestion and
 //!   report how many late events had to be dropped;
 //! * `--explain` / `--dot` — print the compiled plan / Graphviz automaton;
@@ -181,15 +184,16 @@ fn run() -> Result<(), String> {
     // Count what the engines actually ingested: late drops are reported
     // on their own line, not in the headline.
     let ingested = events.len() as u64 - run.late_events;
+    // Report the shard count actually used, not the one requested: a
+    // query without a GROUP-BY prefix clamps to one worker.
+    let workers = match (args.workers, run.workers) {
+        (requested, _) if requested <= 1 => String::new(),
+        (requested, effective) if effective == requested => format!(", {effective} workers"),
+        (requested, effective) => format!(", {effective} of {requested} workers effective"),
+    };
     eprintln!(
-        "{ingested} events → {} results ({}{})",
-        total,
-        args.engine,
-        if run.workers > 1 {
-            format!(", {} workers", run.workers)
-        } else {
-            String::new()
-        }
+        "{ingested} events → {total} results ({}{workers})",
+        args.engine
     );
     if args.slack.is_some() {
         eprintln!("reorder: {} late event(s) dropped", run.late_events);

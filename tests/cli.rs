@@ -117,6 +117,33 @@ fn explain_and_dot_render() {
 }
 
 #[test]
+fn workers_report_effective_shard_count() {
+    // The fixture query groups by patient, so all requested shards are
+    // usable — the summary reports the requested count.
+    let f = Fixture::new("workers");
+    let (ok, grouped_out, stderr) = f.run(&["--slack", "3", "--workers", "2"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("2 workers"), "{stderr}");
+    let (_, sequential_out, _) = f.run(&["--slack", "3"]);
+    assert_eq!(
+        grouped_out, sequential_out,
+        "sharding must not change results"
+    );
+
+    // A query with no GROUP-BY cannot shard: requested 4, effective 1.
+    let f = Fixture::new("workers-nogroup");
+    std::fs::write(
+        f.dir.join("query.cep"),
+        "RETURN COUNT(*) PATTERN Measurement M+ SEMANTICS skip-till-any-match \
+         WITHIN 100 SLIDE 100\n",
+    )
+    .unwrap();
+    let (ok, _, stderr) = f.run(&["--slack", "3", "--workers", "4"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("1 of 4 workers effective"), "{stderr}");
+}
+
+#[test]
 fn bad_arguments_report_errors() {
     let out = Command::new(env!("CARGO_BIN_EXE_cogra-run"))
         .arg("--nonsense")

@@ -169,6 +169,105 @@ fn one_worker_equals_many_workers() {
     }
 }
 
+/// Incremental emission under sharded execution: every mid-stream drain
+/// must emit a *prefix-consistent* slice of the final result set — only
+/// results that survive to the end (subset), and *all* of them for every
+/// window that closed at or before the drain's watermark (completeness).
+#[test]
+fn workers_drains_are_prefix_consistent_and_complete() {
+    let (registry, events, query) = transport_setup();
+    let expected = direct(EngineKind::Cogra, &query, &registry, &events);
+    // transport_setup uses grouping_query(120, 60).
+    let spec = WindowSpec::new(120, 60);
+    for workers in [2, 4, 8] {
+        let mut session = Session::builder()
+            .query(query.as_str())
+            .workers(workers)
+            .build(&registry)
+            .expect("session builds");
+        let mut emitted: Vec<WindowResult> = Vec::new();
+        let mut drains_with_output = 0usize;
+        for (i, e) in events.iter().enumerate() {
+            session.process(e);
+            if i % 25 == 24 {
+                let before = emitted.len();
+                session.drain_into(&mut emitted);
+                if emitted.len() > before {
+                    drains_with_output += 1;
+                }
+                for r in &emitted[before..] {
+                    assert!(
+                        expected.contains(r),
+                        "workers={workers}: drained result not in final set: {r}"
+                    );
+                }
+                let watermark = session.watermark();
+                if let Some(last_closed) = spec.last_closed(watermark) {
+                    for r in expected.iter().filter(|r| r.window <= last_closed) {
+                        assert!(
+                            emitted.contains(r),
+                            "workers={workers}: window {} closed at watermark {} \
+                             but its result was not emitted",
+                            r.window,
+                            watermark.ticks(),
+                        );
+                    }
+                }
+            }
+        }
+        assert!(
+            drains_with_output > 1,
+            "workers={workers}: results must flow live, not only at finish()"
+        );
+        session.finish_into(&mut emitted);
+        WindowResult::sort(&mut emitted);
+        assert_eq!(emitted, expected, "workers={workers}");
+    }
+}
+
+/// `.slack(n)` × `.workers(n)`: the reorderer sits in front of the shard
+/// router, so late-event drop counts must not depend on the worker count,
+/// and every event the reorderer releases must land on the shard its
+/// group hashes to — proven by byte-identical results across counts.
+#[test]
+fn slack_late_drops_are_identical_across_worker_counts() {
+    let (registry, events, query) = transport_setup();
+    let mut shuffled = disorder(&events, 5);
+    // Re-append the first 10 events at the end of the stream: their times
+    // are far behind the watermark by then, so each is a guaranteed drop.
+    shuffled.extend(events[..10].iter().cloned());
+
+    let reference = Session::builder()
+        .query(query.as_str())
+        .slack(3)
+        .build(&registry)
+        .expect("session builds")
+        .run(&shuffled);
+    assert!(
+        reference.late_events >= 10,
+        "the stragglers must actually be dropped (got {})",
+        reference.late_events
+    );
+
+    for workers in [1, 2, 4, 8] {
+        let run = Session::builder()
+            .query(query.as_str())
+            .slack(3)
+            .workers(workers)
+            .build(&registry)
+            .expect("session builds")
+            .run(&shuffled);
+        assert_eq!(
+            run.late_events, reference.late_events,
+            "workers={workers}: late-drop count depends on worker count"
+        );
+        assert_eq!(
+            run.per_query, reference.per_query,
+            "workers={workers}: a released late event landed on the wrong shard"
+        );
+    }
+}
+
 #[test]
 fn slack_composes_with_workers() {
     let (registry, events, query) = transport_setup();

@@ -132,6 +132,16 @@ impl CograEngine {
     pub fn runtime(&self) -> &QueryRuntime {
         self.0.runtime()
     }
+
+    /// Ingest one event whose full-key hash the caller already computed
+    /// ([`QueryRuntime::key_hash`]) — the §8 shard workers hash at ingest
+    /// time for placement and hand the hash down, so the key is extracted
+    /// exactly once per event. See [`Router::process_prehashed`].
+    ///
+    /// [`Router::process_prehashed`]: crate::router::Router::process_prehashed
+    pub fn process_prehashed(&mut self, event: &Event, key_hash: Option<u64>) {
+        self.0.process_prehashed(event, key_hash)
+    }
 }
 
 impl TrendEngine for CograEngine {
@@ -165,5 +175,9 @@ impl TrendEngine for CograEngine {
 
     fn advance_watermark(&mut self, to: Timestamp) {
         self.0.advance_watermark(to)
+    }
+
+    fn run_stats(&self) -> cogra_engine::RunStats {
+        self.0.run_stats()
     }
 }

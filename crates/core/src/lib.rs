@@ -39,9 +39,11 @@ pub use cogra_engine::{agg, engine, output, router, runtime};
 pub use cogra::{CograEngine, CograWindow};
 pub use cogra_engine::{
     run_to_completion, AggLayout, AggValue, Cell, DisjunctRuntime, EngineConfig, EventBinds, Feed,
-    GroupKey, Output, QueryRuntime, Router, SlotFunc, TrendEngine, Val, WindowAlgo, WindowResult,
+    GroupKey, KeyInterner, Output, PartitionId, QueryRuntime, Router, RunStats, SlotFunc,
+    TrendEngine, Val, WindowAlgo, WindowResult,
 };
 pub use parallel::{run_parallel, ParallelRun, StreamingPool};
 pub use session::{
-    EngineKind, ResultSink, Session, SessionBuilder, SessionError, SessionRun, TaggedResult,
+    EngineKind, IngestError, ResultSink, Session, SessionBuilder, SessionError, SessionRun,
+    TaggedResult,
 };

@@ -27,20 +27,27 @@ use crate::cogra::CograEngine;
 use crate::engine::{run_to_completion, TrendEngine};
 use crate::output::WindowResult;
 use crate::runtime::QueryRuntime;
-use cogra_events::{Event, Timestamp, Value};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use cogra_engine::RunStats;
+use cogra_events::{Event, Timestamp};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Shard index of one output group — THE hash both the batch reference
-/// ([`run_parallel`]) and the [`StreamingPool`] use, kept in one place so
-/// the two execution modes cannot disagree about event placement.
-fn shard_of(group: &[Value], shards: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    group.hash(&mut h);
-    (h.finish() % shards as u64) as usize
+/// Shard index of a group-prefix hash — THE placement rule shared by the
+/// batch reference ([`run_parallel`]) and the [`StreamingPool`], kept in
+/// one place so the two execution modes cannot disagree.
+fn shard_index(group_hash: u64, shards: usize) -> usize {
+    (group_hash % shards as u64) as usize
+}
+
+/// Shard placement and the worker-side interner probe share one in-place
+/// hashing pass ([`QueryRuntime::route_hashes`]): the group-prefix hash
+/// decides the shard, the full-key hash rides along to the worker so
+/// [`CograEngine::process_prehashed`] never re-extracts the key. `None`
+/// drops the event (no partition key), consistently with every engine.
+fn route_of(rt: &QueryRuntime, event: &Event, shards: usize) -> Option<(usize, u64)> {
+    let (group_hash, key_hash) = rt.route_hashes(event)?;
+    Some((shard_index(group_hash, shards), key_hash))
 }
 
 /// How many shards a query can use: the requested worker count, unless
@@ -68,7 +75,6 @@ pub struct ParallelRun {
 /// shards. Returns the same results as a single [`CograEngine`] fed the
 /// whole stream (asserted by the `parallel_equals_sequential` tests).
 pub fn run_parallel(rt: &Arc<QueryRuntime>, events: &[Event], workers: usize) -> ParallelRun {
-    let group_prefix = rt.query.group_prefix;
     let effective = effective_workers(rt, workers);
     if effective == 1 {
         let mut engine = CograEngine::from_runtime(Arc::clone(rt));
@@ -80,13 +86,16 @@ pub fn run_parallel(rt: &Arc<QueryRuntime>, events: &[Event], workers: usize) ->
         };
     }
 
-    // Shard by the output-group prefix of the partition key.
+    // Shard by the output-group prefix of the partition key — hashed in
+    // place, no key materialized. Only the group hash is needed here:
+    // the shard engines replay through `process`, which computes the
+    // full-key hash itself exactly once.
     let mut shards: Vec<Vec<Event>> = vec![Vec::new(); effective];
     for e in events {
-        let Some(key) = rt.partition_key(e) else {
+        let Some(group_hash) = rt.group_hash(e) else {
             continue; // dropped consistently with every engine
         };
-        shards[shard_of(&key[..group_prefix], effective)].push(e.clone());
+        shards[shard_index(group_hash, effective)].push(e.clone());
     }
 
     let mut outputs: Vec<(Vec<WindowResult>, usize)> = Vec::with_capacity(effective);
@@ -122,8 +131,10 @@ pub fn run_parallel(rt: &Arc<QueryRuntime>, events: &[Event], workers: usize) ->
 
 /// Commands the coordinator sends down a worker's bounded channel.
 enum Cmd {
-    /// One event of this shard's sub-stream, in global time order.
-    Event(Event),
+    /// One event of this shard's sub-stream, in global time order, with
+    /// its full partition-key hash precomputed at ingest (`None`: the
+    /// event's type has no partition key; the engine drops it itself).
+    Event(Event, Option<u64>),
     /// Advance to the global watermark and emit everything now final.
     Drain(Timestamp),
     /// End of stream: close every open window, report, and exit.
@@ -140,6 +151,8 @@ struct Reply {
     /// The shard engine's peak logical memory so far (sampled every 64
     /// events plus at every drain, like the measurement harness).
     peak: usize,
+    /// The shard engine's routing hot-path counters so far.
+    stats: RunStats,
 }
 
 struct Worker {
@@ -151,6 +164,7 @@ struct Worker {
     /// needs no synchronous round trip.
     memory: usize,
     peak: usize,
+    stats: RunStats,
 }
 
 /// A worker's channel closed before the pool finished: the worker exited
@@ -204,6 +218,7 @@ impl StreamingPool {
                     thread: Some(thread),
                     memory: 0,
                     peak: 0,
+                    stats: RunStats::default(),
                 }
             })
             .collect();
@@ -239,14 +254,24 @@ impl StreamingPool {
         self.workers.iter().map(|w| w.peak).sum()
     }
 
+    /// Summed shard-engine routing counters ([`RunStats`]), as of each
+    /// worker's last drain; final once the pool has finished.
+    pub fn run_stats(&self) -> RunStats {
+        let mut total = RunStats::default();
+        for w in &self.workers {
+            total.merge(w.stats);
+        }
+        total
+    }
+
     /// Route one event to its shard. Blocks when the shard is
     /// [`CHANNEL_CAPACITY`] events behind (backpressure, not unbounded
     /// buffering). Events must arrive in non-decreasing time order.
     pub fn route(&mut self, event: &Event) {
         assert!(!self.finished, "streaming pool already finished");
         self.watermark = self.watermark.max(event.time);
-        if let Some(shard) = self.shard_for(event) {
-            self.send_event(shard, event.clone());
+        if let Some((shard, key_hash)) = self.shard_for(event) {
+            self.send_event(shard, event.clone(), key_hash);
         }
     }
 
@@ -254,31 +279,30 @@ impl StreamingPool {
     pub fn route_owned(&mut self, event: Event) {
         assert!(!self.finished, "streaming pool already finished");
         self.watermark = self.watermark.max(event.time);
-        if let Some(shard) = self.shard_for(&event) {
-            self.send_event(shard, event);
+        if let Some((shard, key_hash)) = self.shard_for(&event) {
+            self.send_event(shard, event, key_hash);
         }
     }
 
-    /// The shard `event` belongs to; `None` drops it (no partition key),
-    /// consistently with every engine — decided *before* any clone.
-    fn shard_for(&self, event: &Event) -> Option<usize> {
+    /// The shard `event` belongs to, with its precomputed full-key hash;
+    /// `None` drops it (no partition key), consistently with every engine
+    /// — decided *before* any clone. The key is hashed in place, once,
+    /// right here: the worker's router probes with the shipped hash.
+    fn shard_for(&self, event: &Event) -> Option<(usize, Option<u64>)> {
         if self.workers.len() == 1 {
             // Single shard: the engine sees the whole stream, including
             // events without a partition key (it drops them itself,
             // exactly like a sequential run).
-            return Some(0);
+            return Some((0, self.rt.key_hash(event)));
         }
-        let key = self.rt.partition_key(event)?;
-        Some(shard_of(
-            &key[..self.rt.query.group_prefix],
-            self.workers.len(),
-        ))
+        let (shard, key_hash) = route_of(&self.rt, event, self.workers.len())?;
+        Some((shard, Some(key_hash)))
     }
 
-    fn send_event(&mut self, shard: usize, event: Event) {
+    fn send_event(&mut self, shard: usize, event: Event, key_hash: Option<u64>) {
         let w = &mut self.workers[shard];
         let tx = w.tx.as_ref().expect("pool not finished");
-        if tx.send(Cmd::Event(event)).is_err() {
+        if tx.send(Cmd::Event(event, key_hash)).is_err() {
             reap(w);
         }
     }
@@ -319,7 +343,7 @@ impl StreamingPool {
             let c = match &cmd {
                 Cmd::Drain(wm) => Cmd::Drain(*wm),
                 Cmd::Finish => Cmd::Finish,
-                Cmd::Event(_) => unreachable!("events are routed, not broadcast"),
+                Cmd::Event(..) => unreachable!("events are routed, not broadcast"),
             };
             let tx = w.tx.as_ref().expect("pool not finished");
             if tx.send(c).is_err() {
@@ -331,6 +355,7 @@ impl StreamingPool {
             let Ok(reply) = w.rx.recv() else { reap(w) };
             w.memory = reply.memory;
             w.peak = reply.peak;
+            w.stats = reply.stats;
             merged.extend(reply.results);
         }
         // Shards own disjoint (window, group) result spaces, so this sort
@@ -361,8 +386,10 @@ fn shard_worker(rt: Arc<QueryRuntime>, rx: Receiver<Cmd>, tx: Sender<Reply>) {
     let mut since_sample = 0usize;
     for cmd in rx {
         match cmd {
-            Cmd::Event(e) => {
-                engine.process(&e);
+            Cmd::Event(e, key_hash) => {
+                // The coordinator hashed the key at ingest to place the
+                // event; reuse it so the key is extracted once per event.
+                engine.process_prehashed(&e, key_hash);
                 since_sample += 1;
                 if since_sample >= 64 {
                     peak = peak.max(engine.memory_bytes());
@@ -379,6 +406,7 @@ fn shard_worker(rt: Arc<QueryRuntime>, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                         results,
                         memory: engine.memory_bytes(),
                         peak,
+                        stats: engine.run_stats(),
                     })
                     .is_err()
                 {
@@ -394,6 +422,7 @@ fn shard_worker(rt: Arc<QueryRuntime>, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                     results,
                     memory: engine.memory_bytes(),
                     peak,
+                    stats: engine.run_stats(),
                 });
                 return;
             }

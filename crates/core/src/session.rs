@@ -44,7 +44,8 @@ use crate::cogra::CograEngine;
 use crate::parallel::StreamingPool;
 use cogra_baselines::{aseq_engine, flink_engine, greta_engine, oracle_engine, sase_engine};
 use cogra_engine::runtime::{EngineConfig, QueryRuntime};
-use cogra_engine::{TrendEngine, WindowResult};
+use cogra_engine::{RunStats, TrendEngine, WindowResult};
+use cogra_events::csv::{CsvError, EventReader};
 use cogra_events::{Event, Reorderer, Timestamp, TypeRegistry};
 use cogra_query::{compile, parse, Query, QueryError};
 use std::fmt;
@@ -181,6 +182,50 @@ impl fmt::Display for SessionError {
 }
 
 impl std::error::Error for SessionError {}
+
+/// Errors ingesting a CSV stream ([`Session::ingest_csv`] /
+/// [`Session::run_csv`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// A row failed to decode.
+    Csv(CsvError),
+    /// An event went back in time and no `.slack(n)` reorderer is fused
+    /// into the session to repair it.
+    OutOfOrder {
+        /// Sequential id of the offending event (row order for CSV
+        /// ingestion) — enough to locate the bad row in a large stream.
+        event: cogra_events::EventId,
+        /// Time of the offending event.
+        time: Timestamp,
+        /// The stream's watermark when it arrived.
+        watermark: Timestamp,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Csv(e) => e.fmt(f),
+            IngestError::OutOfOrder {
+                event,
+                time,
+                watermark,
+            } => write!(
+                f,
+                "event {event} at {time} arrived after watermark {watermark}; \
+                 pass --slack N / .slack(n) to repair bounded disorder"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<CsvError> for IngestError {
+    fn from(e: CsvError) -> IngestError {
+        IngestError::Csv(e)
+    }
+}
 
 /// Shared COGRA runtime construction for the streaming and `.workers(n)`
 /// paths — one site, so `config` handling cannot silently diverge.
@@ -408,8 +453,15 @@ pub struct SessionRun {
     /// queries (1 unless `.workers(n)` applied; also 1 when no query has
     /// a `GROUP-BY` prefix to shard on).
     pub workers: usize,
+    /// Events fed into the session (including any the `.slack(n)`
+    /// reorderer later dropped as hopelessly late).
+    pub events: u64,
     /// Late events dropped by the `.slack(n)` reorderer (0 without slack).
     pub late_events: u64,
+    /// Routing hot-path counters summed over every engine (and, under
+    /// `.workers(n)`, every shard): `key_probes - key_allocs` events were
+    /// routed without any heap allocation.
+    pub stats: RunStats,
 }
 
 impl SessionRun {
@@ -469,6 +521,58 @@ impl Session {
         } else {
             self.mode.route(event);
         }
+    }
+
+    /// Like [`Session::process`], consuming the event — spares a clone on
+    /// the `.slack(n)` and single-query `.workers(n)` paths.
+    pub fn process_owned(&mut self, event: Event) {
+        if self.reorderer.is_some() {
+            self.pump(|reorderer, out| reorderer.push(event, out));
+        } else {
+            self.mode.route_owned(event);
+        }
+    }
+
+    /// Ingest events straight off a `cogra_events::csv` stream — one
+    /// decode pass, no intermediate `Vec<Event>`; THE decode path shared
+    /// by the `cogra-run` CLI and the throughput harness. Returns the
+    /// number of events ingested. Without `.slack(n)` a time-regressing
+    /// row fails with [`IngestError::OutOfOrder`] instead of corrupting
+    /// engine state. Results are *not* collected here: drain via
+    /// [`Session::drain_into`] / [`Session::finish_into`] as usual, or
+    /// use [`Session::run_csv`] for the collect-everything convenience.
+    pub fn ingest_csv(&mut self, text: &str, registry: &TypeRegistry) -> Result<u64, IngestError> {
+        let mut count = 0u64;
+        for item in self.checked_csv(text, registry)? {
+            self.process_owned(item?);
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// The decode + order-check adapter shared by [`Session::ingest_csv`]
+    /// and [`Session::run_csv`] — one enforcement site for the
+    /// no-slack [`IngestError::OutOfOrder`] contract.
+    fn checked_csv<'a>(
+        &self,
+        text: &'a str,
+        registry: &'a TypeRegistry,
+    ) -> Result<impl Iterator<Item = Result<Event, IngestError>> + 'a, IngestError> {
+        let has_slack = self.reorderer.is_some();
+        let mut watermark = self.watermark();
+        let reader = EventReader::new(text, registry)?;
+        Ok(reader.map(move |item| {
+            let event = item?;
+            if !has_slack && event.time < watermark {
+                return Err(IngestError::OutOfOrder {
+                    event: event.id,
+                    time: event.time,
+                    watermark,
+                });
+            }
+            watermark = watermark.max(event.time);
+            Ok(event)
+        }))
     }
 
     /// Let `fill` release events out of the reorderer into the scratch
@@ -584,17 +688,71 @@ impl Session {
         }
     }
 
+    /// Summed routing hot-path counters ([`RunStats`]) across the
+    /// session's engines — under `.workers(n)`, across every shard, as of
+    /// each worker's last drain (final once the session finished).
+    pub fn run_stats(&self) -> RunStats {
+        let mut total = RunStats::default();
+        match &self.mode {
+            Mode::Streaming { engines } => {
+                for e in engines {
+                    total.merge(e.run_stats());
+                }
+            }
+            Mode::Parallel { pools } => {
+                for p in pools {
+                    total.merge(p.run_stats());
+                }
+            }
+        }
+        total
+    }
+
     /// Run the whole stream through the session and collect everything:
     /// results (sorted per query), peak memory (sampled every 64 events,
-    /// like the harness), workers used, and late-event drops.
-    pub fn run(mut self, events: &[Event]) -> SessionRun {
+    /// like the harness), workers used, routing stats, and late-event
+    /// drops.
+    pub fn run(self, events: &[Event]) -> SessionRun {
+        self.run_inner(events.iter().map(|e| Ok(Fed::Ref(e))))
+            .unwrap_or_else(|_| unreachable!("in-memory streams cannot fail ingestion"))
+    }
+
+    /// Like [`Session::run`], consuming an event stream — pairs with lazy
+    /// sources (generators, decoders) without materializing a `Vec`.
+    pub fn run_stream(self, events: impl IntoIterator<Item = Event>) -> SessionRun {
+        self.run_inner(events.into_iter().map(|e| Ok(Fed::Owned(e))))
+            .unwrap_or_else(|_| unreachable!("in-memory streams cannot fail ingestion"))
+    }
+
+    /// [`Session::run`] straight off a `cogra_events::csv` stream: rows
+    /// are decoded and ingested in one pass (the decode path shared with
+    /// [`Session::ingest_csv`] and the CLI), never materializing the
+    /// event vector. Without `.slack(n)`, a time-regressing row fails
+    /// with [`IngestError::OutOfOrder`].
+    pub fn run_csv(self, text: &str, registry: &TypeRegistry) -> Result<SessionRun, IngestError> {
+        let events = self.checked_csv(text, registry)?;
+        self.run_inner(events.map(|item| item.map(Fed::Owned)))
+    }
+
+    /// The collect-everything loop shared by [`Session::run`],
+    /// [`Session::run_stream`] and [`Session::run_csv`].
+    fn run_inner<'a>(
+        mut self,
+        events: impl Iterator<Item = Result<Fed<'a>, IngestError>>,
+    ) -> Result<SessionRun, IngestError> {
         let mut per_query: Vec<Vec<WindowResult>> = vec![Vec::new(); self.queries()];
         let sharded = matches!(self.mode, Mode::Parallel { .. });
         let mut peak = self.memory_bytes();
+        let mut count = 0u64;
         {
             let mut sink = |query: usize, result: WindowResult| per_query[query].push(result);
-            for (i, event) in events.iter().enumerate() {
-                self.process(event);
+            for item in events {
+                match item? {
+                    Fed::Ref(event) => self.process(event),
+                    Fed::Owned(event) => self.process_owned(event),
+                }
+                let i = count as usize;
+                count += 1;
                 if sharded {
                     // A shard drain is a cross-thread round trip; amortize
                     // it over a coarse stride instead of paying it per
@@ -608,7 +766,7 @@ impl Session {
                     }
                 } else {
                     self.drain_into(&mut sink);
-                    if i % 64 == 0 {
+                    if i.is_multiple_of(64) {
                         peak = peak.max(self.memory_bytes());
                     }
                 }
@@ -632,13 +790,22 @@ impl Session {
                 pools.iter().map(StreamingPool::workers).max().unwrap_or(1),
             ),
         };
-        SessionRun {
+        Ok(SessionRun {
             per_query,
             peak_bytes: peak,
             workers,
+            events: count,
             late_events: self.late_events(),
-        }
+            stats: self.run_stats(),
+        })
     }
+}
+
+/// One ingested event: borrowed from a slice ([`Session::run`]) or owned
+/// by a streaming source ([`Session::run_stream`] / [`Session::run_csv`]).
+enum Fed<'a> {
+    Ref(&'a Event),
+    Owned(Event),
 }
 
 impl fmt::Debug for Session {

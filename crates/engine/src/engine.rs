@@ -2,6 +2,7 @@
 //! COGRA itself and all four baselines — so that the experiment harness and
 //! the correctness tests treat them uniformly.
 
+use crate::intern::RunStats;
 use crate::output::WindowResult;
 use cogra_events::{Event, Timestamp};
 
@@ -71,6 +72,14 @@ pub trait TrendEngine {
     /// for engines that only ever see the whole stream.
     fn advance_watermark(&mut self, to: Timestamp) {
         let _ = to;
+    }
+
+    /// Routing hot-path statistics: interner probes vs. first-seen key
+    /// materializations ([`RunStats`]). Engines built on the router
+    /// report real counters; the default is all-zero for engines without
+    /// an interned routing path.
+    fn run_stats(&self) -> RunStats {
+        RunStats::default()
     }
 }
 

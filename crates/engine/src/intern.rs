@@ -1,0 +1,257 @@
+//! Partition-key interning: the zero-allocation half of the routing hot
+//! path.
+//!
+//! The paper's constant-time-per-event claim (§3, §7) only holds if the
+//! per-event bookkeeping is constant too. The seed router paid for a
+//! fresh `Vec<Value>` *per event* just to probe `HashMap<GroupKey, _>`,
+//! plus a SipHash over that vector. [`KeyInterner`] removes both costs:
+//!
+//! * the event's partition attributes are hashed **in place** (the caller
+//!   folds each [`Value`] into an [`fxhash::FxHasher`] straight off the
+//!   event, no scratch vector);
+//! * the hash probes a bucket of candidate [`PartitionId`]s; candidates
+//!   are confirmed by comparing the event's attributes against the
+//!   interned key **element-wise**, again without materializing;
+//! * only a **first-seen** key allocates: the caller's `materialize`
+//!   closure builds the one `Vec<Value>` that lives for the interner's
+//!   lifetime, and the key gets the next dense id.
+//!
+//! Dense ids are the second half of the bargain: `PartitionId(u32)`
+//! indexes a plain `Vec` of partition states, so the router's per-event
+//! map lookup becomes an array index. Ids are stable for the interner's
+//! lifetime — a partition that goes quiet and returns maps back to the
+//! same id, which also keeps results reproducible across drain cadences.
+//!
+//! [`RunStats`] counts probes and first-seen materializations; the
+//! difference is the number of events routed with **zero** heap
+//! allocations, surfaced all the way up through `SessionRun` so tests
+//! (and users) can assert the hot path stays allocation-free.
+
+use crate::output::GroupKey;
+use cogra_events::Value;
+use fxhash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+
+/// Dense identifier of an interned partition key. Ids are handed out in
+/// first-seen order, so they index contiguous `Vec` storage directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    /// The id as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Routing hot-path statistics, aggregated across engines and shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Interner probes — one per event that reached partition routing.
+    pub key_probes: u64,
+    /// First-seen partition keys materialized. The *only* probes that
+    /// heap-allocate; `key_probes - key_allocs` events were routed with
+    /// zero allocations.
+    pub key_allocs: u64,
+}
+
+impl RunStats {
+    /// Fold another engine's/shard's counters into this one.
+    pub fn merge(&mut self, other: RunStats) {
+        self.key_probes += other.key_probes;
+        self.key_allocs += other.key_allocs;
+    }
+}
+
+/// Interner from partition keys to dense [`PartitionId`]s.
+///
+/// Generic over nothing but driven by closures, so the caller decides how
+/// to compare a candidate against the (never materialized) probe key and
+/// how to build the key on first sight — see [`KeyInterner::intern_with`].
+#[derive(Debug, Default)]
+pub struct KeyInterner {
+    /// `keys[id]` — the interned key. Never shrinks: id stability is part
+    /// of the contract.
+    keys: Vec<GroupKey>,
+    /// hash → ids of the keys with that hash (almost always exactly one;
+    /// collisions are resolved by the caller's equality check).
+    buckets: FxHashMap<u64, Vec<u32>>,
+    stats: RunStats,
+}
+
+/// Fold a sequence of values into an [`FxHasher`], exactly as
+/// [`KeyInterner`] expects probe hashes to be computed. Hashing the
+/// values of a materialized `GroupKey` and hashing the same values
+/// straight off an event produce the same hash — that equivalence is what
+/// makes the in-place probe sound.
+#[inline]
+pub fn hash_values<'a>(values: impl Iterator<Item = &'a Value>) -> u64 {
+    let mut h = FxHasher::default();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+impl KeyInterner {
+    /// An empty interner.
+    pub fn new() -> KeyInterner {
+        KeyInterner::default()
+    }
+
+    /// Intern the key with the given `hash`. `matches` decides whether a
+    /// stored candidate equals the probe key (called for each candidate in
+    /// the hash's bucket — usually at most one); `materialize` builds the
+    /// owned key if, and only if, it was never seen before.
+    ///
+    /// `hash` must be [`hash_values`] over the same value sequence that
+    /// `matches` compares and `materialize` produces.
+    pub fn intern_with(
+        &mut self,
+        hash: u64,
+        mut matches: impl FnMut(&[Value]) -> bool,
+        materialize: impl FnOnce() -> GroupKey,
+    ) -> PartitionId {
+        self.stats.key_probes += 1;
+        let bucket = self.buckets.entry(hash).or_default();
+        for &id in bucket.iter() {
+            if matches(&self.keys[id as usize]) {
+                return PartitionId(id);
+            }
+        }
+        // First sight: materialize and assign the next dense id.
+        self.stats.key_allocs += 1;
+        let id = u32::try_from(self.keys.len()).expect("more than u32::MAX partitions");
+        let key = materialize();
+        debug_assert!(matches(&key), "materialized key must match its own probe");
+        self.keys.push(key);
+        bucket.push(id);
+        PartitionId(id)
+    }
+
+    /// The interned key of `id`.
+    #[inline]
+    pub fn resolve(&self, id: PartitionId) -> &[Value] {
+        &self.keys[id.index()]
+    }
+
+    /// Number of distinct keys interned so far (also the next id).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no key has been interned yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Probe/allocation counters since construction.
+    #[inline]
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Logical memory footprint: interned key values plus table overhead.
+    /// Keys are retained for the interner's lifetime (id stability), so
+    /// this grows with the number of *distinct* keys, not with the stream.
+    pub fn memory_bytes(&self) -> usize {
+        let keys: usize = self
+            .keys
+            .iter()
+            .map(|k| {
+                std::mem::size_of::<GroupKey>() + k.iter().map(Value::memory_bytes).sum::<usize>()
+            })
+            .sum();
+        let table: usize = self
+            .buckets
+            .values()
+            .map(|ids| std::mem::size_of::<(u64, Vec<u32>)>() + std::mem::size_of_val(&ids[..]))
+            .sum();
+        keys + table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vals: &[i64]) -> GroupKey {
+        vals.iter().copied().map(Value::Int).collect()
+    }
+
+    fn intern(interner: &mut KeyInterner, vals: &[i64]) -> PartitionId {
+        let k = key(vals);
+        let hash = hash_values(k.iter());
+        interner.intern_with(hash, |cand| cand == &k[..], || k.clone())
+    }
+
+    #[test]
+    fn dense_ids_in_first_seen_order() {
+        let mut i = KeyInterner::new();
+        assert_eq!(intern(&mut i, &[7]), PartitionId(0));
+        assert_eq!(intern(&mut i, &[9]), PartitionId(1));
+        assert_eq!(intern(&mut i, &[7]), PartitionId(0), "id is stable");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(PartitionId(1)), &key(&[9])[..]);
+    }
+
+    #[test]
+    fn collision_probe_separates_distinct_keys() {
+        // Force both keys into one bucket with an identical (fake) hash:
+        // the element-wise equality check must keep them apart.
+        let mut i = KeyInterner::new();
+        let a = key(&[1, 2]);
+        let b = key(&[2, 1]);
+        let ia = i.intern_with(42, |c| c == &a[..], || a.clone());
+        let ib = i.intern_with(42, |c| c == &b[..], || b.clone());
+        assert_ne!(ia, ib);
+        assert_eq!(i.intern_with(42, |c| c == &a[..], || a.clone()), ia);
+        assert_eq!(i.intern_with(42, |c| c == &b[..], || b.clone()), ib);
+        assert_eq!(i.len(), 2);
+        let s = i.stats();
+        assert_eq!(s.key_probes, 4);
+        assert_eq!(s.key_allocs, 2, "re-probes allocate nothing");
+    }
+
+    #[test]
+    fn stats_count_probes_and_allocs() {
+        let mut i = KeyInterner::new();
+        for _ in 0..5 {
+            intern(&mut i, &[3]);
+        }
+        intern(&mut i, &[4]);
+        let s = i.stats();
+        assert_eq!(s.key_probes, 6);
+        assert_eq!(s.key_allocs, 2);
+        let mut total = RunStats::default();
+        total.merge(s);
+        total.merge(s);
+        assert_eq!(total.key_probes, 12);
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_distinct_keys_only() {
+        let mut i = KeyInterner::new();
+        intern(&mut i, &[1]);
+        let one = i.memory_bytes();
+        for _ in 0..100 {
+            intern(&mut i, &[1]);
+        }
+        assert_eq!(i.memory_bytes(), one, "re-probes allocate nothing");
+        intern(&mut i, &[2]);
+        assert!(i.memory_bytes() > one);
+    }
+
+    #[test]
+    fn in_place_hash_equals_materialized_hash() {
+        let k = key(&[1, -9, 42]);
+        let h1 = hash_values(k.iter());
+        // "In place": hash the same logical values from another container.
+        let vals = [Value::Int(1), Value::Int(-9), Value::Int(42)];
+        let h2 = hash_values(vals.iter());
+        assert_eq!(h1, h2);
+    }
+}

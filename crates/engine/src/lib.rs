@@ -8,9 +8,14 @@
 //! * [`engine`] — the [`TrendEngine`] trait every aggregation engine
 //!   implements, with push-based ([`TrendEngine::drain_into`]) and
 //!   collecting ([`TrendEngine::drain`]) result emission;
+//! * [`intern`] — the [`KeyInterner`] mapping partition keys to dense
+//!   [`PartitionId`]s with an allocation-free hash-once probe, and the
+//!   [`RunStats`] hot-path counters;
 //! * [`output`] — [`WindowResult`], the unit of engine output;
 //! * [`router`] — the generic partition/window [`Router`] turning any
-//!   per-window algorithm into a full engine (§7 of the paper);
+//!   per-window algorithm into a full engine (§7 of the paper), with
+//!   interned keys, dense partition storage and ring-buffer window
+//!   stores on the per-event path;
 //! * [`runtime`] — precomputed per-disjunct routing tables and the
 //!   [`runtime::EngineConfig`] knobs.
 //!
@@ -25,12 +30,14 @@
 
 pub mod agg;
 pub mod engine;
+pub mod intern;
 pub mod output;
 pub mod router;
 pub mod runtime;
 
 pub use agg::{AggLayout, AggValue, Cell, Feed, Output, SlotFunc, Val};
 pub use engine::{run_to_completion, TrendEngine};
+pub use intern::{KeyInterner, PartitionId, RunStats};
 pub use output::{GroupKey, WindowResult};
 pub use router::{EventBinds, Router, WindowAlgo};
 pub use runtime::{DisjunctRuntime, EngineConfig, QueryRuntime};

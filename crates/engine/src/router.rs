@@ -9,14 +9,39 @@
 //! SASE's stacks + DFS, GRETA's event graph, A-Seq's prefix counters,
 //! Flink's two-step sequence construction, or the brute-force oracle.
 //! [`Router`] implements the shared structure over a [`WindowAlgo`].
+//!
+//! ## The hot path is allocation-free
+//!
+//! Routing an event whose partition key has been seen before performs no
+//! heap allocation and no tree probe:
+//!
+//! * the partition key is hashed **in place** off the event's attributes
+//!   ([`QueryRuntime::route_hashes`]) and resolved to a dense
+//!   [`PartitionId`] by the [`KeyInterner`] — only a first-seen key
+//!   materializes a `Vec<Value>`;
+//! * partitions live in a `Vec` indexed by [`PartitionId`], not a
+//!   `HashMap<GroupKey, _>`;
+//! * a partition's open windows form a contiguous [`WindowId`] range, so
+//!   they live in a ring buffer (a `VecDeque` whose tail is
+//!   id-consecutive) and the per-event per-window "probe" is an index
+//!   computation off the back entry's id, not a `BTreeMap` walk.
+//!
+//! Callers that already computed the key hash (the §8 shard router hashes
+//! at ingest time to place the event) hand it in via
+//! [`Router::process_prehashed`], so the key is extracted exactly once
+//! per event end to end. [`Router::run_stats`] counts probes vs.
+//! first-seen materializations — the gap is the number of events routed
+//! with zero allocations.
 
 use crate::agg::Cell;
 use crate::engine::TrendEngine;
-use crate::output::{GroupKey, WindowResult};
+use crate::intern::{hash_values, KeyInterner, PartitionId, RunStats};
+use crate::output::WindowResult;
 use crate::runtime::QueryRuntime;
 use cogra_events::{Event, Timestamp, WindowId};
 use cogra_query::{NegId, StateId};
-use std::collections::{BTreeMap, HashMap};
+use fxhash::FxHashMap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Per-disjunct bindings of the current event: the states it can bind to
@@ -56,16 +81,89 @@ pub trait WindowAlgo {
     fn memory_bytes(&self) -> usize;
 }
 
+/// One partition's open windows: a ring buffer over the contiguous
+/// [`WindowId`]s, so opening appends at the back and closing pops from
+/// the front, and the per-event probe is pure index arithmetic off the
+/// back entry's id.
+///
+/// The load-bearing invariant: an event instantiates its whole
+/// (non-drained) window range in one `process` call, and
+/// `windows_of(t)`'s first id is non-decreasing in `t` — so the tail of
+/// the ring is always id-consecutive from any id a later event can still
+/// probe. A probe id at or below the back id therefore sits exactly
+/// `back - id` entries from the back; anything above the back id is a
+/// fresh append. Time gaps in a sparse sub-stream cost *nothing*: ids
+/// that no event instantiated are never stored (no filler slots), and
+/// the gap is jumped by appending at the new id.
 #[derive(Debug)]
 struct Partition<W> {
-    windows: BTreeMap<WindowId, W>,
+    /// Open windows `(id, state)`, id-sorted, tail id-consecutive.
+    windows: VecDeque<(u64, W)>,
+    /// Whether this partition sits in the router's active list (has, or
+    /// recently had, open windows) — keeps drains from scanning every
+    /// partition ever interned.
+    queued: bool,
 }
 
 impl<W> Default for Partition<W> {
     fn default() -> Self {
         Partition {
-            windows: BTreeMap::new(),
+            windows: VecDeque::new(),
+            queued: false,
         }
+    }
+}
+
+impl<W> Partition<W> {
+    /// The state of window `wid`, created via `new` if absent. `wid` must
+    /// be at or past the front id — guaranteed because event times are
+    /// non-decreasing and closed windows are never re-created (and
+    /// enforced: a contract-violating probe panics instead of corrupting
+    /// the ring).
+    fn window_mut(&mut self, wid: WindowId, new: impl FnOnce() -> W) -> &mut W {
+        let w = wid.0;
+        match self.windows.back() {
+            Some(&(back, _)) if w <= back => {
+                let offset = (back - w) as usize;
+                assert!(
+                    offset < self.windows.len(),
+                    "window {wid} precedes the open ring (events out of order?)"
+                );
+                let idx = self.windows.len() - 1 - offset;
+                // One u64 compare guards the tail-consecutive invariant in
+                // release too: an out-of-order event whose window falls in
+                // an id gap must fail loudly, not merge into a neighbour.
+                assert_eq!(
+                    self.windows[idx].0, w,
+                    "window {wid} falls in a ring gap (events out of order?)"
+                );
+                &mut self.windows[idx].1
+            }
+            _ => {
+                self.windows.push_back((w, new()));
+                &mut self.windows.back_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    /// Pop every window at or before `up_to`, front to back, handing them
+    /// to `f` in increasing window order.
+    fn close_up_to(&mut self, up_to: u64, mut f: impl FnMut(WindowId, W)) {
+        while self.windows.front().is_some_and(|&(id, _)| id <= up_to) {
+            let (id, state) = self.windows.pop_front().expect("checked non-empty");
+            f(WindowId(id), state);
+        }
+    }
+
+    fn memory_bytes(&self) -> usize
+    where
+        W: WindowAlgo,
+    {
+        self.windows
+            .iter()
+            .map(|(_, w)| w.memory_bytes())
+            .sum::<usize>()
+            + self.windows.len() * std::mem::size_of::<(u64, W)>()
     }
 }
 
@@ -74,7 +172,20 @@ impl<W> Default for Partition<W> {
 pub struct Router<W: WindowAlgo> {
     rt: Arc<QueryRuntime>,
     name: &'static str,
-    partitions: HashMap<GroupKey, Partition<W>>,
+    /// Full partition key → dense id. Keys are retained for the router's
+    /// lifetime (id stability); memory grows with *distinct* keys only.
+    interner: KeyInterner,
+    /// Distinct `GROUP-BY` prefixes, interned once per first-seen
+    /// partition so emission never re-slices keys per window.
+    groups: KeyInterner,
+    /// `partition_group[pid]` — the group id of partition `pid`.
+    partition_group: Vec<u32>,
+    /// Partition states, indexed by [`PartitionId`].
+    partitions: Vec<Partition<W>>,
+    /// Ids of partitions with open windows (`Partition::queued` set) —
+    /// what a closing drain scans, so drain cost follows the *active*
+    /// partition count, not the number of keys ever interned.
+    active: Vec<u32>,
     watermark: Timestamp,
     drained_to: Option<WindowId>,
     binds: EventBinds,
@@ -93,7 +204,11 @@ impl<W: WindowAlgo> Router<W> {
         Router {
             rt,
             name,
-            partitions: HashMap::new(),
+            interner: KeyInterner::new(),
+            groups: KeyInterner::new(),
+            partition_group: Vec::new(),
+            partitions: Vec::new(),
+            active: Vec::new(),
             watermark: Timestamp::ZERO,
             drained_to: None,
             binds,
@@ -106,48 +221,134 @@ impl<W: WindowAlgo> Router<W> {
         &self.rt
     }
 
+    /// Ingest one event whose full-key hash was already computed by the
+    /// caller ([`QueryRuntime::key_hash`] / [`QueryRuntime::route_hashes`]
+    /// — `None` when the event's type lacks the partition attributes).
+    /// This is [`TrendEngine::process`] minus the key extraction, used by
+    /// the §8 shard router so the key is hashed exactly once per event.
+    pub fn process_prehashed(&mut self, event: &Event, key_hash: Option<u64>) {
+        debug_assert!(
+            event.time >= self.watermark,
+            "events must arrive in time order"
+        );
+        debug_assert_eq!(
+            key_hash,
+            self.rt.key_hash(event),
+            "caller-provided key hash must match the runtime's"
+        );
+        self.watermark = self.watermark.max(event.time);
+        let Some(hash) = key_hash else {
+            return; // type lacks the partition attributes (see DESIGN.md)
+        };
+        let rt = Arc::clone(&self.rt);
+        for ((binds, negs), drt) in self.binds.per_disjunct.iter_mut().zip(&rt.disjuncts) {
+            drt.binds(event, binds);
+            drt.negation_matches(event, negs);
+        }
+        // Events that bind nothing and negate nothing are no-ops for every
+        // per-window algorithm except under the contiguous semantics,
+        // where they invalidate partial trends — skip the window fan-out
+        // (and partition/window-state creation) early.
+        if self.binds.is_irrelevant() && rt.query.semantics != cogra_query::Semantics::Cont {
+            return;
+        }
+        let pid = self.interner.intern_with(
+            hash,
+            |candidate| rt.key_matches(event, candidate),
+            || rt.partition_key(event).expect("key hash implies a key"),
+        );
+        if pid.index() == self.partitions.len() {
+            // First sight of this key: register its output group and a
+            // fresh partition slot (dense ids arrive in order).
+            let key = self.interner.resolve(pid);
+            let prefix = &key[..rt.query.group_prefix];
+            let gid = self.groups.intern_with(
+                hash_values(prefix.iter()),
+                |candidate| candidate == prefix,
+                || prefix.to_vec(),
+            );
+            self.partition_group.push(gid.0);
+            self.partitions.push(Partition::default());
+        }
+        let partition = &mut self.partitions[pid.index()];
+        for wid in rt.query.window.windows_of(event.time) {
+            if self.drained_to.is_some_and(|d| wid <= d) {
+                continue;
+            }
+            partition
+                .window_mut(wid, || W::new(&rt))
+                .on_event(&rt, event, &self.binds);
+        }
+        if !partition.queued && !partition.windows.is_empty() {
+            partition.queued = true;
+            self.active.push(pid.0);
+        }
+    }
+
     /// Finalize every window at or before `up_to` and push the merged
     /// results into `out` in deterministic (window, group) order.
     fn emit_up_to(&mut self, up_to: WindowId, out: &mut dyn FnMut(WindowResult)) {
+        if self.drained_to.is_some_and(|d| d >= up_to) {
+            return; // nothing new closed — skip the partition scan
+        }
         let rt = Arc::clone(&self.rt);
-        let group_prefix = rt.query.group_prefix;
-        let mut combined: BTreeMap<(WindowId, GroupKey), Cell> = BTreeMap::new();
-        for (key, partition) in &mut self.partitions {
-            let closed = match up_to.0.checked_add(1) {
-                None => std::mem::take(&mut partition.windows),
-                Some(next) => {
-                    let mut open = partition.windows.split_off(&WindowId(next));
-                    std::mem::swap(&mut open, &mut partition.windows);
-                    open
-                }
-            };
-            for (wid, mut state) in closed {
-                if self.drained_to.is_some_and(|d| wid <= d) {
-                    continue;
+        let drained_to = self.drained_to;
+        // Accumulate per (window, group id) — no key clones while merging;
+        // the group values are resolved (and cloned exactly once per
+        // emitted result) at the end.
+        let mut combined: FxHashMap<(WindowId, u32), Cell> = FxHashMap::default();
+        let mut spike = self.finalize_spike;
+        // Scan only partitions with open windows, in id (= first-seen key)
+        // order so same-group cells always merge in a deterministic order;
+        // partitions drained empty leave the active list until their key
+        // re-appears.
+        let mut active = std::mem::take(&mut self.active);
+        active.sort_unstable();
+        let partitions = &mut self.partitions;
+        let partition_group = &self.partition_group;
+        active.retain(|&pid| {
+            let partition = &mut partitions[pid as usize];
+            let gid = partition_group[pid as usize];
+            partition.close_up_to(up_to.0, |wid, mut state| {
+                if drained_to.is_some_and(|d| wid <= d) {
+                    return;
                 }
                 let cell = state.final_cell(&rt);
                 // Measure after finalization: two-step algorithms hold
                 // their constructed trends until the window is dropped.
-                self.finalize_spike = self.finalize_spike.max(state.memory_bytes());
+                spike = spike.max(state.memory_bytes());
                 if cell.is_zero() {
-                    continue;
+                    return;
                 }
-                let group: GroupKey = key[..group_prefix].to_vec();
                 combined
-                    .entry((wid, group))
+                    .entry((wid, gid))
                     .and_modify(|acc| acc.merge(&cell))
                     .or_insert(cell);
-            }
-        }
-        self.partitions.retain(|_, p| !p.windows.is_empty());
+            });
+            partition.queued = !partition.windows.is_empty();
+            partition.queued
+        });
+        self.active = active;
+        self.finalize_spike = spike;
         self.drained_to = Some(match self.drained_to {
             Some(d) => WindowId(d.0.max(up_to.0)),
             None => up_to,
         });
-        for ((window, group), cell) in combined {
+        // Group ids are first-seen-ordered, not value-ordered: sort the
+        // resolved entries so emission order matches the seed router's
+        // deterministic (window, group) order byte for byte.
+        let mut entries: Vec<((WindowId, u32), Cell)> = combined.into_iter().collect();
+        entries.sort_by(|((wa, ga), _), ((wb, gb), _)| {
+            wa.cmp(wb).then_with(|| {
+                self.groups
+                    .resolve(PartitionId(*ga))
+                    .cmp(self.groups.resolve(PartitionId(*gb)))
+            })
+        });
+        for ((window, gid), cell) in entries {
             out(WindowResult {
                 window,
-                group,
+                group: self.groups.resolve(PartitionId(gid)).to_vec(),
                 values: cell.outputs(&rt.layout),
             });
         }
@@ -156,37 +357,8 @@ impl<W: WindowAlgo> Router<W> {
 
 impl<W: WindowAlgo> TrendEngine for Router<W> {
     fn process(&mut self, event: &Event) {
-        debug_assert!(
-            event.time >= self.watermark,
-            "events must arrive in time order"
-        );
-        self.watermark = self.watermark.max(event.time);
-        let rt = Arc::clone(&self.rt);
-        let Some(key) = rt.partition_key(event) else {
-            return; // type lacks the partition attributes (see DESIGN.md)
-        };
-        for ((binds, negs), drt) in self.binds.per_disjunct.iter_mut().zip(&rt.disjuncts) {
-            drt.binds(event, binds);
-            drt.negation_matches(event, negs);
-        }
-        // Events that bind nothing and negate nothing are no-ops for every
-        // per-window algorithm except under the contiguous semantics,
-        // where they invalidate partial trends — skip the window fan-out
-        // (and window-state creation) early.
-        if self.binds.is_irrelevant() && rt.query.semantics != cogra_query::Semantics::Cont {
-            return;
-        }
-        let partition = self.partitions.entry(key).or_default();
-        for wid in rt.query.window.windows_of(event.time) {
-            if self.drained_to.is_some_and(|d| wid <= d) {
-                continue;
-            }
-            partition
-                .windows
-                .entry(wid)
-                .or_insert_with(|| W::new(&rt))
-                .on_event(&rt, event, &self.binds);
-        }
+        let key_hash = self.rt.key_hash(event);
+        self.process_prehashed(event, key_hash);
     }
 
     fn drain_into(&mut self, out: &mut dyn FnMut(WindowResult)) {
@@ -201,13 +373,16 @@ impl<W: WindowAlgo> TrendEngine for Router<W> {
 
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
+            + self.interner.memory_bytes()
+            + self.groups.memory_bytes()
+            + self.partition_group.len() * std::mem::size_of::<u32>()
+            + self.partitions.len() * std::mem::size_of::<Partition<W>>()
+            // Window state lives only in active partitions — summing over
+            // the active list keeps sampling cost off the keys-ever count.
             + self
-                .partitions
+                .active
                 .iter()
-                .map(|(key, p)| {
-                    key.iter().map(|v| v.memory_bytes()).sum::<usize>()
-                        + p.windows.values().map(W::memory_bytes).sum::<usize>()
-                })
+                .map(|&pid| self.partitions[pid as usize].memory_bytes())
                 .sum::<usize>()
     }
 
@@ -230,5 +405,9 @@ impl<W: WindowAlgo> TrendEngine for Router<W> {
         // an in-flight stream transaction at exactly `to` still lands in
         // every window it belongs to.
         self.watermark = self.watermark.max(to);
+    }
+
+    fn run_stats(&self) -> RunStats {
+        self.interner.stats()
     }
 }

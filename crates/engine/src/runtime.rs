@@ -192,6 +192,78 @@ impl QueryRuntime {
             .as_ref()
             .map(|ids| ids.iter().map(|a| event.attr(*a).clone()).collect())
     }
+
+    /// The event's partition attribute ids; `None` drops the event.
+    #[inline]
+    pub fn partition_attrs(&self, event: &Event) -> Option<&[cogra_events::AttrId]> {
+        self.partition_attr_ids[event.type_id.index()].as_deref()
+    }
+
+    /// Hash the event's full partition key **in place** — no `Vec`
+    /// materialized — with the same value-sequence hash the router's
+    /// interner probes with ([`crate::intern::hash_values`]). `None` when
+    /// the event's type lacks the partition attributes (dropped).
+    #[inline]
+    pub fn key_hash(&self, event: &Event) -> Option<u64> {
+        self.route_hashes(event).map(|(_, key)| key)
+    }
+
+    /// The hasher state after folding in the event's `GROUP-BY` prefix
+    /// attributes, plus the full partition attribute list.
+    #[inline]
+    fn prefix_state(&self, event: &Event) -> Option<(fxhash::FxHasher, &[cogra_events::AttrId])> {
+        use std::hash::Hash;
+        let ids = self.partition_attrs(event)?;
+        // compile() guarantees the GROUP-BY attributes form a prefix of
+        // every type's partition attributes — the same invariant the
+        // router relies on when it slices `key[..group_prefix]`.
+        debug_assert!(self.query.group_prefix <= ids.len());
+        let mut h = fxhash::FxHasher::default();
+        for a in &ids[..self.query.group_prefix] {
+            event.attr(*a).hash(&mut h);
+        }
+        Some((h, ids))
+    }
+
+    /// Hash only the event's `GROUP-BY` prefix in place — enough for §8
+    /// shard placement when the full-key hash is not wanted (the batch
+    /// reference re-processes events through [`TrendEngine::process`],
+    /// which computes it itself).
+    ///
+    /// [`TrendEngine::process`]: crate::engine::TrendEngine::process
+    #[inline]
+    pub fn group_hash(&self, event: &Event) -> Option<u64> {
+        use std::hash::Hasher;
+        self.prefix_state(event).map(|(h, _)| h.finish())
+    }
+
+    /// `(group hash, full key hash)` of the event, both computed in one
+    /// in-place pass: the group hash covers the `GROUP-BY` prefix of the
+    /// partition attributes (it decides §8 shard placement), the key hash
+    /// covers all of them (it drives the router's interner probe).
+    #[inline]
+    pub fn route_hashes(&self, event: &Event) -> Option<(u64, u64)> {
+        use std::hash::{Hash, Hasher};
+        let (mut h, ids) = self.prefix_state(event)?;
+        let group = h.finish();
+        for a in &ids[self.query.group_prefix..] {
+            event.attr(*a).hash(&mut h);
+        }
+        Some((group, h.finish()))
+    }
+
+    /// Whether the event's partition key equals `key`, compared
+    /// element-wise against the event's attributes — the allocation-free
+    /// candidate check of the interner probe. The event's type must have
+    /// partition attributes (the caller checked via
+    /// [`QueryRuntime::key_hash`]).
+    #[inline]
+    pub fn key_matches(&self, event: &Event, key: &[cogra_events::Value]) -> bool {
+        let Some(ids) = self.partition_attrs(event) else {
+            return false;
+        };
+        ids.len() == key.len() && ids.iter().zip(key).all(|(a, v)| event.attr(*a) == v)
+    }
 }
 
 /// Per-negated-variable match clock.

@@ -80,55 +80,116 @@ fn quote(s: &str) -> String {
     }
 }
 
-/// Read events from CSV text. The header must contain `type` and `time`;
-/// every other column is an attribute name. Each row is parsed against its
-/// type's schema; attribute columns not in that schema must be empty, and
-/// every schema attribute must have a non-empty cell.
-pub fn read_events(text: &str, registry: &TypeRegistry) -> Result<Vec<Event>, CsvError> {
-    let mut lines = text.lines().enumerate();
-    let Some((_, header)) = lines.next() else {
-        return Ok(Vec::new());
-    };
-    let columns = split_record(header, 1)?;
-    let type_col = columns
-        .iter()
-        .position(|c| c == "type")
-        .ok_or_else(|| err(1, "missing `type` column"))?;
-    let time_col = columns
-        .iter()
-        .position(|c| c == "time")
-        .ok_or_else(|| err(1, "missing `time` column"))?;
+/// Streaming CSV event decoder: an iterator of `Result<Event, CsvError>`
+/// over the text, decoding one row at a time — no intermediate
+/// `Vec<Event>`. This is THE decode path: [`read_events`] collects it,
+/// the `cogra-run` CLI and `Session::run_csv` feed engines straight from
+/// it, and the throughput harness measures it.
+///
+/// The header must contain `type` and `time`; every other column is an
+/// attribute name. Each row is parsed against its type's schema;
+/// attribute columns not in that schema must be empty, and every schema
+/// attribute must have a non-empty cell.
+pub struct EventReader<'a> {
+    registry: &'a TypeRegistry,
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    columns: Vec<String>,
+    type_col: usize,
+    time_col: usize,
+    /// Per type id: field index of each schema attribute, resolved once
+    /// on first sight of the type instead of per row × attribute.
+    attr_cols: Vec<Option<Vec<usize>>>,
+    builder: EventBuilder,
+    /// Set after the first error: a failed decode poisons the stream
+    /// (column state may be unreliable past a malformed row).
+    done: bool,
+}
 
-    let mut builder = EventBuilder::new();
-    let mut out = Vec::new();
-    for (i, line) in lines {
-        let line_no = i + 1;
-        if line.trim().is_empty() {
-            continue;
+impl<'a> EventReader<'a> {
+    /// Parse the header and position the reader on the first data row.
+    /// Empty input yields a reader that produces no events.
+    pub fn new(text: &'a str, registry: &'a TypeRegistry) -> Result<EventReader<'a>, CsvError> {
+        let mut lines = text.lines().enumerate();
+        let (columns, type_col, time_col) = match lines.next() {
+            None => (Vec::new(), 0, 0),
+            Some((_, header)) => {
+                let columns = split_record(header, 1)?;
+                let type_col = columns
+                    .iter()
+                    .position(|c| c == "type")
+                    .ok_or_else(|| err(1, "missing `type` column"))?;
+                let time_col = columns
+                    .iter()
+                    .position(|c| c == "time")
+                    .ok_or_else(|| err(1, "missing `time` column"))?;
+                (columns, type_col, time_col)
+            }
+        };
+        Ok(EventReader {
+            registry,
+            lines,
+            columns,
+            type_col,
+            time_col,
+            attr_cols: vec![None; registry.len()],
+            builder: EventBuilder::new(),
+            done: false,
+        })
+    }
+
+    /// Field indices of `type_id`'s schema attributes (cached).
+    fn attr_cols_of(
+        &mut self,
+        type_id: crate::schema::TypeId,
+        line_no: usize,
+    ) -> Result<&[usize], CsvError> {
+        let slot = &mut self.attr_cols[type_id.index()];
+        if slot.is_none() {
+            let schema = self.registry.schema(type_id);
+            let mut cols = Vec::with_capacity(schema.arity());
+            for (attr_name, _) in schema.iter() {
+                let col = self
+                    .columns
+                    .iter()
+                    .position(|c| c == attr_name)
+                    .ok_or_else(|| {
+                        err(
+                            line_no,
+                            format!("missing column for attribute `{attr_name}`"),
+                        )
+                    })?;
+                cols.push(col);
+            }
+            *slot = Some(cols);
         }
+        Ok(slot.as_deref().expect("filled above"))
+    }
+
+    fn decode(&mut self, line_no: usize, line: &str) -> Result<Event, CsvError> {
         let fields = split_record(line, line_no)?;
-        if fields.len() != columns.len() {
+        if fields.len() != self.columns.len() {
             return Err(err(
                 line_no,
-                format!("expected {} fields, found {}", columns.len(), fields.len()),
+                format!(
+                    "expected {} fields, found {}",
+                    self.columns.len(),
+                    fields.len()
+                ),
             ));
         }
-        let type_name = &fields[type_col];
-        let type_id = registry
+        let type_name = &fields[self.type_col];
+        let type_id = self
+            .registry
             .id_of(type_name)
             .ok_or_else(|| err(line_no, format!("unknown event type `{type_name}`")))?;
-        let time: u64 = fields[time_col]
+        let time: u64 = fields[self.time_col]
             .parse()
-            .map_err(|_| err(line_no, format!("invalid time `{}`", fields[time_col])))?;
+            .map_err(|_| err(line_no, format!("invalid time `{}`", fields[self.time_col])))?;
+        let registry = self.registry;
         let schema = registry.schema(type_id);
+        let cols = self.attr_cols_of(type_id, line_no)?;
         let mut attrs = Vec::with_capacity(schema.arity());
-        for (attr_name, kind) in schema.iter() {
-            let col = columns.iter().position(|c| c == attr_name).ok_or_else(|| {
-                err(
-                    line_no,
-                    format!("missing column for attribute `{attr_name}`"),
-                )
-            })?;
+        for ((attr_name, kind), &col) in schema.iter().zip(cols) {
             let raw = &fields[col];
             if raw.is_empty() {
                 return Err(err(
@@ -138,9 +199,34 @@ pub fn read_events(text: &str, registry: &TypeRegistry) -> Result<Vec<Event>, Cs
             }
             attrs.push(parse_value(raw, kind, line_no, attr_name)?);
         }
-        out.push(builder.event(time, type_id, attrs));
+        Ok(self.builder.event(time, type_id, attrs))
     }
-    Ok(out)
+}
+
+impl Iterator for EventReader<'_> {
+    type Item = Result<Event, CsvError>;
+
+    fn next(&mut self) -> Option<Result<Event, CsvError>> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let (i, line) = self.lines.next()?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let result = self.decode(i + 1, line);
+            if result.is_err() {
+                self.done = true;
+            }
+            return Some(result);
+        }
+    }
+}
+
+/// Read events from CSV text — [`EventReader`] collected into a `Vec`.
+pub fn read_events(text: &str, registry: &TypeRegistry) -> Result<Vec<Event>, CsvError> {
+    EventReader::new(text, registry)?.collect()
 }
 
 fn parse_value(raw: &str, kind: ValueKind, line_no: usize, attr: &str) -> Result<Value, CsvError> {

@@ -21,7 +21,7 @@ pub mod stream;
 pub mod value;
 pub mod window;
 
-pub use csv::{read_events, write_events, CsvError};
+pub use csv::{read_events, write_events, CsvError, EventReader};
 pub use event::{Event, EventId, Timestamp};
 pub use reorder::Reorderer;
 pub use schema::{AttrId, Schema, TypeId, TypeRegistry};

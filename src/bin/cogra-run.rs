@@ -150,11 +150,7 @@ fn run() -> Result<(), String> {
         }
     }
 
-    let events = read_events(&read(&args.events)?, &registry).map_err(|e| e.to_string())?;
-    if args.slack.is_none() {
-        cogra::events::validate_ordered(&events)
-            .map_err(|e| format!("{e}; pass --slack N to repair bounded disorder"))?;
-    }
+    let stream = read(&args.events)?;
 
     let mut builder = Session::builder().engine(args.engine).workers(args.workers);
     if let Some(slack) = args.slack {
@@ -169,7 +165,12 @@ fn run() -> Result<(), String> {
         other => other.to_string(),
     })?;
     let multi = queries.len() > 1;
-    let run = session.run(&events);
+    // One pass: CSV rows are decoded and ingested through the Session's
+    // shared decode path (`run_csv`), never materializing the event
+    // vector. Out-of-order rows fail here unless --slack repairs them.
+    let run = session
+        .run_csv(&stream, &registry)
+        .map_err(|e| format!("{}: {e}", args.events))?;
 
     for (i, results) in run.per_query.iter().enumerate() {
         for r in results {
@@ -183,7 +184,7 @@ fn run() -> Result<(), String> {
     let total: usize = run.per_query.iter().map(Vec::len).sum();
     // Count what the engines actually ingested: late drops are reported
     // on their own line, not in the headline.
-    let ingested = events.len() as u64 - run.late_events;
+    let ingested = run.events - run.late_events;
     // Report the shard count actually used, not the one requested: a
     // query without a GROUP-BY prefix clamps to one worker.
     let workers = match (args.workers, run.workers) {

@@ -76,14 +76,16 @@ pub use cogra_workloads as workloads;
 /// Everything needed for typical use.
 pub mod prelude {
     pub use cogra_core::session::{
-        EngineKind, ResultSink, Session, SessionBuilder, SessionError, SessionRun, TaggedResult,
+        EngineKind, IngestError, ResultSink, Session, SessionBuilder, SessionError, SessionRun,
+        TaggedResult,
     };
     pub use cogra_core::{
-        run_parallel, run_to_completion, AggValue, CograEngine, EngineConfig, TrendEngine,
-        WindowResult,
+        run_parallel, run_to_completion, AggValue, CograEngine, EngineConfig, RunStats,
+        TrendEngine, WindowResult,
     };
     pub use cogra_events::{
-        read_events, Event, EventBuilder, Timestamp, TypeRegistry, Value, ValueKind, WindowSpec,
+        read_events, Event, EventBuilder, EventReader, Timestamp, TypeRegistry, Value, ValueKind,
+        WindowSpec,
     };
     pub use cogra_query::{compile, parse, Granularity, PatternExpr, Query, Semantics};
 }

@@ -7,11 +7,50 @@
 //! (median of the sampled iterations) instead of criterion's statistics
 //! engine. Good enough to compare engines by eye and to keep `cargo bench`
 //! working without network access.
+//!
+//! ## Machine-readable output
+//!
+//! `cargo bench -p <crate> -- --csv <path>` writes every measurement as a
+//! CSV row (`group,benchmark,median_ns,mean_ns,samples`) besides the
+//! console report, so figure data can be regenerated and diffed against
+//! the checked-in `BENCH_*.json` trajectory. [`criterion_main!`]
+//! truncates the file and writes the header once at startup; each
+//! measurement appends.
 
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
+
+/// The `--csv <path>` / `--csv=<path>` benchmark argument, if present.
+/// Unknown arguments (e.g. the `--bench` flag cargo appends) are ignored.
+pub fn csv_path_from_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--csv" {
+            return Some(args.next().expect("--csv needs a path"));
+        }
+        if let Some(p) = a.strip_prefix("--csv=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Initialize `--csv` output: truncate the file and write the header.
+/// Called once by the [`criterion_main!`]-generated `main`; a no-op
+/// without the flag.
+///
+/// Assumes one bench binary per `cargo bench` invocation shares the CSV
+/// path: each binary truncates at startup, so point multiple `[[bench]]`
+/// targets at *different* paths if more are ever added.
+pub fn csv_init() {
+    if let Some(path) = csv_path_from_args() {
+        std::fs::write(&path, "group,benchmark,median_ns,mean_ns,samples\n")
+            .unwrap_or_else(|e| panic!("--csv {path}: {e}"));
+    }
+}
 
 /// Identifier of one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -94,6 +133,22 @@ impl BenchmarkGroup<'_> {
             mean,
             bencher.samples.len()
         );
+        if let Some(path) = &self.criterion.csv {
+            let row = format!(
+                "{},{},{},{},{}\n",
+                self.name,
+                id.0,
+                median.as_nanos(),
+                mean.as_nanos(),
+                bencher.samples.len()
+            );
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(row.as_bytes()))
+                .unwrap_or_else(|e| panic!("--csv {path}: {e}"));
+        }
         self.criterion.benchmarks_run += 1;
         self
     }
@@ -103,9 +158,20 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Entry point handed to every bench function.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
     benchmarks_run: usize,
+    /// CSV sink path (`--csv <path>`), appended to per measurement.
+    csv: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            benchmarks_run: 0,
+            csv: csv_path_from_args(),
+        }
+    }
 }
 
 impl Criterion {
@@ -132,11 +198,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `main` running the given groups.
+/// Generate `main` running the given groups. Honours `--csv <path>`
+/// (see the module docs): the file is truncated once here, then every
+/// measurement appends a row.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::csv_init();
             $($group();)+
         }
     };
@@ -161,5 +230,36 @@ mod tests {
         g.finish();
         assert_eq!(runs, 4, "warm-up + 3 samples");
         assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn csv_rows_append_per_measurement() {
+        // Per-process file name: concurrent test runs must not collide.
+        let path = std::env::temp_dir().join(format!(
+            "criterion_standin_csv_test_{}.csv",
+            std::process::id()
+        ));
+        std::fs::write(&path, "group,benchmark,median_ns,mean_ns,samples\n").unwrap();
+        let mut c = Criterion {
+            benchmarks_run: 0,
+            csv: Some(path.to_string_lossy().into_owned()),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next(),
+            Some("group,benchmark,median_ns,mean_ns,samples")
+        );
+        let row = lines.next().expect("one measurement row");
+        assert!(row.starts_with("g,x,"), "{row}");
+        assert!(row.ends_with(",2"), "{row}");
+        assert_eq!(lines.next(), None);
     }
 }

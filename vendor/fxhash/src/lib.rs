@@ -1,0 +1,167 @@
+//! Offline stand-in for the `fxhash` / `rustc-hash` crates.
+//!
+//! The build environment has no network access, so — like the vendored
+//! `rand`, `proptest` and `criterion` stand-ins — this crate provides the
+//! small slice of the fxhash API the workspace uses: [`FxHasher`] (the
+//! multiply-rotate hash Firefox and rustc use for their internal tables),
+//! the [`FxBuildHasher`] state, and the [`FxHashMap`] / [`FxHashSet`]
+//! aliases.
+//!
+//! Why not SipHash (std's default)? SipHash is keyed and DoS-resistant,
+//! which COGRA's hot routing maps do not need: partition keys come from a
+//! declared schema, not an adversary, and the per-event budget (§7 of the
+//! paper promises constant time per event) is dominated by hashing. Fx
+//! hashes a word per multiply-rotate — several times faster on the short
+//! keys (one or two attribute values) the router probes with. It is
+//! **not** cryptographically secure and makes no inter-version stability
+//! promise beyond this vendored copy, which never changes between builds
+//! (determinism is load-bearing: shard placement derives from these
+//! hashes).
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier: 2^64 / φ, the 64-bit Fibonacci hashing constant.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Rotation distance, as in the Firefox original.
+const ROTATE: u32 = 5;
+
+/// The Fx (Firefox) hasher: one rotate, one xor, one multiply per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// Fold one 64-bit word into the state.
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (word, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(word.try_into().unwrap()));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (word, rest) = bytes.split_at(4);
+            self.add_to_hash(u32::from_le_bytes(word.try_into().unwrap()) as u64);
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash one value with [`FxHasher`] — convenience for one-shot hashes.
+#[inline]
+pub fn hash64<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+        assert_eq!(hash64("partition"), hash64("partition"));
+        assert_ne!(hash64(&1u64), hash64(&2u64));
+    }
+
+    #[test]
+    fn byte_stream_chunking_is_consistent() {
+        // One write of 13 bytes must equal the same bytes in one call —
+        // (not necessarily equal to split writes; fx makes no such
+        // promise) — and produce a stable value.
+        let bytes = b"thirteen-byte";
+        let mut a = FxHasher::default();
+        a.write(bytes);
+        let mut b = FxHasher::default();
+        b.write(bytes);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<&str, i32> = FxHashMap::default();
+        m.insert("a", 1);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn zero_word_still_advances_nonzero_state() {
+        // Fx famously maps the all-zero prefix to 0 (0 rot^xor 0 * SEED);
+        // what matters for key hashing is that a zero word folded into a
+        // *nonzero* state still changes it, so `[1, 0]` ≠ `[1]`.
+        let mut h = FxHasher::default();
+        h.write_u64(1);
+        let one = h.finish();
+        h.write_u64(0);
+        assert_ne!(one, h.finish());
+    }
+}

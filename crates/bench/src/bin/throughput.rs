@@ -3,13 +3,14 @@
 //! Replays the stock and rideshare workloads through the unified
 //! [`Session`] pipeline and records ingest-path throughput (events per
 //! second), peak logical memory, and routing statistics per
-//! workload × worker count, as JSON. The checked-in `BENCH_PR3.json` at
-//! the repository root is the first point of the perf trajectory this
-//! repo tracks; re-run the harness after a hot-path change and diff.
+//! workload × worker count, as JSON. The checked-in `BENCH_PR3.json` /
+//! `BENCH_PR4.json` files at the repository root are the points of the
+//! perf trajectory this repo tracks; re-run the harness after a hot-path
+//! change and diff.
 //!
 //! ```text
 //! cargo run -p cogra-bench --release --bin throughput -- \
-//!     [--events N] [--iters K] [--out BENCH.json]
+//!     [--events N] [--iters K] [--out BENCH.json] [--speedup-floor F]
 //! ```
 //!
 //! Each configuration runs `K` times; the *best* run is reported (the
@@ -17,6 +18,17 @@
 //! configuration (`--events 5000 --iters 1`) runs in well under a second
 //! and is exercised by CI, which fails if the JSON is missing or
 //! malformed.
+//!
+//! `--speedup-floor F` turns the harness into a scaling gate: after
+//! writing the JSON it fails (exit 1) unless the 4-worker in-memory path
+//! sustains at least `F ×` the 1-worker throughput on both the stock and
+//! rideshare workloads — the `.workers(n)` recovery this repo's PR 4
+//! (batched shard transport + shared pool) has to hold on to. On a host
+//! without hardware parallelism (1 CPU) the gate reports the measured
+//! ratio and skips the verdict: time-sharing one core can never exceed
+//! 1×, so a floor there would only ever measure the scheduler. The JSON
+//! records the host's CPU count so a checked-in baseline is
+//! interpretable.
 
 use cogra_core::session::Session;
 use cogra_events::{write_events, Event, TypeRegistry};
@@ -27,13 +39,15 @@ struct Args {
     events: usize,
     iters: usize,
     out: String,
+    speedup_floor: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         events: 200_000,
         iters: 3,
-        out: "BENCH_PR3.json".to_string(),
+        out: "BENCH_PR4.json".to_string(),
+        speedup_floor: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -51,6 +65,13 @@ fn parse_args() -> Result<Args, String> {
                     .max(1)
             }
             "--out" => args.out = value("--out")?,
+            "--speedup-floor" => {
+                args.speedup_floor = Some(
+                    value("--speedup-floor")?
+                        .parse()
+                        .map_err(|_| "--speedup-floor needs a number".to_string())?,
+                )
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -149,12 +170,12 @@ fn measure_csv(
     })
 }
 
-fn json(rows: &[Row], events: usize, iters: usize) -> String {
+fn json(rows: &[Row], events: usize, iters: usize, cpus: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"throughput\",\n");
     out.push_str("  \"engine\": \"cogra\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"events\": {events}, \"iters\": {iters}}},\n"
+        "  \"config\": {{\"events\": {events}, \"iters\": {iters}, \"cpus\": {cpus}}},\n"
     ));
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -184,7 +205,10 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: throughput [--events N] [--iters K] [--out BENCH.json]");
+            eprintln!(
+                "usage: throughput [--events N] [--iters K] [--out BENCH.json] \
+                 [--speedup-floor F]"
+            );
             std::process::exit(1);
         }
     };
@@ -248,7 +272,38 @@ fn main() {
             r.workload, r.path, r.workers, r.events_per_sec, r.peak_bytes, r.results
         );
     }
-    let text = json(&rows, args.events, args.iters);
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let text = json(&rows, args.events, args.iters, cpus);
     std::fs::write(&args.out, &text).expect("write bench JSON");
     eprintln!("wrote {}", args.out);
+
+    // The scaling gate: the sharded path must actually pay for its
+    // threads on the in-memory workloads — wherever threads can run in
+    // parallel at all. On a single-CPU host the workers time-share one
+    // core, so the honest ceiling is < 1× and the verdict is skipped
+    // (the ratio is still reported: it tracks transport overhead).
+    if let Some(floor) = args.speedup_floor {
+        let gate_active = cpus >= 2;
+        let mut failed = false;
+        for workload in ["stock", "rideshare"] {
+            let rate = |workers: usize| {
+                rows.iter()
+                    .find(|r| r.workload == workload && r.path == "memory" && r.workers == workers)
+                    .map(|r| r.events_per_sec)
+                    .expect("memory rows for workers 1 and 4 are always measured")
+            };
+            let speedup = rate(4) / rate(1);
+            let verdict = match (gate_active, speedup >= floor) {
+                (false, _) => "skipped (single-CPU host)",
+                (true, true) => "ok",
+                (true, false) => "FAIL",
+            };
+            eprintln!("{workload:>9} 4-worker speedup {speedup:.2}x (floor {floor:.2}x) {verdict}");
+            failed |= gate_active && speedup < floor;
+        }
+        if failed {
+            eprintln!("error: 4-worker throughput is below the --speedup-floor");
+            std::process::exit(1);
+        }
+    }
 }

@@ -42,7 +42,7 @@ pub use cogra_engine::{
     GroupKey, KeyInterner, Output, PartitionId, QueryRuntime, Router, RunStats, SlotFunc,
     TrendEngine, Val, WindowAlgo, WindowResult,
 };
-pub use parallel::{run_parallel, ParallelRun, StreamingPool};
+pub use parallel::{run_parallel, ParallelRun, PoolConfig, StreamingPool, DEFAULT_BATCH_SIZE};
 pub use session::{
     EngineKind, IngestError, ResultSink, Session, SessionBuilder, SessionError, SessionRun,
     TaggedResult,

@@ -10,25 +10,29 @@
 //! Sharding is by the *output group* (the `GROUP-BY` prefix of the
 //! partition key), so every partition contributing to one result group
 //! lands on the same worker and no cross-worker aggregate merging is
-//! needed. A query without `GROUP-BY` falls back to a single worker
-//! (there is nothing to partition results by).
+//! needed. A query without `GROUP-BY` cannot shard (there is nothing to
+//! partition results by) and is pinned to one worker instead.
 //!
 //! Two implementations share the same shard hash:
 //! * [`run_parallel`] — the batch reference: shard a finite recorded
 //!   stream, run every shard to completion under `std::thread::scope`,
 //!   merge. Kept as the executable specification the streaming tests
 //!   diff against.
-//! * [`StreamingPool`] — live execution: long-lived worker threads fed
-//!   by bounded channels, events hashed to their shard *at ingest time*,
-//!   and watermark broadcasts so a drain emits every result that is
-//!   globally final — even on shards whose sub-stream went quiet.
+//! * [`StreamingPool`] — live execution: ONE pool of long-lived worker
+//!   threads per *session* (not per query — each worker hosts one engine
+//!   per (query, shard)), fed by bounded channels carrying **batches** of
+//!   pre-hashed events, with watermark broadcasts so a drain emits every
+//!   result that is globally final — even on shards whose sub-stream went
+//!   quiet. Under `.slack(n)` each worker repairs its own sub-stream with
+//!   a private [`ReorderBuffer`] while a coordinator-side [`LateGate`]
+//!   keeps the drop decisions identical to a single front reorderer.
 
 use crate::cogra::CograEngine;
 use crate::engine::{run_to_completion, TrendEngine};
 use crate::output::WindowResult;
 use crate::runtime::QueryRuntime;
 use cogra_engine::RunStats;
-use cogra_events::{Event, Timestamp};
+use cogra_events::{Event, LateGate, ReorderBuffer, Timestamp};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -38,16 +42,6 @@ use std::thread::JoinHandle;
 /// one place so the two execution modes cannot disagree.
 fn shard_index(group_hash: u64, shards: usize) -> usize {
     (group_hash % shards as u64) as usize
-}
-
-/// Shard placement and the worker-side interner probe share one in-place
-/// hashing pass ([`QueryRuntime::route_hashes`]): the group-prefix hash
-/// decides the shard, the full-key hash rides along to the worker so
-/// [`CograEngine::process_prehashed`] never re-extracts the key. `None`
-/// drops the event (no partition key), consistently with every engine.
-fn route_of(rt: &QueryRuntime, event: &Event, shards: usize) -> Option<(usize, u64)> {
-    let (group_hash, key_hash) = rt.route_hashes(event)?;
-    Some((shard_index(group_hash, shards), key_hash))
 }
 
 /// How many shards a query can use: the requested worker count, unless
@@ -129,13 +123,50 @@ pub fn run_parallel(rt: &Arc<QueryRuntime>, events: &[Event], workers: usize) ->
     }
 }
 
+/// Transport tuning of a [`StreamingPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Events staged per shard before a [`Cmd::Batch`] is shipped. Staged
+    /// events also flush on every drain/finish (and thus on every
+    /// watermark broadcast), so the batch size bounds transport latency,
+    /// never result completeness. 1 degenerates to per-event sends.
+    pub batch_size: usize,
+    /// Repair up to this many ticks of disorder *per shard*: each worker
+    /// owns a [`ReorderBuffer`] over its own sub-stream while the
+    /// coordinator's [`LateGate`] keeps late-drop decisions identical to
+    /// one stream-wide front reorderer.
+    pub slack: Option<u64>,
+}
+
+/// The default shard-transport batch size: big enough to amortize a
+/// bounded-channel hand-off over hundreds of events, small enough that a
+/// batch stays well inside a worker's cache while it drains it.
+pub const DEFAULT_BATCH_SIZE: usize = 512;
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            batch_size: DEFAULT_BATCH_SIZE,
+            slack: None,
+        }
+    }
+}
+
+/// One routed event in flight to a shard worker: the event, the index of
+/// the query it is for, and its precomputed full partition-key hash
+/// (`None`: the event's type has no partition key; the engine drops it
+/// itself, exactly like a sequential run).
+struct Item {
+    event: Event,
+    query: u32,
+    key_hash: Option<u64>,
+}
+
 /// Commands the coordinator sends down a worker's bounded channel.
 enum Cmd {
-    /// One event of this shard's sub-stream, in global time order, with
-    /// its full partition-key hash precomputed at ingest (`None`: the
-    /// event's type has no partition key; the engine drops it itself).
-    Event(Event, Option<u64>),
-    /// Advance to the global watermark and emit everything now final.
+    /// A batch of this shard's sub-stream, in global routing order.
+    Batch(Vec<Item>),
+    /// Advance to the given safe watermark and emit everything now final.
     Drain(Timestamp),
     /// End of stream: close every open window, report, and exit.
     Finish,
@@ -143,15 +174,15 @@ enum Cmd {
 
 /// A worker's answer to [`Cmd::Drain`] / [`Cmd::Finish`].
 struct Reply {
-    /// Results finalized since the previous drain, in deterministic
-    /// (window, group) order.
-    results: Vec<WindowResult>,
-    /// The shard engine's current logical memory.
+    /// Results finalized since the previous drain, tagged with their
+    /// query index.
+    results: Vec<(u32, WindowResult)>,
+    /// The worker's engines' current summed logical memory.
     memory: usize,
-    /// The shard engine's peak logical memory so far (sampled every 64
+    /// The worker's peak summed logical memory so far (sampled every 64
     /// events plus at every drain, like the measurement harness).
     peak: usize,
-    /// The shard engine's routing hot-path counters so far.
+    /// The worker's routing hot-path counters so far, over all engines.
     stats: RunStats,
 }
 
@@ -178,40 +209,75 @@ fn reap(w: &mut Worker) -> ! {
     }
 }
 
-/// Per-event backpressure bound: a worker that falls this many events
+/// Backpressure bound, in batches: a worker that falls this many batches
 /// behind blocks ingestion instead of buffering without limit.
-const CHANNEL_CAPACITY: usize = 1024;
+const CHANNEL_CAPACITY: usize = 16;
 
-/// Live §8 sharded execution: one long-lived [`CograEngine`] worker
-/// thread per shard, fed through bounded channels, with watermark-driven
-/// result emission.
+/// Live §8 sharded execution, shared across a whole session's queries:
+/// `workers` long-lived threads, each hosting one [`CograEngine`] per
+/// (query, shard), fed through bounded channels carrying event batches.
 ///
-/// Events are hashed to their shard *at ingest time* (same group-prefix
-/// hash as [`run_parallel`], so the two modes are byte-identical), each
-/// worker aggregates its sub-stream independently, and
-/// [`StreamingPool::drain_into`] broadcasts the global watermark before
-/// collecting: every window that closed globally is emitted, even on a
-/// shard whose own sub-stream went quiet. The final merged output equals
-/// the batch reference — asserted by `tests/streaming_parallel_props.rs`.
+/// * **Batched transport** — events are staged per shard and shipped as
+///   [`Cmd::Batch`] chunks ([`PoolConfig::batch_size`], default
+///   [`DEFAULT_BATCH_SIZE`]); stages flush on every drain/finish, so
+///   batching changes hand-off cost, never the result set.
+/// * **Shared pool** — one pool serves every query of a session: an
+///   event is hashed per query (same group-prefix hash as
+///   [`run_parallel`], so the modes are byte-identical) and staged once
+///   per target shard. A query without a `GROUP-BY` prefix cannot shard;
+///   it is pinned to the worker `query % workers`, so even a session of
+///   unshardable queries spreads across the pool instead of spawning
+///   `queries × workers` threads.
+/// * **Per-shard reorderers** — with [`PoolConfig::slack`], each worker
+///   repairs its own sub-stream through a private [`ReorderBuffer`],
+///   concurrently with every other shard. A coordinator-side
+///   [`LateGate`] makes the admission decision from time stamps alone,
+///   so late-drop counts equal a single front [`Reorderer`]'s exactly.
+/// * **Watermark broadcasts** — [`StreamingPool::drain_into`] broadcasts
+///   the safe watermark before collecting: every window that closed
+///   globally is emitted, even on a shard whose sub-stream went quiet.
+///
+/// The merged output equals the batch reference per query — asserted by
+/// `tests/streaming_parallel_props.rs` across workers × chunkings ×
+/// batch sizes.
+///
+/// [`Reorderer`]: cogra_events::Reorderer
 pub struct StreamingPool {
-    rt: Arc<QueryRuntime>,
+    runtimes: Vec<Arc<QueryRuntime>>,
     workers: Vec<Worker>,
-    /// Global stream progress: the largest event time routed so far.
-    watermark: Timestamp,
+    /// Per-shard staging buffers awaiting a batch send.
+    stages: Vec<Vec<Item>>,
+    batch_size: usize,
+    /// Admission gate under slack (None: the stream is trusted ordered).
+    gate: Option<LateGate>,
+    /// Raw stream progress: the largest event time routed so far.
+    raw_watermark: Timestamp,
+    /// Reusable `(shard, query, key_hash)` placement scratch.
+    targets: Vec<(usize, u32, Option<u64>)>,
     finished: bool,
 }
 
 impl StreamingPool {
-    /// Spawn `workers` shard threads for a compiled query (clamped to 1
-    /// when the query has no `GROUP-BY` prefix to shard on).
-    pub fn new(rt: Arc<QueryRuntime>, workers: usize) -> StreamingPool {
-        let effective = effective_workers(&rt, workers);
-        let workers = (0..effective)
-            .map(|_| {
+    /// Spawn a worker pool for a session's compiled queries.
+    ///
+    /// The pool has `workers` threads when any query can shard; a session
+    /// of only unshardable (no `GROUP-BY`) queries clamps to one thread
+    /// per query at most, since each such query is pinned anyway.
+    pub fn new(runtimes: Vec<Arc<QueryRuntime>>, workers: usize, config: PoolConfig) -> Self {
+        assert!(!runtimes.is_empty(), "a pool needs at least one query");
+        let threads = Self::threads_for(&runtimes, workers);
+        let batch_size = config.batch_size.max(1);
+        let workers = (0..threads)
+            .map(|index| {
                 let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel(CHANNEL_CAPACITY);
                 let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-                let rt = Arc::clone(&rt);
-                let thread = std::thread::spawn(move || shard_worker(rt, cmd_rx, reply_tx));
+                let shard = ShardConfig {
+                    runtimes: runtimes.clone(),
+                    threads,
+                    index,
+                    slack: config.slack,
+                };
+                let thread = std::thread::spawn(move || shard_worker(shard, cmd_rx, reply_tx));
                 Worker {
                     tx: Some(cmd_tx),
                     rx: reply_rx,
@@ -223,23 +289,65 @@ impl StreamingPool {
             })
             .collect();
         StreamingPool {
-            rt,
+            runtimes,
             workers,
-            watermark: Timestamp::ZERO,
+            stages: (0..threads).map(|_| Vec::new()).collect(),
+            batch_size,
+            gate: config.slack.map(LateGate::new),
+            raw_watermark: Timestamp::ZERO,
+            targets: Vec::new(),
             finished: false,
         }
     }
 
-    /// Number of shards actually in use (1 for queries without `GROUP-BY`).
-    pub fn workers(&self) -> usize {
-        self.workers.len()
+    /// Thread count: the requested workers when any query has a `GROUP-BY`
+    /// prefix to shard on; otherwise one thread per pinned query suffices.
+    fn threads_for(runtimes: &[Arc<QueryRuntime>], requested: usize) -> usize {
+        let requested = requested.max(1);
+        if runtimes.iter().any(|rt| rt.query.group_prefix > 0) {
+            requested
+        } else {
+            requested.min(runtimes.len())
+        }
     }
 
-    /// Global stream progress: the largest event time routed so far.
-    /// Results for windows closing at or before it are final after the
-    /// next [`StreamingPool::drain_into`].
+    /// Number of queries the pool serves.
+    pub fn queries(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// Widest effective shard count across the pool's queries (a query
+    /// without `GROUP-BY` is pinned to one worker and counts as 1).
+    pub fn workers(&self) -> usize {
+        let threads = self.workers.len();
+        self.runtimes
+            .iter()
+            .map(|rt| effective_workers(rt, threads))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Observable stream progress: results for windows closing at or
+    /// before it are final after the next [`StreamingPool::drain_into`].
+    /// Without slack this is the largest routed event time; with slack it
+    /// is the [`LateGate`]'s safe watermark (the largest time releasable
+    /// on every shard), exactly like a front reorderer's released output.
     pub fn watermark(&self) -> Timestamp {
-        self.watermark
+        match &self.gate {
+            Some(gate) => gate.safe_watermark(),
+            None => self.raw_watermark,
+        }
+    }
+
+    /// Events refused as hopelessly late by the slack gate (0 without
+    /// slack — the stream is trusted ordered then).
+    pub fn late_events(&self) -> u64 {
+        self.gate.as_ref().map_or(0, LateGate::late_events)
+    }
+
+    /// Whether per-shard disorder repair ([`PoolConfig::slack`]) is active.
+    pub fn has_slack(&self) -> bool {
+        self.gate.is_some()
     }
 
     /// Summed shard-engine memory, as of each worker's last drain (the
@@ -264,67 +372,155 @@ impl StreamingPool {
         total
     }
 
-    /// Route one event to its shard. Blocks when the shard is
-    /// [`CHANNEL_CAPACITY`] events behind (backpressure, not unbounded
-    /// buffering). Events must arrive in non-decreasing time order.
+    /// Route one event to its target shards (one per query, deduplicated
+    /// by staging the clone per *shard*, not per query). Blocks when a
+    /// shard is [`CHANNEL_CAPACITY`] batches behind (backpressure, not
+    /// unbounded buffering). Without slack, events must arrive in
+    /// non-decreasing time order; with slack, disorder up to the slack is
+    /// repaired on the shards and anything later is dropped and counted.
     pub fn route(&mut self, event: &Event) {
-        assert!(!self.finished, "streaming pool already finished");
-        self.watermark = self.watermark.max(event.time);
-        if let Some((shard, key_hash)) = self.shard_for(event) {
-            self.send_event(shard, event.clone(), key_hash);
+        if self.admit(event) {
+            self.compute_targets(event);
+            let targets = std::mem::take(&mut self.targets);
+            for &(shard, query, key_hash) in &targets {
+                self.stage(
+                    shard,
+                    Item {
+                        event: event.clone(),
+                        query,
+                        key_hash,
+                    },
+                );
+            }
+            self.targets = targets;
         }
     }
 
-    /// Like [`StreamingPool::route`], consuming the event.
+    /// Like [`StreamingPool::route`], consuming the event — the last
+    /// target shard receives it without a clone (the zero-clone path for
+    /// single-query sessions fed from owned sources).
     pub fn route_owned(&mut self, event: Event) {
+        if self.admit(&event) {
+            self.compute_targets(&event);
+            let targets = std::mem::take(&mut self.targets);
+            if let Some((&(shard, query, key_hash), rest)) = targets.split_last() {
+                for &(shard, query, key_hash) in rest {
+                    self.stage(
+                        shard,
+                        Item {
+                            event: event.clone(),
+                            query,
+                            key_hash,
+                        },
+                    );
+                }
+                self.stage(
+                    shard,
+                    Item {
+                        event,
+                        query,
+                        key_hash,
+                    },
+                );
+            }
+            self.targets = targets;
+        }
+    }
+
+    /// Watermark bookkeeping + the late-drop decision. `true` admits.
+    /// With a gate, the gate tracks the raw watermark itself and the
+    /// observable watermark is its safe one — `raw_watermark` is only
+    /// maintained on the trusted-ordered path.
+    fn admit(&mut self, event: &Event) -> bool {
         assert!(!self.finished, "streaming pool already finished");
-        self.watermark = self.watermark.max(event.time);
-        if let Some((shard, key_hash)) = self.shard_for(&event) {
-            self.send_event(shard, event, key_hash);
+        match &mut self.gate {
+            Some(gate) => gate.admit(event.time),
+            None => {
+                self.raw_watermark = self.raw_watermark.max(event.time);
+                true
+            }
         }
     }
 
-    /// The shard `event` belongs to, with its precomputed full-key hash;
-    /// `None` drops it (no partition key), consistently with every engine
-    /// — decided *before* any clone. The key is hashed in place, once,
-    /// right here: the worker's router probes with the shipped hash.
-    fn shard_for(&self, event: &Event) -> Option<(usize, Option<u64>)> {
-        if self.workers.len() == 1 {
-            // Single shard: the engine sees the whole stream, including
-            // events without a partition key (it drops them itself,
-            // exactly like a sequential run).
-            return Some((0, self.rt.key_hash(event)));
+    /// Resolve the event's `(shard, query, key_hash)` placements into the
+    /// reusable `targets` scratch — one entry per query that keeps the
+    /// event.
+    fn compute_targets(&mut self, event: &Event) {
+        let threads = self.workers.len();
+        self.targets.clear();
+        for (q, rt) in self.runtimes.iter().enumerate() {
+            if rt.query.group_prefix > 0 {
+                // Shardable: the group hash places the event, the full-key
+                // hash rides along so the worker's router probes without
+                // re-extracting the key. `None` drops the event for this
+                // query (no partition key), consistently with every engine.
+                if let Some((group_hash, key_hash)) = rt.route_hashes(event) {
+                    self.targets
+                        .push((shard_index(group_hash, threads), q as u32, Some(key_hash)));
+                }
+            } else {
+                // Unshardable: pinned to one worker, which sees the whole
+                // stream — including events without a partition key (the
+                // engine drops them itself, exactly like a sequential run).
+                self.targets
+                    .push((q % threads, q as u32, rt.key_hash(event)));
+            }
         }
-        let (shard, key_hash) = route_of(&self.rt, event, self.workers.len())?;
-        Some((shard, Some(key_hash)))
     }
 
-    fn send_event(&mut self, shard: usize, event: Event, key_hash: Option<u64>) {
+    /// Append one item to a shard's staging buffer, shipping the buffer
+    /// as a batch once it reaches the configured size.
+    fn stage(&mut self, shard: usize, item: Item) {
+        let stage = &mut self.stages[shard];
+        stage.push(item);
+        if stage.len() >= self.batch_size {
+            self.ship(shard);
+        }
+    }
+
+    /// Send a shard's staged events as one [`Cmd::Batch`].
+    fn ship(&mut self, shard: usize) {
+        if self.stages[shard].is_empty() {
+            return;
+        }
+        let cap = self.batch_size.min(4096);
+        let batch = std::mem::replace(&mut self.stages[shard], Vec::with_capacity(cap));
         let w = &mut self.workers[shard];
         let tx = w.tx.as_ref().expect("pool not finished");
-        if tx.send(Cmd::Event(event, key_hash)).is_err() {
+        if tx.send(Cmd::Batch(batch)).is_err() {
             reap(w);
         }
     }
 
-    /// Emit every result final at the global watermark, merged across
-    /// shards in deterministic (window, group) order. Broadcasts the
-    /// watermark first, so shards whose sub-stream went quiet still close
-    /// the windows that closed globally.
-    pub fn drain_into(&mut self, out: &mut dyn FnMut(WindowResult)) {
-        if self.finished {
-            return;
+    /// Flush every shard's staging buffer — always precedes a broadcast,
+    /// so a drain or finish never outruns staged events.
+    fn flush_stages(&mut self) {
+        for shard in 0..self.stages.len() {
+            self.ship(shard);
         }
-        self.round_trip(Cmd::Drain(self.watermark), out);
     }
 
-    /// End of stream: close every open window on every shard, emit the
-    /// merged remainder, and join the worker threads. Further drains are
-    /// no-ops; further routing is a bug (and panics).
-    pub fn finish_into(&mut self, out: &mut dyn FnMut(WindowResult)) {
+    /// Emit every result final at the safe watermark, merged per query in
+    /// deterministic (window, group) order. Flushes staged batches and
+    /// broadcasts the watermark first, so shards whose sub-stream went
+    /// quiet still close the windows that closed globally.
+    pub fn drain_into(&mut self, out: &mut dyn FnMut(usize, WindowResult)) {
         if self.finished {
             return;
         }
+        self.flush_stages();
+        self.round_trip(Cmd::Drain(self.watermark()), out);
+    }
+
+    /// End of stream: flush staged batches and shard reorder buffers,
+    /// close every open window on every shard, emit the merged remainder,
+    /// and join the worker threads. Further drains are no-ops; further
+    /// routing is a bug (and panics).
+    pub fn finish_into(&mut self, out: &mut dyn FnMut(usize, WindowResult)) {
+        if self.finished {
+            return;
+        }
+        self.flush_stages();
         self.round_trip(Cmd::Finish, out);
         self.finished = true;
         for w in &mut self.workers {
@@ -335,34 +531,39 @@ impl StreamingPool {
         }
     }
 
-    /// Broadcast one command to every shard, then merge the replies.
-    /// Command fan-out happens before any reply collection so the shards
-    /// drain concurrently.
-    fn round_trip(&mut self, cmd: Cmd, out: &mut dyn FnMut(WindowResult)) {
+    /// Broadcast one command to every shard, then merge the replies per
+    /// query. Command fan-out happens before any reply collection so the
+    /// shards drain concurrently.
+    fn round_trip(&mut self, cmd: Cmd, out: &mut dyn FnMut(usize, WindowResult)) {
         for w in &mut self.workers {
             let c = match &cmd {
                 Cmd::Drain(wm) => Cmd::Drain(*wm),
                 Cmd::Finish => Cmd::Finish,
-                Cmd::Event(..) => unreachable!("events are routed, not broadcast"),
+                Cmd::Batch(..) => unreachable!("batches are routed, not broadcast"),
             };
             let tx = w.tx.as_ref().expect("pool not finished");
             if tx.send(c).is_err() {
                 reap(w);
             }
         }
-        let mut merged = Vec::new();
+        let mut merged: Vec<Vec<WindowResult>> = vec![Vec::new(); self.runtimes.len()];
         for w in &mut self.workers {
             let Ok(reply) = w.rx.recv() else { reap(w) };
             w.memory = reply.memory;
             w.peak = reply.peak;
             w.stats = reply.stats;
-            merged.extend(reply.results);
+            for (q, r) in reply.results {
+                merged[q as usize].push(r);
+            }
         }
-        // Shards own disjoint (window, group) result spaces, so this sort
-        // is a deterministic merge — independent of the shard count.
-        WindowResult::sort(&mut merged);
-        for r in merged {
-            out(r);
+        for (q, results) in merged.iter_mut().enumerate() {
+            // Shards own disjoint (window, group) result spaces per query,
+            // so this sort is a deterministic merge — independent of the
+            // shard count.
+            WindowResult::sort(results);
+            for r in results.drain(..) {
+                out(q, r);
+            }
         }
     }
 }
@@ -378,35 +579,172 @@ impl Drop for StreamingPool {
     }
 }
 
-/// One shard's worker loop: a private [`CograEngine`] over the shard's
-/// sub-stream, replying to drain/finish round trips.
-fn shard_worker(rt: Arc<QueryRuntime>, rx: Receiver<Cmd>, tx: Sender<Reply>) {
-    let mut engine = CograEngine::from_runtime(rt);
-    let mut peak = engine.memory_bytes();
-    let mut since_sample = 0usize;
-    for cmd in rx {
-        match cmd {
-            Cmd::Event(e, key_hash) => {
-                // The coordinator hashed the key at ingest to place the
-                // event; reuse it so the key is extracted once per event.
-                engine.process_prehashed(&e, key_hash);
-                since_sample += 1;
-                if since_sample >= 64 {
-                    peak = peak.max(engine.memory_bytes());
-                    since_sample = 0;
+/// Everything a shard worker needs to build its engine slice.
+struct ShardConfig {
+    runtimes: Vec<Arc<QueryRuntime>>,
+    threads: usize,
+    index: usize,
+    slack: Option<u64>,
+}
+
+/// One worker's engines: a [`CograEngine`] per query this shard hosts
+/// (every query with a `GROUP-BY` prefix; pinned queries only on their
+/// home worker), plus the shard's private reorder buffer under slack.
+struct Shard {
+    engines: Vec<Option<CograEngine>>,
+    /// Per-shard disorder repair ([`PoolConfig::slack`]); the admission
+    /// decision already happened at the coordinator's [`LateGate`].
+    reorder: Option<ReorderBuffer<Item>>,
+    slack: u64,
+    /// The largest raw event time this shard has seen in its sub-stream.
+    local_watermark: Timestamp,
+    /// Scratch for released items (reused across batches).
+    released: Vec<Item>,
+    peak: usize,
+    since_sample: usize,
+}
+
+impl Shard {
+    fn new(cfg: &ShardConfig) -> Shard {
+        let engines = cfg
+            .runtimes
+            .iter()
+            .enumerate()
+            .map(|(q, rt)| {
+                let hosted = rt.query.group_prefix > 0 || q % cfg.threads == cfg.index;
+                hosted.then(|| CograEngine::from_runtime(Arc::clone(rt)))
+            })
+            .collect();
+        let mut shard = Shard {
+            engines,
+            reorder: cfg.slack.map(|_| ReorderBuffer::new()),
+            slack: cfg.slack.unwrap_or(0),
+            local_watermark: Timestamp::ZERO,
+            released: Vec::new(),
+            peak: 0,
+            since_sample: 0,
+        };
+        shard.peak = shard.memory();
+        shard
+    }
+
+    fn memory(&self) -> usize {
+        self.engines
+            .iter()
+            .flatten()
+            .map(|e| e.memory_bytes())
+            .sum()
+    }
+
+    fn stats(&self) -> RunStats {
+        let mut total = RunStats::default();
+        for e in self.engines.iter().flatten() {
+            total.merge(e.run_stats());
+        }
+        total
+    }
+
+    fn sample_peak(&mut self) {
+        self.peak = self.peak.max(self.memory());
+        self.since_sample = 0;
+    }
+
+    /// Feed one released item to its query's engine. The coordinator
+    /// hashed the key at ingest to place the event; reuse it so the key
+    /// is extracted once per event.
+    fn ingest(&mut self, item: Item) {
+        let engine = self.engines[item.query as usize]
+            .as_mut()
+            .expect("coordinator only targets hosted queries");
+        engine.process_prehashed(&item.event, item.key_hash);
+        self.since_sample += 1;
+        if self.since_sample >= 64 {
+            self.sample_peak();
+        }
+    }
+
+    /// Ingest one transported batch: straight into the engines when the
+    /// stream is trusted ordered, through the shard's reorder buffer
+    /// (releasing everything slack ticks behind this shard's own
+    /// watermark) otherwise.
+    fn on_batch(&mut self, items: Vec<Item>) {
+        match &mut self.reorder {
+            None => {
+                for item in items {
+                    self.ingest(item);
                 }
             }
+            Some(buffer) => {
+                let mut wm = self.local_watermark;
+                for item in items {
+                    wm = wm.max(item.event.time);
+                    buffer.push(item.event.time, item);
+                }
+                self.local_watermark = wm;
+                let mut released = std::mem::take(&mut self.released);
+                buffer.release_up_to(wm.saturating_sub(self.slack), &mut released);
+                for item in released.drain(..) {
+                    self.ingest(item);
+                }
+                self.released = released;
+            }
+        }
+    }
+
+    /// Catch the shard up to the broadcast safe watermark: release every
+    /// buffered item at or before it (the gate guarantees anything still
+    /// buffered beyond it is not yet globally final), then advance every
+    /// hosted engine so globally-closed windows finalize even if this
+    /// shard's own sub-stream went quiet.
+    fn advance_to(&mut self, safe: Timestamp) {
+        if let Some(buffer) = &mut self.reorder {
+            let mut released = std::mem::take(&mut self.released);
+            buffer.release_up_to(safe, &mut released);
+            for item in released.drain(..) {
+                self.ingest(item);
+            }
+            self.released = released;
+        }
+        for e in self.engines.iter_mut().flatten() {
+            e.advance_watermark(safe);
+        }
+    }
+
+    /// End of stream: flush the reorder buffer into the engines.
+    fn flush(&mut self) {
+        if let Some(buffer) = &mut self.reorder {
+            let mut released = std::mem::take(&mut self.released);
+            buffer.flush(&mut released);
+            for item in released.drain(..) {
+                self.ingest(item);
+            }
+            self.released = released;
+        }
+    }
+}
+
+/// One shard's worker loop: private per-query [`CograEngine`]s over the
+/// shard's sub-stream, replying to drain/finish round trips.
+fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
+    let mut shard = Shard::new(&cfg);
+    for cmd in rx {
+        match cmd {
+            Cmd::Batch(items) => shard.on_batch(items),
             Cmd::Drain(wm) => {
-                peak = peak.max(engine.memory_bytes());
-                engine.advance_watermark(wm);
+                shard.advance_to(wm);
+                shard.sample_peak();
                 let mut results = Vec::new();
-                engine.drain_into(&mut |r| results.push(r));
+                for (q, e) in shard.engines.iter_mut().enumerate() {
+                    if let Some(e) = e {
+                        e.drain_into(&mut |r| results.push((q as u32, r)));
+                    }
+                }
                 if tx
                     .send(Reply {
                         results,
-                        memory: engine.memory_bytes(),
-                        peak,
-                        stats: engine.run_stats(),
+                        memory: shard.memory(),
+                        peak: shard.peak,
+                        stats: shard.stats(),
                     })
                     .is_err()
                 {
@@ -414,15 +752,22 @@ fn shard_worker(rt: Arc<QueryRuntime>, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                 }
             }
             Cmd::Finish => {
-                peak = peak.max(engine.memory_bytes());
+                shard.flush();
+                shard.sample_peak();
                 let mut results = Vec::new();
-                engine.finish_into(&mut |r| results.push(r));
-                peak = peak.max(engine.peak_hint());
+                let mut hint = 0usize;
+                for (q, e) in shard.engines.iter_mut().enumerate() {
+                    if let Some(e) = e {
+                        e.finish_into(&mut |r| results.push((q as u32, r)));
+                        hint += e.peak_hint();
+                    }
+                }
+                shard.peak = shard.peak.max(hint);
                 let _ = tx.send(Reply {
                     results,
-                    memory: engine.memory_bytes(),
-                    peak,
-                    stats: engine.run_stats(),
+                    memory: shard.memory(),
+                    peak: shard.peak,
+                    stats: shard.stats(),
                 });
                 return;
             }
@@ -460,6 +805,17 @@ mod tests {
             })
             .collect();
         (rt, events)
+    }
+
+    fn pool(rt: &Arc<QueryRuntime>, workers: usize, batch: usize) -> StreamingPool {
+        StreamingPool::new(
+            vec![Arc::clone(rt)],
+            workers,
+            PoolConfig {
+                batch_size: batch,
+                slack: None,
+            },
+        )
     }
 
     #[test]
@@ -503,32 +859,37 @@ mod tests {
         let (rt, events) = setup(300);
         let batch = run_parallel(&rt, &events, 1);
         for workers in [1, 2, 4, 8] {
-            let mut pool = StreamingPool::new(Arc::clone(&rt), workers);
-            let mut results = Vec::new();
-            let mut push = |r: WindowResult| results.push(r);
-            for (i, e) in events.iter().enumerate() {
-                pool.route(e);
-                if i % 50 == 49 {
-                    pool.drain_into(&mut push);
+            for batch_size in [1, 7, DEFAULT_BATCH_SIZE, 10_000] {
+                let mut pool = pool(&rt, workers, batch_size);
+                let mut results = Vec::new();
+                let mut push = |_q: usize, r: WindowResult| results.push(r);
+                for (i, e) in events.iter().enumerate() {
+                    pool.route(e);
+                    if i % 50 == 49 {
+                        pool.drain_into(&mut push);
+                    }
                 }
+                pool.finish_into(&mut push);
+                WindowResult::sort(&mut results);
+                assert_eq!(
+                    results, batch.results,
+                    "workers={workers} batch={batch_size}"
+                );
+                assert_eq!(pool.workers(), workers);
+                assert!(pool.peak_bytes() > 0, "workers={workers}");
             }
-            pool.finish_into(&mut push);
-            WindowResult::sort(&mut results);
-            assert_eq!(results, batch.results, "workers={workers}");
-            assert_eq!(pool.workers(), workers);
-            assert!(pool.peak_bytes() > 0, "workers={workers}");
         }
     }
 
     #[test]
     fn streaming_pool_drains_live_before_finish() {
         let (rt, events) = setup(300);
-        let mut pool = StreamingPool::new(Arc::clone(&rt), 4);
+        let mut pool = pool(&rt, 4, DEFAULT_BATCH_SIZE);
         let mut live = Vec::new();
         for e in &events {
             pool.route(e);
         }
-        pool.drain_into(&mut |r| live.push(r));
+        pool.drain_into(&mut |_q, r| live.push(r));
         assert!(
             !live.is_empty(),
             "closed windows are emitted before finish()"
@@ -538,7 +899,7 @@ mod tests {
         let last_closed = spec.last_closed(pool.watermark()).unwrap();
         assert!(live.iter().all(|r| r.window <= last_closed));
         let mut rest = Vec::new();
-        pool.finish_into(&mut |r| rest.push(r));
+        pool.finish_into(&mut |_q, r| rest.push(r));
         live.extend(rest);
         WindowResult::sort(&mut live);
         assert_eq!(live, run_parallel(&rt, &events, 4).results);
@@ -569,14 +930,14 @@ mod tests {
                 builder.event((i + 1) as u64, ty, vec![Value::Int(1), Value::Int(i)])
             })
             .collect();
-        let mut pool = StreamingPool::new(Arc::clone(&rt), 8);
+        let mut pool = pool(&rt, 8, DEFAULT_BATCH_SIZE);
         let mut live = Vec::new();
         for e in &events {
             pool.route(e);
         }
-        pool.drain_into(&mut |r| live.push(r));
+        pool.drain_into(&mut |_q, r| live.push(r));
         assert!(!live.is_empty());
-        pool.finish_into(&mut |r| live.push(r));
+        pool.finish_into(&mut |_q, r| live.push(r));
         WindowResult::sort(&mut live);
         assert_eq!(live, run_parallel(&rt, &events, 8).results);
     }
@@ -590,20 +951,85 @@ mod tests {
             cogra_query::compile(&q, &reg).unwrap(),
             &reg,
         ));
-        let mut pool = StreamingPool::new(Arc::clone(&rt), 8);
+        let mut pool = pool(&rt, 8, DEFAULT_BATCH_SIZE);
         assert_eq!(pool.workers(), 1, "no GROUP-BY ⇒ one shard");
         let mut b = EventBuilder::new();
         for i in 0..20u64 {
             pool.route_owned(b.event(i + 1, a, vec![Value::Int(i as i64)]));
         }
         let mut out = Vec::new();
-        pool.finish_into(&mut |r| out.push(r));
+        pool.finish_into(&mut |_q, r| out.push(r));
         assert!(!out.is_empty());
         let n = out.len();
         let mut extra = 0usize;
-        pool.finish_into(&mut |_| extra += 1);
-        pool.drain_into(&mut |_| extra += 1);
+        pool.finish_into(&mut |_q, _r| extra += 1);
+        pool.drain_into(&mut |_q, _r| extra += 1);
         assert_eq!(extra, 0, "post-finish drains emit nothing");
         assert_eq!(out.len(), n);
+    }
+
+    #[test]
+    fn shared_pool_serves_multiple_queries_with_tagged_results() {
+        let (rt, events) = setup(200);
+        let q2 = cogra_query::parse(
+            "RETURN g, COUNT(*) PATTERN SEQ(A+, B) SEMANTICS NEXT \
+             GROUP-BY g WITHIN 16 SLIDE 8",
+        )
+        .unwrap();
+        let mut reg = TypeRegistry::new();
+        reg.register_type("A", vec![("g", ValueKind::Int), ("v", ValueKind::Int)]);
+        reg.register_type("B", vec![("g", ValueKind::Int), ("v", ValueKind::Int)]);
+        let rt2 = Arc::new(QueryRuntime::new(
+            cogra_query::compile(&q2, &reg).unwrap(),
+            &reg,
+        ));
+        let mut pool = StreamingPool::new(
+            vec![Arc::clone(&rt), Arc::clone(&rt2)],
+            4,
+            PoolConfig::default(),
+        );
+        assert_eq!(pool.queries(), 2);
+        let mut per_query: Vec<Vec<WindowResult>> = vec![Vec::new(), Vec::new()];
+        for e in &events {
+            pool.route(e);
+        }
+        pool.finish_into(&mut |q, r| per_query[q].push(r));
+        for (q, rt) in [(0usize, &rt), (1usize, &rt2)] {
+            let mut got = per_query[q].clone();
+            WindowResult::sort(&mut got);
+            assert_eq!(got, run_parallel(rt, &events, 4).results, "query {q}");
+        }
+    }
+
+    #[test]
+    fn per_shard_reorderers_repair_bounded_disorder() {
+        let (rt, ordered) = setup(120);
+        // Reverse blocks of 5: disorder bounded by 5 ticks.
+        let mut disordered = Vec::with_capacity(ordered.len());
+        for chunk in ordered.chunks(5) {
+            disordered.extend(chunk.iter().rev().cloned());
+        }
+        let expected = run_parallel(&rt, &ordered, 4).results;
+        for batch_size in [1, 7, DEFAULT_BATCH_SIZE] {
+            let mut pool = StreamingPool::new(
+                vec![Arc::clone(&rt)],
+                4,
+                PoolConfig {
+                    batch_size,
+                    slack: Some(5),
+                },
+            );
+            let mut out = Vec::new();
+            for (i, e) in disordered.iter().enumerate() {
+                pool.route(e);
+                if i % 30 == 29 {
+                    pool.drain_into(&mut |_q, r| out.push(r));
+                }
+            }
+            pool.finish_into(&mut |_q, r| out.push(r));
+            WindowResult::sort(&mut out);
+            assert_eq!(out, expected, "batch={batch_size}");
+            assert_eq!(pool.late_events(), 0, "batch={batch_size}");
+        }
     }
 }

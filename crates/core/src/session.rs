@@ -29,25 +29,35 @@
 //! * [`EngineKind`] is the typed roster of Table 1 / Table 9: building an
 //!   engine that does not support the query's features fails with the
 //!   constructor's `QueryError`, exactly as §9.2 charts omit unsupported
-//!   approaches.
-//! * `.slack(n)` fuses a [`Reorderer`] into ingestion: bounded disorder is
+//!   approaches. Multi-query sessions may mix kinds per query via
+//!   [`SessionBuilder::query_with_engine`].
+//! * `.slack(n)` fuses disorder repair into ingestion: bounded disorder is
 //!   repaired before the engines see the events, and late drops are
-//!   surfaced via [`Session::late_events`].
+//!   surfaced via [`Session::late_events`]. Under `.workers(n)` the
+//!   repair itself runs per shard (each worker reorders its own
+//!   sub-stream) while a coordinator-side gate keeps the drop decisions
+//!   identical to a single front [`Reorderer`].
 //! * `.workers(n)` shards execution across a live [`StreamingPool`] (§8)
-//!   — COGRA only. Events are hashed to per-worker threads at ingest
-//!   time and [`Session::drain_into`] emits results for closed windows
-//!   while the stream is still running, exactly as in sequential mode.
+//!   — COGRA only. One pool serves every query of the session (each
+//!   worker hosts one engine per query/shard), events are hashed to
+//!   per-worker threads at ingest time and shipped in batches
+//!   ([`SessionBuilder::batch_size`]), and [`Session::drain_into`] emits
+//!   results for closed windows while the stream is still running,
+//!   exactly as in sequential mode.
+//! * Every query's compiled plan stays inspectable through
+//!   [`Session::plan`] / [`SessionRun::plans`] — consumers print
+//!   granularity or automata without re-compiling.
 //! * Output is push-based: engines hand each [`WindowResult`] to a
 //!   [`ResultSink`] without materializing intermediate vectors.
 
 use crate::cogra::CograEngine;
-use crate::parallel::StreamingPool;
+use crate::parallel::{PoolConfig, StreamingPool};
 use cogra_baselines::{aseq_engine, flink_engine, greta_engine, oracle_engine, sase_engine};
 use cogra_engine::runtime::{EngineConfig, QueryRuntime};
 use cogra_engine::{RunStats, TrendEngine, WindowResult};
 use cogra_events::csv::{CsvError, EventReader};
 use cogra_events::{Event, Reorderer, Timestamp, TypeRegistry};
-use cogra_query::{compile, parse, Query, QueryError};
+use cogra_query::{compile, parse, CompiledQuery, Query, QueryError};
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -112,9 +122,12 @@ impl EngineKind {
         config: &EngineConfig,
     ) -> Result<Box<dyn TrendEngine>, QueryError> {
         Ok(match self {
-            EngineKind::Cogra => Box::new(CograEngine::from_runtime(cogra_runtime(
-                query, registry, config,
-            )?)),
+            EngineKind::Cogra => {
+                let compiled = compile(query, registry)?;
+                Box::new(CograEngine::from_runtime(cogra_runtime(
+                    &compiled, registry, config,
+                )))
+            }
             EngineKind::Sase => Box::new(sase_engine(query, registry)?),
             EngineKind::Greta => Box::new(greta_engine(query, registry)?),
             EngineKind::Aseq => Box::new(aseq_engine(query, registry, config.clone())?),
@@ -228,16 +241,15 @@ impl From<CsvError> for IngestError {
 }
 
 /// Shared COGRA runtime construction for the streaming and `.workers(n)`
-/// paths — one site, so `config` handling cannot silently diverge.
+/// paths — one site, so `config` handling cannot silently diverge. The
+/// query is compiled exactly once by the builder; runtimes share that
+/// plan.
 fn cogra_runtime(
-    query: &Query,
+    compiled: &CompiledQuery,
     registry: &TypeRegistry,
     config: &EngineConfig,
-) -> Result<Arc<QueryRuntime>, QueryError> {
-    let compiled = compile(query, registry)?;
-    Ok(Arc::new(
-        QueryRuntime::new(compiled, registry).with_config(config.clone()),
-    ))
+) -> Arc<QueryRuntime> {
+    Arc::new(QueryRuntime::new(compiled.clone(), registry).with_config(config.clone()))
 }
 
 /// A query handed to the builder: raw text (parsed at
@@ -277,11 +289,13 @@ impl From<&Query> for QuerySpec {
 /// Fluent configuration of a [`Session`].
 #[derive(Debug, Clone, Default)]
 pub struct SessionBuilder {
-    queries: Vec<QuerySpec>,
+    /// Queries with an optional per-query engine override.
+    queries: Vec<(QuerySpec, Option<EngineKind>)>,
     engine: Option<EngineKind>,
     config: EngineConfig,
     slack: Option<u64>,
     workers: usize,
+    batch_size: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -290,14 +304,35 @@ impl SessionBuilder {
         SessionBuilder::default()
     }
 
-    /// Add one query — call repeatedly for a multi-query workload. Every
-    /// query runs on the session's engine kind over the same stream.
+    /// Add one query — call repeatedly for a multi-query workload. The
+    /// query runs on the session's default engine kind
+    /// ([`SessionBuilder::engine`]) over the shared stream.
     pub fn query(mut self, query: impl Into<QuerySpec>) -> SessionBuilder {
-        self.queries.push(query.into());
+        self.queries.push((query.into(), None));
         self
     }
 
-    /// Select the engine (default: COGRA).
+    /// Add one query pinned to its own engine kind — heterogeneous
+    /// multi-query sessions run each query on the engine that suits it
+    /// (Table 9), over the same stream:
+    ///
+    /// ```ignore
+    /// Session::builder()
+    ///     .query(any_query)                                  // default kind
+    ///     .query_with_engine(next_query, EngineKind::Sase)   // pinned
+    ///     .build(&registry)?
+    /// ```
+    pub fn query_with_engine(
+        mut self,
+        query: impl Into<QuerySpec>,
+        kind: EngineKind,
+    ) -> SessionBuilder {
+        self.queries.push((query.into(), Some(kind)));
+        self
+    }
+
+    /// Select the default engine for queries without a per-query kind
+    /// (default: COGRA).
     pub fn engine(mut self, kind: EngineKind) -> SessionBuilder {
         self.engine = Some(kind);
         self
@@ -309,22 +344,39 @@ impl SessionBuilder {
         self
     }
 
-    /// Fuse a [`Reorderer`] into ingestion: repair up to `slack` ticks of
-    /// disorder before the engines see the events. Dropped late events are
-    /// counted ([`Session::late_events`]).
+    /// Repair up to `slack` ticks of disorder before the engines see the
+    /// events. Dropped late events are counted
+    /// ([`Session::late_events`]). In streaming mode this fuses a
+    /// [`Reorderer`] into ingestion; under `.workers(n)` each shard
+    /// repairs its own sub-stream concurrently while a coordinator-side
+    /// gate keeps the late-drop decisions identical to the front
+    /// reorderer's.
     pub fn slack(mut self, slack: u64) -> SessionBuilder {
         self.slack = Some(slack);
         self
     }
 
     /// Execute with `workers` parallel per-partition shards (§8) — COGRA
-    /// only. Sharded execution is live: every query gets a
-    /// [`StreamingPool`] of long-lived worker threads, events are hashed
-    /// to their shard at ingest time, and [`Session::drain_into`] emits
-    /// results for closed windows while the stream is still flowing.
-    /// Queries without a `GROUP-BY` prefix clamp to one shard.
+    /// only. Sharded execution is live and shared: ONE [`StreamingPool`]
+    /// of long-lived worker threads serves every query of the session
+    /// (each worker hosts one engine per query/shard), events are hashed
+    /// to their shard at ingest time and shipped in batches, and
+    /// [`Session::drain_into`] emits results for closed windows while the
+    /// stream is still flowing. Queries without a `GROUP-BY` prefix are
+    /// pinned to a single worker each.
     pub fn workers(mut self, workers: usize) -> SessionBuilder {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Shard-transport batch size under `.workers(n)` (default
+    /// [`crate::parallel::DEFAULT_BATCH_SIZE`]): events staged per shard
+    /// before a batch is shipped to the worker. Staged events flush on
+    /// every drain/finish, so this tunes hand-off cost and latency, never
+    /// the result set — asserted by the batch-size sweeps in
+    /// `tests/streaming_parallel_props.rs`.
+    pub fn batch_size(mut self, batch_size: usize) -> SessionBuilder {
+        self.batch_size = Some(batch_size.max(1));
         self
     }
 
@@ -333,9 +385,16 @@ impl SessionBuilder {
         if self.queries.is_empty() {
             return Err(SessionError::NoQueries);
         }
-        let kind = self.engine.unwrap_or(EngineKind::Cogra);
-        if self.workers > 1 && kind != EngineKind::Cogra {
-            return Err(SessionError::ParallelUnsupported(kind));
+        let default_kind = self.engine.unwrap_or(EngineKind::Cogra);
+        let kinds: Vec<EngineKind> = self
+            .queries
+            .iter()
+            .map(|(_, kind)| kind.unwrap_or(default_kind))
+            .collect();
+        if self.workers > 1 {
+            if let Some(kind) = kinds.iter().find(|k| **k != EngineKind::Cogra) {
+                return Err(SessionError::ParallelUnsupported(*kind));
+            }
         }
         let attribute =
             |query: usize| move |error: QueryError| SessionError::Query { query, error };
@@ -343,36 +402,67 @@ impl SessionBuilder {
             .queries
             .into_iter()
             .enumerate()
-            .map(|(i, spec)| match spec {
+            .map(|(i, (spec, _))| match spec {
                 QuerySpec::Text(text) => parse(&text).map_err(attribute(i)),
                 QuerySpec::Parsed(q) => Ok(q),
             })
             .collect::<Result<_, _>>()?;
+        // Compile every query exactly once: the plans drive the COGRA
+        // runtimes below and stay inspectable via `Session::plan`.
+        let plans: Vec<Arc<CompiledQuery>> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| compile(q, registry).map(Arc::new).map_err(attribute(i)))
+            .collect::<Result<_, _>>()?;
 
         let mode = if self.workers > 1 {
-            let pools = queries
+            let runtimes = plans
                 .iter()
-                .enumerate()
-                .map(|(i, q)| {
-                    cogra_runtime(q, registry, &self.config)
-                        .map(|rt| StreamingPool::new(rt, self.workers))
-                        .map_err(attribute(i))
-                })
-                .collect::<Result<Vec<_>, SessionError>>()?;
-            Mode::Parallel { pools }
+                .map(|plan| cogra_runtime(plan, registry, &self.config))
+                .collect();
+            let pool = StreamingPool::new(
+                runtimes,
+                self.workers,
+                PoolConfig {
+                    batch_size: self
+                        .batch_size
+                        .unwrap_or(crate::parallel::DEFAULT_BATCH_SIZE),
+                    slack: self.slack,
+                },
+            );
+            Mode::Parallel { pool }
         } else {
             let engines = queries
                 .iter()
+                .zip(&plans)
+                .zip(&kinds)
                 .enumerate()
-                .map(|(i, q)| kind.build(q, registry, &self.config).map_err(attribute(i)))
+                .map(|(i, ((q, plan), &kind))| match kind {
+                    // COGRA reuses the plan compiled above; the baselines
+                    // compile internally from the parsed query.
+                    EngineKind::Cogra => Ok(Box::new(CograEngine::from_runtime(cogra_runtime(
+                        plan,
+                        registry,
+                        &self.config,
+                    ))) as Box<dyn TrendEngine>),
+                    kind => kind.build(q, registry, &self.config).map_err(attribute(i)),
+                })
                 .collect::<Result<Vec<_>, SessionError>>()?;
             Mode::Streaming { engines }
         };
 
+        // The front reorderer only exists in streaming mode — under
+        // `.workers(n)` the pool repairs per shard behind its late gate.
+        let reorderer = match &mode {
+            Mode::Streaming { .. } => self.slack.map(Reorderer::new),
+            Mode::Parallel { .. } => None,
+        };
         Ok(Session {
-            kind,
+            kind: default_kind,
+            kinds,
+            plans,
             mode,
-            reorderer: self.slack.map(Reorderer::new),
+            reorderer,
             scratch: Vec::new(),
         })
     }
@@ -390,10 +480,11 @@ impl SessionBuilder {
 enum Mode {
     /// Push-through: every released event goes straight into the engines.
     Streaming { engines: Vec<Box<dyn TrendEngine>> },
-    /// §8 sharded execution, live: every released event is hashed to its
-    /// shard's worker thread at ingest time (one [`StreamingPool`] per
-    /// query), and drains emit watermark-final results mid-stream.
-    Parallel { pools: Vec<StreamingPool> },
+    /// §8 sharded execution, live: every event is hashed to its shard's
+    /// worker thread at ingest time and shipped in batches through ONE
+    /// session-wide [`StreamingPool`]; drains emit watermark-final
+    /// results mid-stream.
+    Parallel { pool: StreamingPool },
 }
 
 /// Push-based consumer of session results.
@@ -443,25 +534,33 @@ pub struct SessionRun {
     /// query and stream.
     ///
     /// [`run_to_completion`]: cogra_engine::run_to_completion
+    /// [`run_parallel`]: crate::parallel::run_parallel
     pub per_query: Vec<Vec<WindowResult>>,
     /// Peak logical memory across the run. Streaming mode sums the
     /// engines (every query is live at once); `.workers(n)` mode sums the
-    /// shard engines' own peaks across every query's pool (all shard
-    /// workers run concurrently).
+    /// shard workers' own peaks (each worker samples the summed memory of
+    /// the engines it hosts; all workers run concurrently).
     pub peak_bytes: usize,
     /// Workers actually used: the widest effective shard count across
     /// queries (1 unless `.workers(n)` applied; also 1 when no query has
     /// a `GROUP-BY` prefix to shard on).
     pub workers: usize,
     /// Events fed into the session (including any the `.slack(n)`
-    /// reorderer later dropped as hopelessly late).
+    /// repair later dropped as hopelessly late).
     pub events: u64,
-    /// Late events dropped by the `.slack(n)` reorderer (0 without slack).
+    /// Late events dropped by the `.slack(n)` repair (0 without slack).
+    /// Under `.workers(n)` the per-shard reorderers' drops are decided by
+    /// one stream-wide gate, so this count is independent of the worker
+    /// count — pinned by `tests/streaming_parallel_props.rs`.
     pub late_events: u64,
     /// Routing hot-path counters summed over every engine (and, under
     /// `.workers(n)`, every shard): `key_probes - key_allocs` events were
     /// routed without any heap allocation.
     pub stats: RunStats,
+    /// Each query's compiled plan (granularity, automaton, window), in
+    /// registration order — shared with the session, so consumers report
+    /// on the plan without re-compiling.
+    pub plans: Vec<Arc<CompiledQuery>>,
 }
 
 impl SessionRun {
@@ -484,10 +583,15 @@ impl SessionRun {
     }
 }
 
-/// A configured pipeline: queries × engine × ingestion options. Built by
+/// A configured pipeline: queries × engines × ingestion options. Built by
 /// [`SessionBuilder`]; see the module docs for the full tour.
 pub struct Session {
+    /// The default engine kind.
     kind: EngineKind,
+    /// Resolved engine kind per query.
+    kinds: Vec<EngineKind>,
+    /// Compiled plan per query.
+    plans: Vec<Arc<CompiledQuery>>,
     mode: Mode,
     reorderer: Option<Reorderer>,
     scratch: Vec<Event>,
@@ -499,22 +603,37 @@ impl Session {
         SessionBuilder::new()
     }
 
-    /// The engine kind every query runs on.
+    /// The session's default engine kind (queries added via
+    /// [`SessionBuilder::query_with_engine`] may deviate — see
+    /// [`Session::query_kind`]).
     pub fn kind(&self) -> EngineKind {
         self.kind
     }
 
+    /// The engine kind query `query` runs on.
+    pub fn query_kind(&self, query: usize) -> Option<EngineKind> {
+        self.kinds.get(query).copied()
+    }
+
+    /// The compiled plan of query `query` — granularity, automaton,
+    /// window — without re-compiling.
+    pub fn plan(&self, query: usize) -> Option<&CompiledQuery> {
+        self.plans.get(query).map(|p| p.as_ref())
+    }
+
+    /// Every query's compiled plan, in registration order.
+    pub fn plans(&self) -> &[Arc<CompiledQuery>] {
+        &self.plans
+    }
+
     /// Number of queries.
     pub fn queries(&self) -> usize {
-        match &self.mode {
-            Mode::Streaming { engines } => engines.len(),
-            Mode::Parallel { pools } => pools.len(),
-        }
+        self.plans.len()
     }
 
     /// Ingest one event. With `.slack(n)` the event may be buffered (or
     /// dropped as late); in `.workers(n)` mode released events are hashed
-    /// to their shard's worker thread immediately.
+    /// to their shard and staged for the next batch send immediately.
     pub fn process(&mut self, event: &Event) {
         if self.reorderer.is_some() {
             self.pump(|reorderer, out| reorderer.push(event.clone(), out));
@@ -558,7 +677,7 @@ impl Session {
         text: &'a str,
         registry: &'a TypeRegistry,
     ) -> Result<impl Iterator<Item = Result<Event, IngestError>> + 'a, IngestError> {
-        let has_slack = self.reorderer.is_some();
+        let has_slack = self.has_slack();
         let mut watermark = self.watermark();
         let reader = EventReader::new(text, registry)?;
         Ok(reader.map(move |item| {
@@ -573,6 +692,13 @@ impl Session {
             watermark = watermark.max(event.time);
             Ok(event)
         }))
+    }
+
+    /// Whether slack-based disorder repair is active (front reorderer or
+    /// the pool's per-shard reorderers).
+    fn has_slack(&self) -> bool {
+        self.reorderer.is_some()
+            || matches!(&self.mode, Mode::Parallel { pool } if pool.has_slack())
     }
 
     /// Let `fill` release events out of the reorderer into the scratch
@@ -591,8 +717,9 @@ impl Session {
     }
 
     /// Emit every result final at the current watermark. In `.workers(n)`
-    /// mode this broadcasts the global watermark to the shards first, so
-    /// results flow live even when some shard's sub-stream went quiet.
+    /// mode this flushes the staged batches and broadcasts the global
+    /// watermark to the shards first, so results flow live even when some
+    /// shard's sub-stream went quiet.
     pub fn drain_into(&mut self, sink: &mut dyn ResultSink) {
         match &mut self.mode {
             Mode::Streaming { engines } => {
@@ -600,16 +727,12 @@ impl Session {
                     engine.drain_into(&mut |r| sink.emit(i, r));
                 }
             }
-            Mode::Parallel { pools } => {
-                for (i, pool) in pools.iter_mut().enumerate() {
-                    pool.drain_into(&mut |r| sink.emit(i, r));
-                }
-            }
+            Mode::Parallel { pool } => pool.drain_into(&mut |q, r| sink.emit(q, r)),
         }
     }
 
-    /// End of stream: flush the reorderer, close every open window, and —
-    /// in `.workers(n)` mode — join the shard workers.
+    /// End of stream: flush the reorder buffers, close every open window,
+    /// and — in `.workers(n)` mode — join the shard workers.
     ///
     /// The session is exhausted afterwards: further
     /// [`Session::process`] calls are unsupported (in `.workers(n)` mode
@@ -622,11 +745,7 @@ impl Session {
                     engine.finish_into(&mut |r| sink.emit(i, r));
                 }
             }
-            Mode::Parallel { pools } => {
-                for (i, pool) in pools.iter_mut().enumerate() {
-                    pool.finish_into(&mut |r| sink.emit(i, r));
-                }
-            }
+            Mode::Parallel { pool } => pool.finish_into(&mut |q, r| sink.emit(q, r)),
         }
     }
 
@@ -644,27 +763,32 @@ impl Session {
         out
     }
 
-    /// Events dropped as too late by the `.slack(n)` reorderer.
+    /// Events dropped as too late by the `.slack(n)` repair (front
+    /// reorderer in streaming mode, the pool's gate under `.workers(n)`).
     pub fn late_events(&self) -> u64 {
-        self.reorderer.as_ref().map_or(0, Reorderer::late_events)
+        match &self.mode {
+            Mode::Parallel { pool } => pool.late_events(),
+            Mode::Streaming { .. } => self.reorderer.as_ref().map_or(0, Reorderer::late_events),
+        }
     }
 
     /// Logical memory footprint: the engines' exact accounting in
     /// streaming mode; in `.workers(n)` mode the summed shard engines,
     /// as of each worker's last drain (the shards run concurrently, so
     /// there is no synchronous round trip here). The `.slack(n)` reorder
-    /// buffer is excluded — it is bounded by slack × rate and not an
+    /// buffers are excluded — they are bounded by slack × rate and not an
     /// engine metric of §9.1.
     pub fn memory_bytes(&self) -> usize {
         match &self.mode {
             Mode::Streaming { engines } => engines.iter().map(|e| e.memory_bytes()).sum(),
-            Mode::Parallel { pools } => pools.iter().map(StreamingPool::memory_bytes).sum(),
+            Mode::Parallel { pool } => pool.memory_bytes(),
         }
     }
 
     /// The minimum engine watermark across queries — results at or before
-    /// it are final everywhere. (In `.workers(n)` mode: the latest event
-    /// time routed to the shards.)
+    /// it are final everywhere. (In `.workers(n)` mode: the pool's
+    /// observable watermark — the latest routed event time, or the safe
+    /// watermark of the slack gate when disorder repair is active.)
     pub fn watermark(&self) -> Timestamp {
         match &self.mode {
             Mode::Streaming { engines } => engines
@@ -672,11 +796,7 @@ impl Session {
                 .map(|e| e.watermark())
                 .min()
                 .unwrap_or(Timestamp::ZERO),
-            Mode::Parallel { pools } => pools
-                .iter()
-                .map(StreamingPool::watermark)
-                .min()
-                .unwrap_or(Timestamp::ZERO),
+            Mode::Parallel { pool } => pool.watermark(),
         }
     }
 
@@ -699,19 +819,15 @@ impl Session {
                     total.merge(e.run_stats());
                 }
             }
-            Mode::Parallel { pools } => {
-                for p in pools {
-                    total.merge(p.run_stats());
-                }
-            }
+            Mode::Parallel { pool } => total.merge(pool.run_stats()),
         }
         total
     }
 
     /// Run the whole stream through the session and collect everything:
     /// results (sorted per query), peak memory (sampled every 64 events,
-    /// like the harness), workers used, routing stats, and late-event
-    /// drops.
+    /// like the harness), workers used, routing stats, plans, and
+    /// late-event drops.
     pub fn run(self, events: &[Event]) -> SessionRun {
         self.run_inner(events.iter().map(|e| Ok(Fed::Ref(e))))
             .unwrap_or_else(|_| unreachable!("in-memory streams cannot fail ingestion"))
@@ -754,13 +870,14 @@ impl Session {
                 let i = count as usize;
                 count += 1;
                 if sharded {
-                    // A shard drain is a cross-thread round trip; amortize
-                    // it over a coarse stride instead of paying it per
-                    // event. (Drains also refresh the memory mirrors, so
-                    // sampling rides along; the workers sample their own
-                    // peaks besides.) Emission timing is coarser, but the
-                    // collected result set is identical.
-                    if i % 256 == 255 {
+                    // A shard drain is a cross-thread round trip that also
+                    // flushes partial transport batches; amortize it over
+                    // a coarse stride instead of paying it per event.
+                    // (Drains also refresh the memory mirrors; the workers
+                    // sample their own peaks besides.) Emission timing is
+                    // coarser, but the collected result set is identical —
+                    // asserted by the drain-cadence invariance battery.
+                    if i % 2048 == 2047 {
                         self.drain_into(&mut sink);
                         peak = peak.max(self.memory_bytes());
                     }
@@ -783,12 +900,9 @@ impl Session {
                 1,
             ),
             // The workers' own peak accounting (sampled inside the shard
-            // threads, summed across the concurrent pools) — the
+            // threads over each worker's hosted engines) — the
             // coordinator-side samples above only mirror it with a lag.
-            Mode::Parallel { pools } => (
-                pools.iter().map(StreamingPool::peak_bytes).sum(),
-                pools.iter().map(StreamingPool::workers).max().unwrap_or(1),
-            ),
+            Mode::Parallel { pool } => (pool.peak_bytes(), pool.workers()),
         };
         Ok(SessionRun {
             per_query,
@@ -797,6 +911,7 @@ impl Session {
             events: count,
             late_events: self.late_events(),
             stats: self.run_stats(),
+            plans: self.plans.clone(),
         })
     }
 }
@@ -813,7 +928,7 @@ impl fmt::Debug for Session {
         f.debug_struct("Session")
             .field("kind", &self.kind)
             .field("queries", &self.queries())
-            .field("slack", &self.reorderer.as_ref().map(|_| ()))
+            .field("slack", &self.has_slack().then_some(()))
             .finish_non_exhaustive()
     }
 }
@@ -826,20 +941,16 @@ impl Mode {
                     engine.process(event);
                 }
             }
-            Mode::Parallel { pools } => {
-                for pool in pools {
-                    pool.route(event);
-                }
-            }
+            Mode::Parallel { pool } => pool.route(event),
         }
     }
 
     /// Like [`Mode::route`], but consumes the event — spares one clone on
-    /// the single-query sharded path.
+    /// the sharded path's last target.
     fn route_owned(&mut self, event: Event) {
         match self {
-            Mode::Parallel { pools } if pools.len() == 1 => pools[0].route_owned(event),
-            _ => self.route(&event),
+            Mode::Parallel { pool } => pool.route_owned(event),
+            Mode::Streaming { .. } => self.route(&event),
         }
     }
 }
@@ -849,6 +960,7 @@ mod tests {
     use super::*;
     use crate::engine::run_to_completion;
     use cogra_events::{EventBuilder, Value, ValueKind};
+    use cogra_query::Granularity;
 
     fn registry() -> TypeRegistry {
         let mut r = TypeRegistry::new();
@@ -954,6 +1066,61 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_kinds_run_each_query_on_its_engine() {
+        let reg = registry();
+        let events = stream(&reg, 30);
+        let session = Session::builder()
+            .query(Q_ANY) // default kind: COGRA
+            .query_with_engine(Q_NEXT, EngineKind::Sase)
+            .query_with_engine(Q_ANY, EngineKind::Greta)
+            .build(&reg)
+            .unwrap();
+        assert_eq!(session.query_kind(0), Some(EngineKind::Cogra));
+        assert_eq!(session.query_kind(1), Some(EngineKind::Sase));
+        assert_eq!(session.query_kind(2), Some(EngineKind::Greta));
+        assert_eq!(session.engine(1).unwrap().name(), "sase");
+        let run = session.run(&events);
+        for (i, q) in [Q_ANY, Q_NEXT, Q_ANY].iter().enumerate() {
+            let mut reference = CograEngine::from_text(q, &reg).unwrap();
+            let (expected, _) = run_to_completion(&mut reference, &events, 64);
+            assert_eq!(run.per_query[i], expected, "query {i}");
+        }
+    }
+
+    #[test]
+    fn per_query_kind_unsupported_by_query_is_attributed() {
+        let reg = registry();
+        // Table 9: GRETA cannot run NEXT — the error names query 1.
+        let err = Session::builder()
+            .query(Q_ANY)
+            .query_with_engine(Q_NEXT, EngineKind::Greta)
+            .build(&reg)
+            .unwrap_err();
+        assert!(
+            matches!(err, SessionError::Query { query: 1, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn plans_expose_compiled_queries_without_recompiling() {
+        let reg = registry();
+        let session = Session::builder()
+            .query(Q_ANY)
+            .query(Q_NEXT_NO_GROUP)
+            .build(&reg)
+            .unwrap();
+        assert_eq!(session.plans().len(), 2);
+        assert_eq!(session.plan(0).unwrap().group_prefix, 1);
+        assert_eq!(session.plan(1).unwrap().group_prefix, 0);
+        assert_eq!(session.plan(0).unwrap().granularity(), Granularity::Type);
+        assert!(session.plan(2).is_none());
+        let run = session.run(&stream(&reg, 20));
+        assert_eq!(run.plans.len(), 2);
+        assert_eq!(run.plans[1].granularity(), Granularity::Pattern);
+    }
+
+    #[test]
     fn slack_fuses_reordering_and_counts_late_drops() {
         let reg = registry();
         let mut ordered = stream(&reg, 20);
@@ -1005,7 +1172,7 @@ mod tests {
         assert_eq!(parallel.workers, 4);
         assert_eq!(parallel.per_query, sequential.per_query);
 
-        // No GROUP-BY ⇒ run_parallel falls back to one worker.
+        // No GROUP-BY ⇒ the query is pinned to one worker.
         let fallback = Session::builder()
             .query(Q_NEXT_NO_GROUP)
             .workers(4)
@@ -1013,6 +1180,26 @@ mod tests {
             .unwrap()
             .run(&events);
         assert_eq!(fallback.workers, 1);
+    }
+
+    #[test]
+    fn shared_pool_runs_multiple_queries_in_one_set_of_workers() {
+        let reg = registry();
+        let events = stream(&reg, 60);
+        let run = Session::builder()
+            .query(Q_ANY)
+            .query(Q_NEXT)
+            .query(Q_NEXT_NO_GROUP)
+            .workers(4)
+            .build(&reg)
+            .unwrap()
+            .run(&events);
+        assert_eq!(run.workers, 4, "widest effective shard count");
+        for (i, q) in [Q_ANY, Q_NEXT, Q_NEXT_NO_GROUP].iter().enumerate() {
+            let mut reference = CograEngine::from_text(q, &reg).unwrap();
+            let (expected, _) = run_to_completion(&mut reference, &events, 64);
+            assert_eq!(run.per_query[i], expected, "query {i}");
+        }
     }
 
     #[test]
@@ -1088,6 +1275,16 @@ mod tests {
                 .build(&reg)
                 .unwrap_err(),
             SessionError::ParallelUnsupported(EngineKind::Greta)
+        ));
+        // A per-query kind that is not COGRA also blocks `.workers(n)`.
+        assert!(matches!(
+            Session::builder()
+                .query(Q_ANY)
+                .query_with_engine(Q_ANY, EngineKind::Sase)
+                .workers(2)
+                .build(&reg)
+                .unwrap_err(),
+            SessionError::ParallelUnsupported(EngineKind::Sase)
         ));
         assert!(matches!(
             Session::builder()

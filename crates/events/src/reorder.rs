@@ -11,34 +11,191 @@
 //! dropped and counted (the watermark-slack contract of streaming
 //! systems; this implementation drops only when emission would actually
 //! violate order, which is the laziest correct policy).
+//!
+//! Sharded execution splits the reorderer in two so repair is not
+//! serialized in front of the router:
+//! * [`LateGate`] — the coordinator-side admission decision. It tracks
+//!   only *time stamps* (a heap of `Timestamp`s, no event payloads) and
+//!   reproduces the exact drop rule a front [`Reorderer`] would apply, so
+//!   late-drop counts stay identical no matter how many shards repair
+//!   concurrently behind it.
+//! * [`ReorderBuffer`] — the payload-generic buffering half, one per
+//!   shard worker. It sorts whatever the gate admitted; it never drops
+//!   (the gate already decided admission).
 
 use crate::event::{Event, Timestamp};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Heap entry ordered by (time, arrival sequence) so equal-time events
+/// Heap entry ordered by (time, arrival sequence) so equal-time items
 /// keep their arrival order.
 #[derive(Debug)]
-struct Pending {
+struct Pending<T> {
     time: Timestamp,
     seq: u64,
-    event: Event,
+    item: T,
 }
 
-impl PartialEq for Pending {
+impl<T> PartialEq for Pending<T> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for Pending {}
-impl PartialOrd for Pending {
+impl<T> Eq for Pending<T> {}
+impl<T> PartialOrd for Pending<T> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Pending {
+impl<T> Ord for Pending<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Payload-generic time-ordering buffer: items go in tagged with a time
+/// stamp, and come out in (time, arrival) order whenever the caller
+/// declares a release point. Admission (late-drop) policy is *not* here —
+/// it belongs to whoever owns the stream-wide watermark ([`Reorderer`]
+/// for a single front buffer, [`LateGate`] for sharded execution).
+#[derive(Debug)]
+pub struct ReorderBuffer<T> {
+    heap: BinaryHeap<Reverse<Pending<T>>>,
+    seq: u64,
+}
+
+impl<T> Default for ReorderBuffer<T> {
+    fn default() -> ReorderBuffer<T> {
+        ReorderBuffer::new()
+    }
+}
+
+impl<T> ReorderBuffer<T> {
+    /// An empty buffer.
+    pub fn new() -> ReorderBuffer<T> {
+        ReorderBuffer {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Buffer one item stamped with `time`.
+    pub fn push(&mut self, time: Timestamp, item: T) {
+        self.heap.push(Reverse(Pending {
+            time,
+            seq: self.seq,
+            item,
+        }));
+        self.seq += 1;
+    }
+
+    /// Append every buffered item with time `<= safe` to `out`, in
+    /// (time, arrival) order.
+    pub fn release_up_to(&mut self, safe: Timestamp, out: &mut Vec<T>) {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.time > safe {
+                break;
+            }
+            let Reverse(p) = self.heap.pop().expect("peeked");
+            out.push(p.item);
+        }
+    }
+
+    /// End of stream: append everything still buffered to `out`, in order.
+    pub fn flush(&mut self, out: &mut Vec<T>) {
+        while let Some(Reverse(p)) = self.heap.pop() {
+            out.push(p.item);
+        }
+    }
+
+    /// Smallest time still buffered.
+    pub fn min_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|Reverse(p)| p.time)
+    }
+
+    /// Number of items currently buffered.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The admission half of a sharded reorder pipeline.
+///
+/// A coordinator that fans events out to per-shard [`ReorderBuffer`]s
+/// still needs ONE stream-wide answer to "is this event hopelessly
+/// late?" — otherwise drop decisions would depend on how the stream
+/// shards (a shard whose sub-stream runs behind the global watermark
+/// would admit events a front [`Reorderer`] provably drops). The gate
+/// replays the front reorderer's bookkeeping on time stamps alone:
+/// `released_to` is the largest time already releasable anywhere
+/// (`max{t pushed : t <= watermark − slack}`), and an arriving event is
+/// late exactly when its time is behind that — byte-for-byte the rule
+/// [`Reorderer::push`] applies, at a heap-of-`u64`s price.
+#[derive(Debug)]
+pub struct LateGate {
+    slack: u64,
+    watermark: Timestamp,
+    released_to: Timestamp,
+    pending: BinaryHeap<Reverse<Timestamp>>,
+    late: u64,
+}
+
+impl LateGate {
+    /// A gate tolerating up to `slack` ticks of disorder.
+    pub fn new(slack: u64) -> LateGate {
+        LateGate {
+            slack,
+            watermark: Timestamp::ZERO,
+            released_to: Timestamp::ZERO,
+            pending: BinaryHeap::new(),
+            late: 0,
+        }
+    }
+
+    /// Decide admission of an event at `time`: `false` means the event is
+    /// late (dropped and counted) — a front [`Reorderer`] fed the same
+    /// stream would drop it too. Admitted events may be forwarded to
+    /// their shard immediately; the shard's [`ReorderBuffer`] repairs
+    /// local order.
+    pub fn admit(&mut self, time: Timestamp) -> bool {
+        if time < self.released_to {
+            self.late += 1;
+            return false;
+        }
+        self.watermark = self.watermark.max(time);
+        self.pending.push(Reverse(time));
+        let safe = self.watermark.saturating_sub(self.slack);
+        while let Some(&Reverse(top)) = self.pending.peek() {
+            if top > safe {
+                break;
+            }
+            self.pending.pop();
+            self.released_to = self.released_to.max(top);
+        }
+        true
+    }
+
+    /// The largest time stamp that is releasable stream-wide: every
+    /// admitted event at or before it is deliverable in order, so results
+    /// up to here are final after the shards catch up. This is exactly
+    /// the `released_to` of an equivalent front [`Reorderer`].
+    pub fn safe_watermark(&self) -> Timestamp {
+        self.released_to
+    }
+
+    /// The raw stream watermark (largest admitted time).
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// Number of events refused as too late.
+    pub fn late_events(&self) -> u64 {
+        self.late
     }
 }
 
@@ -60,8 +217,7 @@ pub struct Reorderer {
     slack: u64,
     watermark: Timestamp,
     released_to: Timestamp,
-    seq: u64,
-    heap: BinaryHeap<Reverse<Pending>>,
+    buffer: ReorderBuffer<Event>,
     late: u64,
 }
 
@@ -72,8 +228,7 @@ impl Reorderer {
             slack,
             watermark: Timestamp::ZERO,
             released_to: Timestamp::ZERO,
-            seq: 0,
-            heap: BinaryHeap::new(),
+            buffer: ReorderBuffer::new(),
             late: 0,
         }
     }
@@ -86,28 +241,21 @@ impl Reorderer {
             return;
         }
         self.watermark = self.watermark.max(event.time);
-        self.heap.push(Reverse(Pending {
-            time: event.time,
-            seq: self.seq,
-            event,
-        }));
-        self.seq += 1;
+        self.buffer.push(event.time, event);
         let safe = self.watermark.saturating_sub(self.slack);
-        while let Some(Reverse(top)) = self.heap.peek() {
-            if top.time > safe {
-                break;
-            }
-            let Reverse(p) = self.heap.pop().expect("peeked");
-            self.released_to = self.released_to.max(p.time);
-            out.push(p.event);
+        let from = out.len();
+        self.buffer.release_up_to(safe, out);
+        if let Some(last) = out[from..].last() {
+            self.released_to = self.released_to.max(last.time);
         }
     }
 
     /// End of stream: release everything still buffered, in order.
     pub fn flush(&mut self, out: &mut Vec<Event>) {
-        while let Some(Reverse(p)) = self.heap.pop() {
-            self.released_to = self.released_to.max(p.time);
-            out.push(p.event);
+        let from = out.len();
+        self.buffer.flush(out);
+        if let Some(last) = out[from..].last() {
+            self.released_to = self.released_to.max(last.time);
         }
     }
 
@@ -118,7 +266,7 @@ impl Reorderer {
 
     /// Number of events currently buffered.
     pub fn buffered(&self) -> usize {
-        self.heap.len()
+        self.buffer.len()
     }
 }
 
@@ -224,5 +372,60 @@ mod tests {
             .map(|(i, &t)| ev(i as u64, t))
             .collect();
         assert!(crate::stream::validate_ordered(&events).is_ok());
+    }
+
+    #[test]
+    fn gate_drop_decisions_match_a_front_reorderer() {
+        // The LateGate must reproduce the Reorderer's admissions exactly —
+        // per event, not just in total — on adversarial time sequences.
+        let sequences: &[&[u64]] = &[
+            &[1, 2, 3, 4, 5],
+            &[10, 12, 3],
+            &[10, 3],
+            &[3, 1, 2, 6, 4, 5, 9, 7, 8],
+            &[100, 50, 100, 1, 99, 98, 101, 97, 2, 102],
+            &[5, 5, 5, 1, 5, 9, 4, 9, 3],
+            &[0, 0, 7, 0, 14, 7, 21, 0],
+        ];
+        for slack in [0u64, 1, 2, 3, 7, 100] {
+            for &times in sequences {
+                let mut reorderer = Reorderer::new(slack);
+                let mut gate = LateGate::new(slack);
+                let mut out = Vec::new();
+                for (i, &t) in times.iter().enumerate() {
+                    let before = reorderer.late_events();
+                    reorderer.push(ev(i as u64, t), &mut out);
+                    let dropped = reorderer.late_events() > before;
+                    let admitted = gate.admit(Timestamp(t));
+                    assert_eq!(
+                        admitted, !dropped,
+                        "slack={slack} times={times:?} event {i} (t={t})"
+                    );
+                    assert_eq!(
+                        gate.safe_watermark(),
+                        reorderer.released_to,
+                        "slack={slack} times={times:?} after event {i}"
+                    );
+                }
+                assert_eq!(gate.late_events(), reorderer.late_events());
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_releases_in_time_then_arrival_order() {
+        let mut b: ReorderBuffer<&str> = ReorderBuffer::new();
+        b.push(Timestamp(5), "a");
+        b.push(Timestamp(3), "b");
+        b.push(Timestamp(5), "c");
+        b.push(Timestamp(8), "d");
+        assert_eq!(b.min_time(), Some(Timestamp(3)));
+        let mut out = Vec::new();
+        b.release_up_to(Timestamp(5), &mut out);
+        assert_eq!(out, vec!["b", "a", "c"]);
+        assert_eq!(b.len(), 1);
+        b.flush(&mut out);
+        assert_eq!(out, vec!["b", "a", "c", "d"]);
+        assert!(b.is_empty());
     }
 }

@@ -5,6 +5,11 @@
 //! 30 seconds, and reports the minimal and maximal rate of those runs —
 //! the paper's query q1 verbatim, on the synthetic PAMAP2 stand-in.
 //!
+//! The session is heterogeneous: q1 runs on COGRA while a trend-count
+//! cross-check of the same pattern runs on SASE
+//! (`SessionBuilder::query_with_engine`) — one stream, one ingestion
+//! pass, each query on the engine that suits it.
+//!
 //! Run: `cargo run --release --example healthcare`
 
 use cogra::prelude::*;
@@ -18,24 +23,35 @@ fn main() {
         ..Default::default()
     };
     let events = activity::generate(&config);
-    let query_text = activity::q1_query(600, 30); // 10 min / 30 s
-    println!("q1:\n  {}\n", query_text.replace(" PATTERN", "\n  PATTERN"));
+    let q1 = activity::q1_query(600, 30); // 10 min / 30 s
+    let count_q = activity::contiguous_count_query(600, 30);
+    println!("q1:\n  {}\n", q1.replace(" PATTERN", "\n  PATTERN"));
+
+    let session = Session::builder()
+        .query(q1.as_str()) // default engine: COGRA
+        .query_with_engine(count_q.as_str(), EngineKind::Sase)
+        .build(&registry)
+        .expect("session builds");
 
     // q1 runs under the contiguous semantics → the granularity selector
-    // must pick the pattern-grained aggregator (Table 4).
-    let compiled =
-        compile(&parse(&query_text).expect("q1 parses"), &registry).expect("q1 compiles");
-    assert_eq!(compiled.granularity(), Granularity::Pattern);
+    // must pick the pattern-grained aggregator (Table 4). The compiled
+    // plan is inspectable on the session itself — no re-compilation.
+    let plan = session.plan(0).expect("q1 is registered");
+    assert_eq!(plan.granularity(), Granularity::Pattern);
+    println!(
+        "q1 plan: granularity {}, window {} slide {}; engines: {} + {}",
+        plan.granularity(),
+        plan.window.within,
+        plan.window.slide,
+        session.query_kind(0).unwrap(),
+        session.query_kind(1).unwrap(),
+    );
 
-    let run = Session::builder()
-        .query(query_text.as_str())
-        .build(&registry)
-        .expect("session builds")
-        .run(&events);
+    let run = session.run(&events);
     println!(
         "{} events → {} (window, patient) results; peak memory {} bytes",
         events.len(),
-        run.results().len(),
+        run.per_query[0].len(),
         run.peak_bytes
     );
     for r in run.results().iter().take(8) {
@@ -56,4 +72,21 @@ fn main() {
         .filter(|r| matches!(r.values[1], AggValue::Float(max) if max > 120.0))
         .count();
     println!("windows with suspicious ramps (max > 120 bpm): {alarms}");
+
+    // The SASE-run cross-check: every (window, patient) group q1 flags
+    // must also carry trends under the count query (same pattern, same
+    // windows) — enforced, not just printed.
+    let counted: std::collections::HashSet<_> = run.per_query[1]
+        .iter()
+        .map(|r| (r.window, r.group.clone()))
+        .collect();
+    let missing = run.per_query[0]
+        .iter()
+        .filter(|r| !counted.contains(&(r.window, r.group.clone())))
+        .count();
+    assert_eq!(missing, 0, "q1 flagged groups the SASE count query missed");
+    println!(
+        "sase cross-check: {} (window, patient) trend counts, every q1 group covered",
+        run.per_query[1].len()
+    );
 }

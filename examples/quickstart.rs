@@ -39,17 +39,17 @@ fn main() {
              SEMANTICS {semantics} \
              WITHIN 100 SLIDE 100"
         );
-        // The static analyzer picks the coarsest granularity the
-        // semantics permits (Table 4).
-        let compiled =
-            compile(&parse(&query).expect("query parses"), &registry).expect("query compiles");
-        println!("{semantics:>22}: granularity = {}", compiled.granularity());
-        let run = Session::builder()
+        let session = Session::builder()
             .query(query.as_str())
             .engine(EngineKind::Cogra)
             .build(&registry)
-            .expect("session builds")
-            .run(&stream);
+            .expect("session builds");
+        // The static analyzer picks the coarsest granularity the
+        // semantics permits (Table 4) — the session exposes the compiled
+        // plan, so no separate compile() pass is needed to report it.
+        let plan = session.plan(0).expect("one query");
+        println!("{semantics:>22}: granularity = {}", plan.granularity());
+        let run = session.run(&stream);
         for r in run.results() {
             println!(
                 "{:>22}  {} trends, peak memory {} bytes",

@@ -1,8 +1,11 @@
 //! Differential battery for the streaming shard router: over random
-//! workloads, worker counts {1,2,4,8} and ingest chunkings, the live
-//! [`StreamingPool`] path behind `.workers(n)` must be **byte-identical**
-//! to the batch reference (`run_parallel`) and to a single sequential
-//! engine — results, plus workers/peak-memory metadata sanity.
+//! workloads, worker counts {1,2,4,8}, ingest chunkings and transport
+//! batch sizes, the live [`StreamingPool`] path behind `.workers(n)` must
+//! be **byte-identical** to the batch reference (`run_parallel`) and to a
+//! single sequential engine — results, plus workers/peak-memory metadata
+//! sanity. A slack × workers battery additionally pins that the pool's
+//! per-shard reorderers drop exactly the events a single front
+//! `Reorderer` would, no matter how the stream shards.
 //!
 //! [`StreamingPool`]: cogra::core::StreamingPool
 
@@ -13,7 +16,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 /// Queries the battery cycles through: grouped (shardable) under ANY and
-/// NEXT, and a group-free query that must clamp to one shard.
+/// NEXT, and a group-free query that must pin to one shard.
 const QUERIES: [&str; 3] = [
     "RETURN g, COUNT(*), SUM(A.v) PATTERN SEQ(A+, B) SEMANTICS ANY \
      GROUP-BY g WITHIN 10 SLIDE 5",
@@ -23,6 +26,11 @@ const QUERIES: [&str; 3] = [
 ];
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Transport batch sizes the sweeps cycle through: degenerate per-event
+/// sends, an odd mid-size, the default, and "bigger than the stream"
+/// (events only ever flush on drain/finish).
+const BATCH_SIZES: [usize; 4] = [1, 7, 256, 100_000];
 
 fn registry() -> TypeRegistry {
     let mut r = TypeRegistry::new();
@@ -47,6 +55,16 @@ fn build_events(reg: &TypeRegistry, rows: &[(u64, usize, i64, i64)]) -> Vec<Even
         .collect()
 }
 
+/// Turn sampled `(time, type, g, v)` rows into a stream in *arrival*
+/// order with unconstrained disorder — input for the slack battery.
+fn build_disordered(reg: &TypeRegistry, rows: &[(u64, usize, i64, i64)]) -> Vec<Event> {
+    let ids = [reg.id_of("A").unwrap(), reg.id_of("B").unwrap()];
+    let mut builder = EventBuilder::new();
+    rows.iter()
+        .map(|&(t, ty, g, v)| builder.event(t + 1, ids[ty], vec![Value::Int(g), Value::Int(v)]))
+        .collect()
+}
+
 /// The streaming path: a `.workers(n)` session fed chunk by chunk, with a
 /// live drain between chunks, finished at the end. Returns the sorted
 /// union of everything emitted.
@@ -56,10 +74,12 @@ fn streaming(
     events: &[Event],
     workers: usize,
     chunk: usize,
+    batch: usize,
 ) -> Vec<WindowResult> {
     let mut session = Session::builder()
         .query(query)
         .workers(workers)
+        .batch_size(batch)
         .build(reg)
         .expect("session builds");
     let mut out: Vec<WindowResult> = Vec::new();
@@ -82,12 +102,14 @@ proptest! {
         rows in vec((0u64..3, 0usize..2, 0i64..5, -4i64..5), 1..160),
         worker_idx in 0usize..4,
         chunk in 1usize..40,
+        batch_idx in 0usize..4,
         query_idx in 0usize..3,
     ) {
         let reg = registry();
         let events = build_events(&reg, &rows);
         let query = QUERIES[query_idx];
         let workers = WORKER_COUNTS[worker_idx];
+        let batch = BATCH_SIZES[batch_idx];
 
         // Reference 1: one sequential engine over the whole stream.
         let mut engine = CograEngine::from_text(query, &reg).expect("query compiles");
@@ -99,17 +121,19 @@ proptest! {
             compile(&parsed, &reg).expect("query compiles"),
             &reg,
         ));
-        let batch = run_parallel(&rt, &events, workers);
-        prop_assert_eq!(&batch.results, &sequential, "batch vs sequential");
+        let batch_run = run_parallel(&rt, &events, workers);
+        prop_assert_eq!(&batch_run.results, &sequential, "batch vs sequential");
 
-        // Live path: chunked ingestion with mid-stream drains.
-        let live = streaming(query, &reg, &events, workers, chunk);
+        // Live path: chunked ingestion with mid-stream drains, over the
+        // sampled transport batch size.
+        let live = streaming(query, &reg, &events, workers, chunk, batch);
         prop_assert_eq!(&live, &sequential, "streaming vs sequential");
 
         // Metadata sanity via the collecting runner.
         let run = Session::builder()
             .query(query)
             .workers(workers)
+            .batch_size(batch)
             .build(&reg)
             .expect("session builds")
             .run(&events);
@@ -121,18 +145,78 @@ proptest! {
     }
 
     #[test]
-    fn drain_points_never_change_the_result_set(
+    fn drain_points_and_batch_sizes_never_change_the_result_set(
         rows in vec((0u64..4, 0usize..2, 0i64..4, -4i64..5), 1..120),
         chunk_a in 1usize..30,
         chunk_b in 1usize..30,
+        batch_a in 0usize..4,
+        batch_b in 0usize..4,
     ) {
-        // Two different drain cadences over the same stream and shard
-        // count must collect the same results — emission timing is
-        // observable, the aggregate contents are not.
+        // Two different drain cadences × transport batch sizes over the
+        // same stream and shard count must collect the same results —
+        // emission timing is observable, the aggregate contents are not.
+        // In particular a flush forced by a drain mid-batch must be
+        // invisible in the collected set (flush-boundary invariance).
         let reg = registry();
         let events = build_events(&reg, &rows);
-        let a = streaming(QUERIES[0], &reg, &events, 4, chunk_a);
-        let b = streaming(QUERIES[0], &reg, &events, 4, chunk_b);
+        let a = streaming(QUERIES[0], &reg, &events, 4, chunk_a, BATCH_SIZES[batch_a]);
+        let b = streaming(QUERIES[0], &reg, &events, 4, chunk_b, BATCH_SIZES[batch_b]);
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_shard_reorderers_match_the_front_reorderer(
+        rows in vec((0u64..40, 0usize..2, 0i64..5, -4i64..5), 1..160),
+        slack in 0u64..9,
+        worker_idx in 0usize..4,
+        batch_idx in 0usize..4,
+        chunk in 1usize..40,
+    ) {
+        // Slack × workers: the `.workers(n)` path repairs disorder with
+        // one ReorderBuffer per shard behind a coordinator-side LateGate.
+        // Against arbitrarily disordered streams it must produce (a) the
+        // same results and (b) the same late-drop count as the replaced
+        // architecture — a single front Reorderer in front of the router
+        // (which is exactly what a 1-worker `.slack(n)` session still is).
+        let reg = registry();
+        let events = build_disordered(&reg, &rows);
+        let workers = WORKER_COUNTS[worker_idx];
+
+        let reference = Session::builder()
+            .query(QUERIES[0])
+            .slack(slack)
+            .build(&reg)
+            .expect("session builds")
+            .run(&events);
+
+        let mut session = Session::builder()
+            .query(QUERIES[0])
+            .slack(slack)
+            .workers(workers)
+            .batch_size(BATCH_SIZES[batch_idx])
+            .build(&reg)
+            .expect("session builds");
+        let mut out: Vec<WindowResult> = Vec::new();
+        for chunk in events.chunks(chunk) {
+            for e in chunk {
+                session.process(e);
+            }
+            session.drain_into(&mut out);
+        }
+        let late = {
+            let mut sink: Vec<WindowResult> = Vec::new();
+            session.finish_into(&mut sink);
+            out.extend(sink);
+            session.late_events()
+        };
+        WindowResult::sort(&mut out);
+
+        prop_assert_eq!(
+            late,
+            reference.late_events,
+            "per-shard late drops must sum to the front reorderer's count \
+             (slack={}, workers={})", slack, workers
+        );
+        prop_assert_eq!(&vec![out], &reference.per_query);
     }
 }

@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! cargo run -p cogra-bench --release --bin throughput -- \
-//!     [--events N] [--iters K] [--out BENCH.json] [--speedup-floor F]
+//!     [--events N] [--iters K] [--out BENCH.json] [--speedup-floor F] [--remote]
 //! ```
 //!
 //! Each configuration runs `K` times; the *best* run is reported (the
@@ -29,9 +29,15 @@
 //! 1×, so a floor there would only ever measure the scheduler. The JSON
 //! records the host's CPU count so a checked-in baseline is
 //! interpretable.
+//!
+//! `--remote` additionally replays the stock CSV through the
+//! `cogra-server` TCP front-end on a loopback socket (`path: "remote"`
+//! rows, with a live subscriber consuming every pushed result) — the
+//! delta against the in-process `csv` row is the protocol's overhead.
 
 use cogra_core::session::Session;
 use cogra_events::{write_events, Event, TypeRegistry};
+use cogra_server::{Client, Server, ServerConfig};
 use cogra_workloads::{rideshare, stock, RideshareConfig, StockConfig};
 use std::time::Instant;
 
@@ -40,6 +46,7 @@ struct Args {
     iters: usize,
     out: String,
     speedup_floor: Option<f64>,
+    remote: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         iters: 3,
         out: "BENCH_PR4.json".to_string(),
         speedup_floor: None,
+        remote: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -72,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--speedup-floor needs a number".to_string())?,
                 )
             }
+            "--remote" => args.remote = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -170,6 +179,68 @@ fn measure_csv(
     })
 }
 
+/// Replay of the CSV form over a loopback socket through the
+/// `cogra-server` front-end, with a live subscriber consuming every
+/// pushed result. Timed from the first `INGEST` to the `FINISH` reply —
+/// server spawn and teardown are deployment costs, not per-event ones.
+/// `peak_bytes` here is the session's logical memory as of the final
+/// drain (the server surfaces the mirror, not the sampled peak).
+fn measure_remote(
+    workload: &'static str,
+    query: &str,
+    registry: &TypeRegistry,
+    csv: &str,
+    n_events: usize,
+    workers: usize,
+    iters: usize,
+) -> Row {
+    let mut best: Option<Row> = None;
+    for _ in 0..iters {
+        let builder = Session::builder().query(query).workers(workers);
+        let server = Server::spawn(
+            builder,
+            registry.clone(),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bench server starts");
+        let subscription = Client::connect(server.local_addr())
+            .expect("bench subscriber connects")
+            .subscribe(None)
+            .expect("subscribe io")
+            .expect("subscribe accepted");
+        let consumer = std::thread::spawn(move || subscription.count());
+        let mut feed = Client::connect(server.local_addr()).expect("bench client connects");
+
+        let start = Instant::now();
+        feed.replay_csv(csv, 2_048)
+            .expect("replay io")
+            .expect("replay accepted");
+        let report = feed.finish().expect("finish io").expect("finish accepted");
+        let elapsed = start.elapsed();
+        let consumed = consumer.join().expect("subscriber joins");
+        assert_eq!(consumed as u64, report.results, "every result is pushed");
+        server.shutdown();
+
+        let row = Row {
+            workload,
+            path: "remote",
+            workers,
+            events: n_events,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            events_per_sec: n_events as f64 / elapsed.as_secs_f64().max(1e-9),
+            peak_bytes: report.memory,
+            results: report.results as usize,
+            key_probes: report.key_probes,
+            key_allocs: report.key_allocs,
+        };
+        if best.as_ref().is_none_or(|b| row.elapsed_ms < b.elapsed_ms) {
+            best = Some(row);
+        }
+    }
+    best.expect("iters >= 1")
+}
+
 fn json(rows: &[Row], events: usize, iters: usize, cpus: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"throughput\",\n");
@@ -207,7 +278,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: throughput [--events N] [--iters K] [--out BENCH.json] \
-                 [--speedup-floor F]"
+                 [--speedup-floor F] [--remote]"
             );
             std::process::exit(1);
         }
@@ -265,6 +336,21 @@ fn main() {
         csv_n.min(stock_events.len()),
         args.iters,
     ));
+    if args.remote {
+        // Same CSV, same size, over the wire — the csv-vs-remote delta
+        // is the protocol overhead.
+        for workers in [1usize, 4] {
+            rows.push(measure_remote(
+                "stock",
+                &stock_q,
+                &stock_reg,
+                &csv,
+                csv_n.min(stock_events.len()),
+                workers,
+                args.iters,
+            ));
+        }
+    }
 
     for r in &rows {
         eprintln!(

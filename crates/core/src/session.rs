@@ -800,6 +800,17 @@ impl Session {
         }
     }
 
+    /// Effective shard count: 1 in streaming mode; under `.workers(n)`
+    /// the pool's widest effective count across queries (also 1 when no
+    /// query has a `GROUP-BY` prefix to shard on) — the live counterpart
+    /// of [`SessionRun::workers`].
+    pub fn workers(&self) -> usize {
+        match &self.mode {
+            Mode::Streaming { .. } => 1,
+            Mode::Parallel { pool } => pool.workers(),
+        }
+    }
+
     /// Access one query's engine (streaming mode only).
     pub fn engine(&self, query: usize) -> Option<&dyn TrendEngine> {
         match &self.mode {

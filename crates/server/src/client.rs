@@ -1,0 +1,195 @@
+//! Blocking protocol client: the replay half of the CLI's `connect`
+//! mode, the driver of the end-to-end differential battery, and the
+//! `--remote` throughput mode of the bench harness.
+//!
+//! A [`Client`] issues one command at a time and waits for its reply
+//! (`OK <stats>` / `ERR <message>`). Command-level failures (the server's
+//! `ERR` line) are the *inner* `Result` — they leave the connection
+//! usable; transport failures are the outer `io::Result`.
+//!
+//! For results, [`Client::subscribe`] consumes the client: the
+//! connection becomes a pure result stream ([`Subscription`]), yielding
+//! decoded `RESULT` lines until the server's `EOS`.
+
+use crate::wire::{self, StatsReport};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Command outcome: transport error (outer) or server `ERR` (inner).
+pub type Reply<T> = io::Result<Result<T, String>>;
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Read one reply line and split it into OK payload / ERR message.
+    fn read_reply(&mut self) -> Reply<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let line = line.trim_end();
+        if let Some(payload) = line.strip_prefix(wire::OK) {
+            Ok(Ok(payload.trim_start().to_string()))
+        } else if let Some(message) = line.strip_prefix(wire::ERR) {
+            Ok(Err(message.trim_start().to_string()))
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed reply `{line}`"),
+            ))
+        }
+    }
+
+    /// Issue a control verb and decode its `StatsReport` payload.
+    fn control(&mut self, verb: &str) -> Reply<StatsReport> {
+        self.writer.write_all(format!("{verb}\n").as_bytes())?;
+        self.decode_stats_reply()
+    }
+
+    fn decode_stats_reply(&mut self) -> Reply<StatsReport> {
+        match self.read_reply()? {
+            Err(msg) => Ok(Err(msg)),
+            Ok(payload) => StatsReport::decode(&payload)
+                .map(|s| Ok(Ok(s)))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+        }
+    }
+
+    /// Send one `INGEST` block: a self-contained CSV document (header
+    /// first — the `cogra_events::csv` format).
+    pub fn ingest(&mut self, csv: &str) -> Reply<StatsReport> {
+        let lines: Vec<&str> = csv.lines().collect();
+        let mut block = format!("INGEST {}\n", lines.len());
+        for line in &lines {
+            block.push_str(line);
+            block.push('\n');
+        }
+        self.writer.write_all(block.as_bytes())?;
+        self.decode_stats_reply()
+    }
+
+    /// Replay a whole CSV document in blocks of `rows_per_block` data
+    /// rows (the header is re-sent with each block, keeping every block a
+    /// self-contained document for the shared decode path). Returns the
+    /// last block's reply.
+    pub fn replay_csv(&mut self, csv: &str, rows_per_block: usize) -> Reply<StatsReport> {
+        let mut lines = csv.lines();
+        let Some(header) = lines.next() else {
+            return self.stats(); // empty document: nothing to send
+        };
+        let rows: Vec<&str> = lines.collect();
+        if rows.is_empty() {
+            return self.stats(); // header-only document: ditto
+        }
+        let mut last = None;
+        for block in rows.chunks(rows_per_block.max(1)) {
+            let mut doc = String::with_capacity(header.len() + block.len() * 16);
+            doc.push_str(header);
+            doc.push('\n');
+            for row in block {
+                doc.push_str(row);
+                doc.push('\n');
+            }
+            match self.ingest(&doc)? {
+                Ok(report) => last = Some(report),
+                Err(e) => return Ok(Err(e)),
+            }
+        }
+        Ok(Ok(
+            last.expect("rows is non-empty, so at least one block ran")
+        ))
+    }
+
+    /// Force a drain: everything final at the watermark is pushed to
+    /// subscribers now.
+    pub fn drain(&mut self) -> Reply<StatsReport> {
+        self.control("DRAIN")
+    }
+
+    /// Fetch the server's counters.
+    pub fn stats(&mut self) -> Reply<StatsReport> {
+        self.control("STATS")
+    }
+
+    /// End the stream: close every window, push the remaining results,
+    /// end subscriptions.
+    pub fn finish(&mut self) -> Reply<StatsReport> {
+        self.control("FINISH")
+    }
+
+    /// Close the connection politely.
+    pub fn quit(mut self) -> io::Result<()> {
+        self.writer.write_all(b"QUIT\n")?;
+        let _ = self.read_reply()?;
+        Ok(())
+    }
+
+    /// Turn this connection into a result stream for `query` (`None` =
+    /// all queries). On success the client is consumed: the server pushes
+    /// `RESULT` lines until `EOS`.
+    pub fn subscribe(mut self, query: Option<usize>) -> Reply<Subscription> {
+        let tag = match query {
+            Some(q) => format!("q{q}"),
+            None => "*".to_string(),
+        };
+        self.writer
+            .write_all(format!("SUBSCRIBE {tag}\n").as_bytes())?;
+        match self.read_reply()? {
+            Err(msg) => Ok(Err(msg)),
+            Ok(_) => Ok(Ok(Subscription {
+                reader: self.reader,
+            })),
+        }
+    }
+}
+
+/// The read half of a subscribed connection: iterate decoded
+/// `(query, result row)` pairs until the server's `EOS` (or the
+/// connection drops).
+#[derive(Debug)]
+pub struct Subscription {
+    reader: BufReader<TcpStream>,
+}
+
+impl Iterator for Subscription {
+    type Item = io::Result<(usize, String)>;
+
+    fn next(&mut self) -> Option<io::Result<(usize, String)>> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Err(e) => Some(Err(e)),
+            Ok(0) => None, // connection dropped without EOS
+            Ok(_) => {
+                let line = line.trim_end();
+                if line == wire::EOS {
+                    return None;
+                }
+                match line.strip_prefix(wire::RESULT) {
+                    Some(payload) => Some(match wire::decode_result(payload.trim_start()) {
+                        Ok((query, row)) => Ok((query, row.to_string())),
+                        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+                    }),
+                    None => Some(Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected line on subscription `{line}`"),
+                    ))),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,650 @@
+//! The threaded TCP server.
+//!
+//! One [`Server`] wraps one [`Session`] — multi-query, `.workers(n)`,
+//! `.slack(n)` and `.batch_size(n)` all supported, because the server
+//! never touches engine internals: it is a serving loop in front of the
+//! exact `Session` the CLI and the harness run in-process.
+//!
+//! Architecture: an **accept thread** takes connections and hands each to
+//! its own **connection thread**; connection threads never touch the
+//! session — they parse commands and forward them over one bounded
+//! request queue to the **session actor thread**, which owns the
+//! `Session`, the type registry, and every subscriber's write half.
+//! The bounded queue is the ingest backpressure: when the actor falls
+//! behind, connection threads block in `send` (each connection has at
+//! most one request in flight — commands are answered before the next is
+//! read), so a fast client cannot buffer unbounded event batches inside
+//! the server. Result emission is push-based end to end: the actor's
+//! drains hand each finalized [`WindowResult`] to a sink that writes
+//! `RESULT` lines straight to subscriber sockets — results stream out
+//! incrementally as shard windows close, never buffer-and-reply.
+//!
+//! Safety guard: the server refuses to bind a non-loopback address
+//! unless [`ServerConfig::allow_nonlocal`] is set — there is no TLS and
+//! no auth yet (see ROADMAP follow-ons), so remote exposure must be an
+//! explicit decision.
+//!
+//! [`WindowResult`]: cogra_engine::WindowResult
+
+use crate::wire::{self, StatsReport, EOS};
+use cogra_core::session::{Session, SessionBuilder, SessionError};
+use cogra_events::TypeRegistry;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on the line count of one `INGEST` block — a malformed count
+/// must not make the connection thread buffer unbounded payload.
+const MAX_INGEST_LINES: usize = 1_000_000;
+
+/// Hard cap on the byte length of any single protocol line (command or
+/// CSV row) — a newline-free flood must not buffer unbounded either.
+const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Capacity of the bounded request queue feeding the session actor —
+    /// the ingest backpressure bound (in requests, i.e. INGEST blocks).
+    pub queue_depth: usize,
+    /// Permit binding non-loopback addresses. Off by default: the
+    /// protocol has no TLS/auth, so serving beyond localhost must be
+    /// opted into explicitly.
+    pub allow_nonlocal: bool,
+    /// Drain (and push results to subscribers) after every `INGEST`
+    /// block, so results flow without the client asking. `DRAIN` still
+    /// works either way.
+    pub drain_on_ingest: bool,
+    /// Write timeout on subscriber sockets. A subscriber that stops
+    /// *reading* would otherwise block the session actor forever once
+    /// the kernel socket buffer fills; after this long mid-write it is
+    /// treated as dead and dropped instead.
+    pub subscriber_write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            queue_depth: 64,
+            allow_nonlocal: false,
+            drain_on_ingest: true,
+            subscriber_write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Errors starting a [`Server`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listener failed.
+    Bind(io::Error),
+    /// The address is not loopback and [`ServerConfig::allow_nonlocal`]
+    /// is off.
+    NotLoopback(SocketAddr),
+    /// The session failed to build (bad query, unsupported engine, ...).
+    Session(SessionError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "bind: {e}"),
+            ServeError::NotLoopback(addr) => write!(
+                f,
+                "refusing to serve on non-loopback address {addr} \
+                 (no TLS/auth yet; set ServerConfig::allow_nonlocal to override)"
+            ),
+            ServeError::Session(e) => write!(f, "session: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Requests forwarded from connection threads to the session actor.
+enum Req {
+    /// One CSV document (header + rows) to decode and ingest.
+    Ingest {
+        csv: String,
+        reply: Sender<Result<StatsReport, String>>,
+    },
+    /// Emit everything final at the current watermark.
+    Drain { reply: Sender<StatsReport> },
+    /// Report counters.
+    Stats { reply: Sender<StatsReport> },
+    /// End of stream: close every window, end subscriptions.
+    Finish {
+        reply: Sender<Result<StatsReport, String>>,
+    },
+    /// Register `stream` as a subscriber. The actor itself writes the
+    /// `OK subscribed` line (and every later `RESULT`) so subscription
+    /// output is totally ordered.
+    Subscribe {
+        query: Option<usize>,
+        stream: TcpStream,
+        reply: Sender<Result<(), String>>,
+    },
+    /// Stop the actor (server shutdown).
+    Shutdown,
+}
+
+/// A running server: accept loop + session actor, live until
+/// [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    requests: SyncSender<Req>,
+    accept: Option<JoinHandle<()>>,
+    actor: Option<JoinHandle<()>>,
+    finished: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Server {
+    /// Build the session from `builder` and serve it on `addr`
+    /// (`"127.0.0.1:0"` picks an ephemeral port — read it back via
+    /// [`Server::local_addr`]). Returns once the listener is bound and
+    /// the session built; serving happens on background threads.
+    pub fn spawn(
+        builder: SessionBuilder,
+        registry: TypeRegistry,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(ServeError::Bind)?;
+        let local = listener.local_addr().map_err(ServeError::Bind)?;
+        if !config.allow_nonlocal && !local.ip().is_loopback() {
+            return Err(ServeError::NotLoopback(local));
+        }
+
+        let (requests, request_rx) = mpsc::sync_channel(config.queue_depth.max(1));
+        let finished = Arc::new((Mutex::new(false), Condvar::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        // The session is built inside the actor thread (it owns it for
+        // its whole life); a handshake channel surfaces build errors.
+        let (built_tx, built_rx) = mpsc::channel();
+        let actor = {
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let session = match builder.build(&registry) {
+                    Ok(session) => {
+                        let _ = built_tx.send(Ok(()));
+                        session
+                    }
+                    Err(e) => {
+                        let _ = built_tx.send(Err(e));
+                        return;
+                    }
+                };
+                session_actor(session, registry, request_rx, config);
+            })
+        };
+        if let Err(e) = built_rx.recv().expect("actor handshakes before serving") {
+            let _ = actor.join();
+            return Err(ServeError::Session(e));
+        }
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let requests = requests.clone();
+            let finished = Arc::clone(&finished);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else {
+                        // A persistent accept error (e.g. fd exhaustion
+                        // from too many connections) must not busy-spin
+                        // the loop; back off and let fds free up.
+                        std::thread::sleep(Duration::from_millis(50));
+                        continue;
+                    };
+                    let requests = requests.clone();
+                    let finished = Arc::clone(&finished);
+                    std::thread::spawn(move || {
+                        // Connection errors just end that connection.
+                        let _ = serve_connection(stream, requests, finished);
+                    });
+                }
+            })
+        };
+
+        Ok(Server {
+            addr: local,
+            shutdown,
+            requests,
+            accept: Some(accept),
+            actor: Some(actor),
+            finished,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until a `FINISH` command has been processed, or `timeout`
+    /// elapses. Returns whether the session finished.
+    pub fn wait_finished(&self, timeout: Duration) -> bool {
+        let (lock, cvar) = &*self.finished;
+        let guard = lock.lock().expect("finished flag lock");
+        let (guard, _) = cvar
+            .wait_timeout_while(guard, timeout, |done| !*done)
+            .expect("finished flag lock");
+        *guard
+    }
+
+    /// Stop serving: close the accept loop and the session actor, then
+    /// join both. Open connections are abandoned (their next request gets
+    /// an error); subscribers were already closed if the session
+    /// finished.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let _ = self.requests.send(Req::Shutdown);
+        if let Some(h) = self.actor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.actor.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// One registered subscriber: the write half of a connection plus its
+/// query filter (`None` = all queries).
+struct Subscriber {
+    query: Option<usize>,
+    stream: TcpStream,
+    dead: bool,
+}
+
+impl Subscriber {
+    fn push(&mut self, line: &str) {
+        if self.dead {
+            return;
+        }
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        if self.stream.write_all(&buf).is_err() {
+            self.dead = true;
+        }
+    }
+}
+
+/// Push one finalized result to every matching subscriber — the one
+/// sink body behind both `drain_into` and `finish_into`.
+fn push_result(
+    subscribers: &mut [Subscriber],
+    results: &mut u64,
+    query: usize,
+    result: &cogra_engine::WindowResult,
+) {
+    *results += 1;
+    let line = wire::encode_result(query, result);
+    for sub in subscribers.iter_mut() {
+        if sub.query.is_none_or(|q| q == query) {
+            sub.push(&line);
+        }
+    }
+}
+
+/// The session actor: single-threaded owner of the [`Session`] and every
+/// subscriber. Requests are processed strictly in arrival order, so a
+/// single-connection client observes the exact semantics of driving a
+/// `Session` in-process.
+fn session_actor(
+    mut session: Session,
+    registry: TypeRegistry,
+    requests: Receiver<Req>,
+    config: ServerConfig,
+) {
+    let mut subscribers: Vec<Subscriber> = Vec::new();
+    let mut events: u64 = 0;
+    let mut results: u64 = 0;
+    let mut finished = false;
+
+    // Emit every result final at the current watermark to the matching
+    // subscribers — the ResultSink wired to sockets.
+    let drain = |session: &mut Session, subscribers: &mut Vec<Subscriber>, results: &mut u64| {
+        let mut sink = |query: usize, result: cogra_engine::WindowResult| {
+            push_result(subscribers, results, query, &result);
+        };
+        session.drain_into(&mut sink);
+        subscribers.retain(|s| !s.dead);
+    };
+    let stats = |session: &Session, events: u64, results: u64, finished: bool| {
+        let run_stats = session.run_stats();
+        StatsReport {
+            ingested: 0,
+            events,
+            late: session.late_events(),
+            results,
+            watermark: session.watermark().ticks(),
+            queries: session.queries(),
+            workers: session.workers(),
+            memory: session.memory_bytes(),
+            key_probes: run_stats.key_probes,
+            key_allocs: run_stats.key_allocs,
+            finished,
+        }
+    };
+
+    for req in requests {
+        match req {
+            Req::Ingest { csv, reply } => {
+                let outcome = if finished {
+                    Err("session finished".to_string())
+                } else {
+                    // THE shared decode path: the same
+                    // `Session::ingest_csv` the CLI's `run_csv` rides, so
+                    // both surfaces report the same `IngestError`. Not
+                    // transactional: rows before a bad row are already
+                    // part of the stream.
+                    match session.ingest_csv(&csv, &registry) {
+                        Ok(count) => {
+                            events += count;
+                            if config.drain_on_ingest {
+                                drain(&mut session, &mut subscribers, &mut results);
+                            }
+                            let mut report = stats(&session, events, results, finished);
+                            report.ingested = count;
+                            Ok(report)
+                        }
+                        Err(e) => Err(e.to_string()),
+                    }
+                };
+                let _ = reply.send(outcome);
+            }
+            Req::Drain { reply } => {
+                if !finished {
+                    drain(&mut session, &mut subscribers, &mut results);
+                }
+                let _ = reply.send(stats(&session, events, results, finished));
+            }
+            Req::Stats { reply } => {
+                let _ = reply.send(stats(&session, events, results, finished));
+            }
+            Req::Finish { reply } => {
+                let outcome = if finished {
+                    Err("session finished".to_string())
+                } else {
+                    let mut sink = |query: usize, result: cogra_engine::WindowResult| {
+                        push_result(&mut subscribers, &mut results, query, &result);
+                    };
+                    session.finish_into(&mut sink);
+                    finished = true;
+                    for sub in &mut subscribers {
+                        sub.push(EOS);
+                    }
+                    subscribers.clear();
+                    // The finished condvar is NOT signalled here: the
+                    // connection thread signals it only after the OK
+                    // reply reached the socket, so a `wait_finished` →
+                    // shutdown caller (the CLI's serve mode, which
+                    // exits) cannot kill the reply mid-write.
+                    Ok(stats(&session, events, results, finished))
+                };
+                let _ = reply.send(outcome);
+            }
+            Req::Subscribe {
+                query,
+                stream,
+                reply,
+            } => {
+                let outcome = match query {
+                    Some(q) if q >= session.queries() => Err(format!(
+                        "unknown query q{q} (session has {} queries)",
+                        session.queries()
+                    )),
+                    _ => Ok(()),
+                };
+                if outcome.is_ok() {
+                    // A subscriber that stops reading must not wedge this
+                    // actor once the socket buffer fills: bound every
+                    // write, treat a timeout as a dead peer.
+                    let _ = stream.set_write_timeout(Some(config.subscriber_write_timeout));
+                    let mut sub = Subscriber {
+                        query,
+                        stream,
+                        dead: false,
+                    };
+                    let tag = match query {
+                        Some(q) => format!("q{q}"),
+                        None => "*".to_string(),
+                    };
+                    sub.push(&format!("{} subscribed {tag}", wire::OK));
+                    if finished {
+                        // Late subscription: nothing will ever be pushed
+                        // (results are push-only, not replayed) — say so
+                        // immediately.
+                        sub.push(EOS);
+                    } else {
+                        subscribers.push(sub);
+                    }
+                }
+                let _ = reply.send(outcome);
+            }
+            Req::Shutdown => break,
+        }
+    }
+}
+
+/// Read one `\n`-terminated line, appending at most [`MAX_LINE_BYTES`]
+/// bytes to `buf`. Returns the bytes read (0 = EOF); `InvalidData` if
+/// the cap is hit before a newline — a newline-free flood must not
+/// buffer unbounded.
+fn read_line_bounded(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> io::Result<usize> {
+    let n = io::Read::take(&mut *reader, MAX_LINE_BYTES).read_until(b'\n', buf)?;
+    if n as u64 == MAX_LINE_BYTES && buf.last() != Some(&b'\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "protocol line exceeds the line-length limit",
+        ));
+    }
+    Ok(n)
+}
+
+/// Read commands off one connection and forward them to the actor. Every
+/// command is answered before the next is read, so the connection has at
+/// most one request in flight (see the module docs on backpressure).
+/// `finished` is the server-wide condvar behind [`Server::wait_finished`]
+/// — signalled here, after a successful `FINISH` reply hit the socket,
+/// never by the actor (a waiter that shuts the process down on it must
+/// not be able to kill the reply mid-write).
+fn serve_connection(
+    stream: TcpStream,
+    requests: SyncSender<Req>,
+    finished: Arc<(Mutex<bool>, Condvar)>,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line_buf: Vec<u8> = Vec::new();
+    loop {
+        line_buf.clear();
+        match read_line_bounded(&mut reader, &mut line_buf) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                reply_err(&mut writer, "protocol line exceeds the line-length limit")?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        let line = match std::str::from_utf8(&line_buf) {
+            Ok(s) => s.trim(),
+            Err(_) => {
+                reply_err(&mut writer, "command line is not valid UTF-8")?;
+                continue;
+            }
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let (verb, arg) = match line.split_once(' ') {
+            Some((v, a)) => (v, a.trim()),
+            None => (line, ""),
+        };
+        match verb {
+            "INGEST" => {
+                let Ok(n) = arg.parse::<usize>() else {
+                    reply_err(&mut writer, "INGEST needs a line count")?;
+                    continue;
+                };
+                if n > MAX_INGEST_LINES {
+                    reply_err(
+                        &mut writer,
+                        &format!("INGEST block too large (max {MAX_INGEST_LINES} lines)"),
+                    )?;
+                    continue;
+                }
+                let mut payload: Vec<u8> = Vec::new();
+                let mut failed: Option<&str> = None;
+                for _ in 0..n {
+                    match read_line_bounded(&mut reader, &mut payload) {
+                        Ok(0) => {
+                            failed = Some("unexpected EOF inside INGEST payload");
+                            break;
+                        }
+                        Ok(_) => {}
+                        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                            failed = Some("protocol line exceeds the line-length limit");
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                if let Some(message) = failed {
+                    reply_err(&mut writer, message)?;
+                    return Ok(());
+                }
+                match String::from_utf8(payload) {
+                    Err(_) => reply_err(&mut writer, "ingest payload is not valid UTF-8")?,
+                    Ok(csv) => {
+                        let (tx, rx) = mpsc::channel();
+                        if requests.send(Req::Ingest { csv, reply: tx }).is_err() {
+                            reply_err(&mut writer, "server shutting down")?;
+                            return Ok(());
+                        }
+                        match rx.recv() {
+                            Ok(Ok(report)) => reply_ok(&mut writer, &report.encode())?,
+                            Ok(Err(msg)) => reply_err(&mut writer, &msg)?,
+                            Err(_) => {
+                                reply_err(&mut writer, "server shutting down")?;
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+            }
+            "DRAIN" | "STATS" => {
+                let (tx, rx) = mpsc::channel();
+                let req = if verb == "DRAIN" {
+                    Req::Drain { reply: tx }
+                } else {
+                    Req::Stats { reply: tx }
+                };
+                if requests.send(req).is_err() {
+                    reply_err(&mut writer, "server shutting down")?;
+                    return Ok(());
+                }
+                match rx.recv() {
+                    Ok(report) => reply_ok(&mut writer, &report.encode())?,
+                    Err(_) => {
+                        reply_err(&mut writer, "server shutting down")?;
+                        return Ok(());
+                    }
+                }
+            }
+            "FINISH" => {
+                let (tx, rx) = mpsc::channel();
+                if requests.send(Req::Finish { reply: tx }).is_err() {
+                    reply_err(&mut writer, "server shutting down")?;
+                    return Ok(());
+                }
+                match rx.recv() {
+                    Ok(Ok(report)) => {
+                        reply_ok(&mut writer, &report.encode())?;
+                        // Reply delivered — only now may wait_finished
+                        // waiters proceed (and possibly exit the process).
+                        let (lock, cvar) = &*finished;
+                        *lock.lock().expect("finished flag lock") = true;
+                        cvar.notify_all();
+                    }
+                    Ok(Err(msg)) => reply_err(&mut writer, &msg)?,
+                    Err(_) => {
+                        reply_err(&mut writer, "server shutting down")?;
+                        return Ok(());
+                    }
+                }
+            }
+            "SUBSCRIBE" => {
+                let query = match wire::parse_subscription(arg) {
+                    Ok(q) => q,
+                    Err(msg) => {
+                        reply_err(&mut writer, &msg)?;
+                        continue;
+                    }
+                };
+                let (tx, rx) = mpsc::channel();
+                let clone = writer.try_clone()?;
+                if requests
+                    .send(Req::Subscribe {
+                        query,
+                        stream: clone,
+                        reply: tx,
+                    })
+                    .is_err()
+                {
+                    reply_err(&mut writer, "server shutting down")?;
+                    return Ok(());
+                }
+                match rx.recv() {
+                    // The actor wrote `OK subscribed` itself and now owns
+                    // the write half; this thread's job is done (its fds
+                    // close, the actor's clone keeps the socket open).
+                    Ok(Ok(())) => return Ok(()),
+                    Ok(Err(msg)) => reply_err(&mut writer, &msg)?,
+                    Err(_) => {
+                        reply_err(&mut writer, "server shutting down")?;
+                        return Ok(());
+                    }
+                }
+            }
+            "QUIT" => {
+                reply_ok(&mut writer, "bye")?;
+                return Ok(());
+            }
+            _ => reply_err(&mut writer, &format!("unknown command `{verb}`"))?,
+        }
+    }
+}
+
+fn reply_ok(writer: &mut TcpStream, payload: &str) -> io::Result<()> {
+    writer.write_all(format!("{} {payload}\n", wire::OK).as_bytes())
+}
+
+fn reply_err(writer: &mut TcpStream, message: &str) -> io::Result<()> {
+    writer.write_all(format!("{} {message}\n", wire::ERR).as_bytes())
+}

@@ -1,0 +1,202 @@
+//! The wire protocol shared by [`Server`](crate::Server),
+//! [`Client`](crate::Client), the CLI and the end-to-end tests.
+//!
+//! Line-delimited UTF-8 text. Clients send one command per line; the
+//! server answers each command with exactly one `OK ...` or `ERR ...`
+//! line on the same connection. A connection that issues `SUBSCRIBE`
+//! becomes a pure result stream: the server pushes one `RESULT` line per
+//! finalized window result, then one `EOS` line when the session
+//! finishes.
+//!
+//! ```text
+//! client → server
+//!   INGEST <n>          the next n lines are one CSV document
+//!                       (header first — the cogra_events::csv format)
+//!   SUBSCRIBE <q>       q = "q<i>" (one query) or "*" (all queries)
+//!   DRAIN               flush + emit everything final at the watermark
+//!   STATS               report counters (see StatsReport)
+//!   FINISH              end of stream: close every window, end subscribers
+//!   QUIT                close this connection
+//!
+//! server → client
+//!   OK <key=value ...>  command succeeded
+//!   ERR <message>       command failed (message = the IngestError /
+//!                       protocol error display, identical to the CLI's)
+//!   RESULT q<i> <row>   pushed to subscribers as windows close
+//!   EOS                 subscription over (session finished)
+//! ```
+//!
+//! Results are serialized with [`encode_result`] — the same
+//! `WindowResult` `Display` the CLI prints — so a socket-served run is
+//! byte-comparable against an in-process [`Session`] run
+//! (`tests/server_e2e_props.rs` pins this).
+//!
+//! [`Session`]: cogra_core::session::Session
+
+use cogra_engine::WindowResult;
+
+/// Pushed-result line prefix.
+pub const RESULT: &str = "RESULT";
+/// End-of-subscription marker line.
+pub const EOS: &str = "EOS";
+/// Success reply prefix.
+pub const OK: &str = "OK";
+/// Failure reply prefix.
+pub const ERR: &str = "ERR";
+
+/// Serialize one finalized result of query `query` as a `RESULT` line
+/// (without the trailing newline).
+pub fn encode_result(query: usize, result: &WindowResult) -> String {
+    format!("{RESULT} q{query} {result}")
+}
+
+/// Parse the payload of a `RESULT` line (everything after the `RESULT `
+/// prefix) back into `(query, row)`. The row stays text — byte-identical
+/// comparison is the point, not re-materializing `WindowResult`s.
+pub fn decode_result(payload: &str) -> Result<(usize, &str), String> {
+    let (q, row) = payload
+        .split_once(' ')
+        .ok_or_else(|| format!("malformed RESULT payload `{payload}`"))?;
+    let query = q
+        .strip_prefix('q')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("malformed query tag `{q}`"))?;
+    Ok((query, row))
+}
+
+/// Parse a `SUBSCRIBE` argument: `*` (all queries) or `q<i>`.
+pub fn parse_subscription(arg: &str) -> Result<Option<usize>, String> {
+    if arg == "*" {
+        return Ok(None);
+    }
+    arg.strip_prefix('q')
+        .and_then(|n| n.parse().ok())
+        .map(Some)
+        .ok_or_else(|| format!("bad subscription `{arg}` (expected q<i> or *)"))
+}
+
+/// The counters surfaced by `STATS` (and, minus the mirrors, by
+/// `FINISH`): session progress, watermark, late drops and the routing
+/// hot-path statistics, as `key=value` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    /// Events accepted by the replied-to command (`INGEST` replies only;
+    /// 0 in every other reply — the cumulative count is `events`).
+    pub ingested: u64,
+    /// Events ingested so far (including any later dropped as late).
+    pub events: u64,
+    /// Late events dropped by the `.slack(n)` repair.
+    pub late: u64,
+    /// Results emitted to sinks so far.
+    pub results: u64,
+    /// Current session watermark, in ticks.
+    pub watermark: u64,
+    /// Queries served by the session.
+    pub queries: usize,
+    /// Effective shard count (1 unless `.workers(n)` applies).
+    pub workers: usize,
+    /// Logical memory footprint, as of the last drain.
+    pub memory: usize,
+    /// Routing interner probes ([`cogra_engine::RunStats`]).
+    pub key_probes: u64,
+    /// First-seen key materializations.
+    pub key_allocs: u64,
+    /// Whether `FINISH` has been processed.
+    pub finished: bool,
+}
+
+impl StatsReport {
+    /// Encode as the `key=value ...` payload of the `STATS` reply.
+    pub fn encode(&self) -> String {
+        format!(
+            "ingested={} events={} late={} results={} watermark={} queries={} workers={} \
+             memory={} key_probes={} key_allocs={} finished={}",
+            self.ingested,
+            self.events,
+            self.late,
+            self.results,
+            self.watermark,
+            self.queries,
+            self.workers,
+            self.memory,
+            self.key_probes,
+            self.key_allocs,
+            self.finished,
+        )
+    }
+
+    /// Decode a `STATS` reply payload. Unknown keys are ignored so the
+    /// protocol can grow fields without breaking old clients.
+    pub fn decode(payload: &str) -> Result<StatsReport, String> {
+        let mut out = StatsReport::default();
+        for pair in payload.split_whitespace() {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("malformed stats pair `{pair}`"))?;
+            let bad = || format!("bad value for `{key}`: `{value}`");
+            match key {
+                "ingested" => out.ingested = value.parse().map_err(|_| bad())?,
+                "events" => out.events = value.parse().map_err(|_| bad())?,
+                "late" => out.late = value.parse().map_err(|_| bad())?,
+                "results" => out.results = value.parse().map_err(|_| bad())?,
+                "watermark" => out.watermark = value.parse().map_err(|_| bad())?,
+                "queries" => out.queries = value.parse().map_err(|_| bad())?,
+                "workers" => out.workers = value.parse().map_err(|_| bad())?,
+                "memory" => out.memory = value.parse().map_err(|_| bad())?,
+                "key_probes" => out.key_probes = value.parse().map_err(|_| bad())?,
+                "key_allocs" => out.key_allocs = value.parse().map_err(|_| bad())?,
+                "finished" => out.finished = value.parse().map_err(|_| bad())?,
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = StatsReport {
+            ingested: 4,
+            events: 10,
+            late: 2,
+            results: 7,
+            watermark: 99,
+            queries: 3,
+            workers: 4,
+            memory: 4096,
+            key_probes: 10,
+            key_allocs: 3,
+            finished: true,
+        };
+        assert_eq!(StatsReport::decode(&stats.encode()).unwrap(), stats);
+        // Unknown keys are ignored; malformed pairs are not.
+        assert_eq!(
+            StatsReport::decode("events=5 future_field=1")
+                .unwrap()
+                .events,
+            5
+        );
+        assert!(StatsReport::decode("events").is_err());
+        assert!(StatsReport::decode("events=x").is_err());
+    }
+
+    #[test]
+    fn subscription_args() {
+        assert_eq!(parse_subscription("*").unwrap(), None);
+        assert_eq!(parse_subscription("q2").unwrap(), Some(2));
+        assert!(parse_subscription("2").is_err());
+        assert!(parse_subscription("qx").is_err());
+    }
+
+    #[test]
+    fn result_round_trip() {
+        let (q, row) = decode_result("q1 w0 [7] → 9").unwrap();
+        assert_eq!((q, row), (1, "w0 [7] → 9"));
+        assert!(decode_result("nope").is_err());
+        assert!(decode_result("x1 w0").is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Serving a session over the network (`cargo run --example serve`).
+//!
+//! Spins up the `cogra-server` TCP front-end on a loopback socket,
+//! subscribes to its results, replays a small stock stream through the
+//! wire protocol, and drains mid-stream — results arrive *while the
+//! stream is still flowing*, pushed as windows close, exactly like the
+//! in-process `ResultSink` path the battery pins it against.
+
+use cogra::prelude::*;
+use cogra::workloads::{stock, StockConfig};
+
+fn main() {
+    // A session like any other: q3 over the stock stream, two shards.
+    let registry = stock::registry();
+    let builder = Session::builder().query(stock::q3_query(60, 30)).workers(2);
+
+    // Serve it. Port 0 = ephemeral; the server refuses non-loopback
+    // addresses unless explicitly allowed (no TLS/auth yet).
+    let server = Server::spawn(builder, registry, "127.0.0.1:0", ServerConfig::default())
+        .expect("server starts");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    // One connection subscribes to every query's results...
+    let subscription = Client::connect(addr)
+        .expect("connect")
+        .subscribe(None)
+        .expect("subscribe io")
+        .expect("subscribe accepted");
+    let printer = std::thread::spawn(move || {
+        let mut n = 0u32;
+        for item in subscription {
+            let (query, row) = item.expect("result line");
+            println!("  q{query}: {row}");
+            n += 1;
+        }
+        n
+    });
+
+    // ...while another replays a recorded CSV stream, in blocks, through
+    // the same cogra_events::csv decode path the CLI uses.
+    let events = stock::generate(&StockConfig {
+        events: 200,
+        ..StockConfig::default()
+    });
+    let csv = write_events(&events, &stock::registry());
+    let mut feed = Client::connect(addr).expect("connect");
+    feed.replay_csv(&csv, 50)
+        .expect("replay io")
+        .expect("replay accepted");
+
+    let mid = feed.drain().expect("drain io").expect("drain accepted");
+    println!(
+        "mid-stream: {} events in, watermark t{}, {} results pushed so far",
+        mid.events, mid.watermark, mid.results
+    );
+
+    let done = feed.finish().expect("finish io").expect("finish accepted");
+    let pushed = printer.join().expect("printer joins");
+    println!(
+        "finished: {} events → {} results over the wire ({} worker(s))",
+        done.events, pushed, done.workers
+    );
+    server.shutdown();
+}

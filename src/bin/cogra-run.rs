@@ -5,6 +5,10 @@
 //! cogra-run --schema schema.csv --events stream.csv --query query.cep
 //!           [--engine cogra|sase|greta|aseq|flink|oracle] [--workers N]
 //!           [--explain] [--dot] [--slack N] [--memory]
+//! cogra-run serve   --schema schema.csv --query query.cep
+//!           [--engine E] [--workers N] [--slack N] [--listen 127.0.0.1:7878]
+//! cogra-run connect --addr HOST:PORT --events stream.csv
+//!           [--chunk N] [--stats]
 //! ```
 //!
 //! * `--schema` — CSV with rows `type,attr,kind` (kind ∈ int|float|str|bool)
@@ -22,10 +26,22 @@
 //!   report how many late events had to be dropped;
 //! * `--explain` / `--dot` — print the compiled plan / Graphviz automaton;
 //! * `--memory` — report peak memory after the run.
+//!
+//! `serve` wraps the same session in the `cogra-server` TCP front-end
+//! (loopback-only; `--listen 127.0.0.1:0` picks an ephemeral port,
+//! printed as `listening on ADDR`), serves `INGEST`/`SUBSCRIBE`/
+//! `DRAIN`/`STATS`/`FINISH`, and exits once a client sends `FINISH`.
+//! `connect` is the matching replay client: it subscribes to every
+//! query, replays a recorded CSV stream in `--chunk`-row blocks, sends
+//! `FINISH`, and prints the pushed results — the same rows the plain
+//! run mode would print, modulo the push-order vs sorted-order
+//! difference (`tests/cli.rs` pins the sorted outputs equal).
 
 use cogra::prelude::*;
 use cogra::query::{explain, to_dot};
+use std::io::Write;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     schema: String,
@@ -39,7 +55,7 @@ struct Args {
     memory: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut schema = None;
     let mut events = None;
     let mut queries = Vec::new();
@@ -49,7 +65,7 @@ fn parse_args() -> Result<Args, String> {
     let mut explain = false;
     let mut dot = false;
     let mut memory = false;
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter().cloned();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
@@ -126,9 +142,13 @@ fn load_registry(text: &str) -> Result<TypeRegistry, String> {
     Ok(registry)
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
-    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+/// Read a file, attributing errors to the path.
+fn read(p: &str) -> Result<String, String> {
+    std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
     let registry = load_registry(&read(&args.schema)?)?;
     let queries: Vec<Query> = args
         .queries
@@ -205,15 +225,163 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+/// `serve`: wrap the session in the TCP front-end and serve until a
+/// client sends `FINISH`.
+fn serve(argv: &[String]) -> Result<(), String> {
+    let mut schema = None;
+    let mut queries: Vec<String> = Vec::new();
+    let mut engine = EngineKind::Cogra;
+    let mut workers = 1usize;
+    let mut slack = None;
+    let mut listen = "127.0.0.1:7878".to_string();
+    let mut it = argv.iter().cloned();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--schema" => schema = Some(value("--schema")?),
+            "--query" => queries.push(value("--query")?),
+            "--engine" => engine = value("--engine")?.parse()?,
+            "--workers" => {
+                workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?
+            }
+            "--slack" => {
+                slack = Some(
+                    value("--slack")?
+                        .parse()
+                        .map_err(|_| "--slack needs an integer".to_string())?,
+                )
+            }
+            "--listen" => listen = value("--listen")?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if queries.is_empty() {
+        return Err("--query is required".into());
+    }
+    let registry = load_registry(&read(&schema.ok_or("--schema is required")?)?)?;
+    let mut builder = Session::builder().engine(engine).workers(workers);
+    if let Some(slack) = slack {
+        builder = builder.slack(slack);
+    }
+    for path in &queries {
+        builder = builder.query(parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let server = Server::spawn(builder, registry, &*listen, ServerConfig::default())
+        .map_err(|e| e.to_string())?;
+    // The port line is the handshake scripts parse — flush past the
+    // pipe buffering println! would leave it in.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    while !server.wait_finished(Duration::from_secs(1)) {}
+    server.shutdown();
+    eprintln!("session finished; server exiting");
+    Ok(())
+}
+
+/// `connect`: replay a recorded CSV stream into a serving session and
+/// print the results it pushes back.
+fn connect(argv: &[String]) -> Result<(), String> {
+    let mut addr = None;
+    let mut events = None;
+    let mut chunk = 1_000usize;
+    let mut stats = false;
+    let mut it = argv.iter().cloned();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--events" => events = Some(value("--events")?),
+            "--chunk" => {
+                chunk = value("--chunk")?
+                    .parse::<usize>()
+                    .map_err(|_| "--chunk needs an integer".to_string())?
+                    .max(1)
+            }
+            "--stats" => stats = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    let events_path = events.ok_or("--events is required")?;
+    let csv = read(&events_path)?;
+
+    let io_err = |e: std::io::Error| format!("{addr}: {e}");
+    let srv_err = |e: String| format!("{addr}: server: {e}");
+    let mut control = Client::connect(&*addr).map_err(io_err)?;
+    let pre = control.stats().map_err(io_err)?.map_err(srv_err)?;
+    let multi = pre.queries > 1;
+
+    // Subscription on its own connection: the server pushes RESULT lines
+    // there while this connection drives ingestion.
+    let subscription = Client::connect(&*addr)
+        .map_err(io_err)?
+        .subscribe(None)
+        .map_err(io_err)?
+        .map_err(srv_err)?;
+    let printer = std::thread::spawn(move || -> Result<u64, String> {
+        let mut printed = 0u64;
+        for item in subscription {
+            let (query, row) = item.map_err(|e| format!("subscription: {e}"))?;
+            if multi {
+                println!("q{query}: {row}");
+            } else {
+                println!("{row}");
+            }
+            printed += 1;
+        }
+        Ok(printed)
+    });
+
+    control
+        .replay_csv(&csv, chunk)
+        .map_err(io_err)?
+        .map_err(|e| format!("{events_path}: {e}"))?;
+    let report = control.finish().map_err(io_err)?.map_err(srv_err)?;
+    let printed = printer
+        .join()
+        .map_err(|_| "subscription thread panicked")??;
+
+    let workers = if report.workers > 1 {
+        format!(", {} workers", report.workers)
+    } else {
+        String::new()
+    };
+    eprintln!(
+        "{} events → {} results (remote{workers})",
+        report.events - report.late,
+        printed
+    );
+    if report.late > 0 {
+        eprintln!("reorder: {} late event(s) dropped", report.late);
+    }
+    if stats {
+        eprintln!("stats: {}", report.encode());
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: cogra-run --schema schema.csv --events stream.csv --query query.cep \
+     [--engine cogra|sase|greta|aseq|flink|oracle] [--workers N] [--slack N] \
+     [--explain] [--dot] [--memory]\n\
+       cogra-run serve --schema schema.csv --query query.cep [--engine E] \
+     [--workers N] [--slack N] [--listen ADDR]\n\
+       cogra-run connect --addr HOST:PORT --events stream.csv [--chunk N] [--stats]";
+
 fn main() -> ExitCode {
-    match run() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match argv.first().map(String::as_str) {
+        Some("serve") => serve(&argv[1..]),
+        Some("connect") => connect(&argv[1..]),
+        _ => run(&argv),
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) if msg.is_empty() => {
-            eprintln!(
-                "usage: cogra-run --schema schema.csv --events stream.csv --query query.cep \
-                 [--engine cogra|sase|greta|aseq|flink|oracle] [--workers N] [--slack N] \
-                 [--explain] [--dot] [--memory]"
-            );
+            eprintln!("{USAGE}");
             ExitCode::SUCCESS
         }
         Err(msg) => {

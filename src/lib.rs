@@ -64,6 +64,7 @@
 //! * [`core`] — the COGRA executor (type-/mixed-/pattern-grained
 //!   aggregators) and the `Session` facade;
 //! * [`baselines`] — SASE, Flink-flat, GRETA, A-Seq and the oracle;
+//! * [`server`] — the TCP front-end: socket ingest, subscription sinks;
 //! * [`workloads`] — the evaluation's data-set generators.
 
 pub use cogra_baselines as baselines;
@@ -71,6 +72,7 @@ pub use cogra_core as core;
 pub use cogra_engine as engine;
 pub use cogra_events as events;
 pub use cogra_query as query;
+pub use cogra_server as server;
 pub use cogra_workloads as workloads;
 
 /// Everything needed for typical use.
@@ -84,8 +86,9 @@ pub mod prelude {
         TrendEngine, WindowResult,
     };
     pub use cogra_events::{
-        read_events, Event, EventBuilder, EventReader, Timestamp, TypeRegistry, Value, ValueKind,
-        WindowSpec,
+        read_events, write_events, Event, EventBuilder, EventReader, Timestamp, TypeRegistry,
+        Value, ValueKind, WindowSpec,
     };
     pub use cogra_query::{compile, parse, Granularity, PatternExpr, Query, Semantics};
+    pub use cogra_server::{Client, ServeError, Server, ServerConfig, StatsReport, Subscription};
 }

@@ -144,6 +144,86 @@ fn workers_report_effective_shard_count() {
 }
 
 #[test]
+fn serve_and_connect_round_trip() {
+    use std::io::BufRead;
+    use std::process::Stdio;
+
+    let f = Fixture::new("serve");
+    // The reference: the plain run mode over the same inputs.
+    let (ok, local_out, stderr) = f.run(&["--slack", "3"]);
+    assert!(ok, "stderr: {stderr}");
+
+    // Serve the same session on an ephemeral loopback port...
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_cogra-run"))
+        .arg("serve")
+        .arg("--schema")
+        .arg(f.dir.join("schema.csv"))
+        .arg("--query")
+        .arg(f.dir.join("query.cep"))
+        .args(["--slack", "3", "--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let mut port_line = String::new();
+    std::io::BufReader::new(serve.stdout.take().expect("piped stdout"))
+        .read_line(&mut port_line)
+        .expect("serve prints its address");
+    let addr = port_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve handshake `{port_line}`"))
+        .to_string();
+
+    // ...and replay the recorded stream into it with the connect mode.
+    let connect = Command::new(env!("CARGO_BIN_EXE_cogra-run"))
+        .arg("connect")
+        .args(["--addr", &addr])
+        .arg("--events")
+        .arg(f.dir.join("stream.csv"))
+        .args(["--chunk", "3"])
+        .output()
+        .expect("connect runs");
+    let connect_err = String::from_utf8_lossy(&connect.stderr).into_owned();
+    assert!(connect.status.success(), "stderr: {connect_err}");
+
+    // Results are pushed in emission order; the run mode prints them
+    // sorted — the sorted line sets must be identical.
+    let sort = |s: &str| {
+        let mut lines: Vec<String> = s.lines().map(str::to_string).collect();
+        lines.sort();
+        lines
+    };
+    let remote_out = String::from_utf8_lossy(&connect.stdout).into_owned();
+    assert_eq!(sort(&remote_out), sort(&local_out), "socket vs in-process");
+    assert!(
+        connect_err.contains("late event(s) dropped") || !connect_err.contains("reorder"),
+        "{connect_err}"
+    );
+
+    // FINISH ends the session and the serve process with it.
+    let status = serve.wait().expect("serve exits after FINISH");
+    assert!(status.success());
+}
+
+#[test]
+fn serve_refuses_nonlocal_listen() {
+    let f = Fixture::new("serve-guard");
+    let out = Command::new(env!("CARGO_BIN_EXE_cogra-run"))
+        .arg("serve")
+        .arg("--schema")
+        .arg(f.dir.join("schema.csv"))
+        .arg("--query")
+        .arg(f.dir.join("query.cep"))
+        .args(["--listen", "0.0.0.0:0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("non-loopback"), "{stderr}");
+}
+
+#[test]
 fn bad_arguments_report_errors() {
     let out = Command::new(env!("CARGO_BIN_EXE_cogra-run"))
         .arg("--nonsense")

@@ -1,0 +1,196 @@
+//! The `csv::EventReader` error paths, as seen from every ingestion
+//! surface. The CLI (`run_csv`) and the network front-end
+//! (`INGEST` → `Session::ingest_csv`) share ONE decode path, so a given
+//! malformed stream must produce the **same `IngestError`** on both —
+//! asserted here by computing the expected error once (straight from
+//! `Session::ingest_csv`, the shared site) and matching the CLI's stderr
+//! and the server's `ERR` reply against it, byte for byte.
+//!
+//! Covered: a truncated row (field-count mismatch), a time-regressing
+//! row without `.slack(n)`, and non-UTF-8 input (which each surface
+//! rejects *before* the decode path — with its own transport's wording,
+//! since `EventReader` itself only ever sees `&str`).
+
+use cogra::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+const SCHEMA: &str = "type,attr,kind\n\
+                      Measurement,patient,int\n\
+                      Measurement,rate,int\n";
+
+const QUERY: &str = "RETURN patient, COUNT(*)\n\
+                     PATTERN Measurement M+\n\
+                     SEMANTICS skip-till-any-match\n\
+                     WHERE [patient]\n\
+                     GROUP-BY patient\n\
+                     WITHIN 100 SLIDE 100\n";
+
+/// A row with 2 fields where 4 are declared.
+const TRUNCATED: &str = "type,time,patient,rate\n\
+                         Measurement,1,7,60\n\
+                         Measurement,2\n";
+
+/// Time regresses 5 → 3 with no slack to repair it.
+const OUT_OF_ORDER: &str = "type,time,patient,rate\n\
+                            Measurement,5,7,60\n\
+                            Measurement,3,7,61\n";
+
+fn registry() -> TypeRegistry {
+    let mut r = TypeRegistry::new();
+    r.register_type(
+        "Measurement",
+        vec![("patient", ValueKind::Int), ("rate", ValueKind::Int)],
+    );
+    r
+}
+
+/// The expected error, computed once at the shared site.
+fn expected_ingest_error(csv: &str) -> String {
+    let mut session = Session::builder()
+        .query(QUERY)
+        .build(&registry())
+        .expect("query builds");
+    session
+        .ingest_csv(csv, &registry())
+        .expect_err("stream is malformed")
+        .to_string()
+}
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str, events: &[u8]) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("cogra-err-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("schema.csv"), SCHEMA).unwrap();
+        std::fs::write(dir.join("query.cep"), QUERY).unwrap();
+        std::fs::write(dir.join("stream.csv"), events).unwrap();
+        Fixture { dir }
+    }
+
+    /// Run the CLI over the fixture; return (success, stderr).
+    fn run_cli(&self) -> (bool, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_cogra-run"))
+            .arg("--schema")
+            .arg(self.dir.join("schema.csv"))
+            .arg("--events")
+            .arg(self.dir.join("stream.csv"))
+            .arg("--query")
+            .arg(self.dir.join("query.cep"))
+            .output()
+            .expect("binary runs");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Send `csv` through a fresh server's INGEST; return the ERR payload.
+fn server_ingest_error(csv: &str) -> String {
+    let server = Server::spawn(
+        Session::builder().query(QUERY),
+        registry(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let err = client
+        .ingest(csv)
+        .expect("io")
+        .expect_err("stream is malformed");
+    server.shutdown();
+    err
+}
+
+#[test]
+fn truncated_row_reports_the_same_error_on_cli_and_server() {
+    let expected = expected_ingest_error(TRUNCATED);
+    assert!(
+        expected.contains("csv line 3") && expected.contains("expected 4 fields, found 2"),
+        "{expected}"
+    );
+
+    let (ok, stderr) = Fixture::new("truncated", TRUNCATED.as_bytes()).run_cli();
+    assert!(!ok);
+    assert!(
+        stderr.contains(&expected),
+        "cli: {stderr}\nwant: {expected}"
+    );
+
+    let server_err = server_ingest_error(TRUNCATED);
+    assert_eq!(server_err, expected, "server vs shared decode path");
+}
+
+#[test]
+fn out_of_order_without_slack_reports_the_same_error_on_cli_and_server() {
+    let expected = expected_ingest_error(OUT_OF_ORDER);
+    assert!(
+        expected.contains("arrived after watermark") && expected.contains("--slack"),
+        "{expected}"
+    );
+
+    let (ok, stderr) = Fixture::new("ooo", OUT_OF_ORDER.as_bytes()).run_cli();
+    assert!(!ok);
+    assert!(
+        stderr.contains(&expected),
+        "cli: {stderr}\nwant: {expected}"
+    );
+
+    let server_err = server_ingest_error(OUT_OF_ORDER);
+    assert_eq!(server_err, expected, "server vs shared decode path");
+
+    // With slack the same stream is repaired, on both surfaces alike —
+    // the error is about the missing reorderer, not the data.
+    let mut session = Session::builder()
+        .query(QUERY)
+        .slack(4)
+        .build(&registry())
+        .expect("query builds");
+    assert_eq!(session.ingest_csv(OUT_OF_ORDER, &registry()), Ok(2));
+}
+
+#[test]
+fn non_utf8_input_is_rejected_before_the_decode_path() {
+    // EventReader only ever sees &str, so each surface rejects bad bytes
+    // at its transport boundary — both must say so, naming UTF-8.
+    let mut bad = Vec::from("type,time,patient,rate\nMeasurement,1,7,");
+    bad.extend_from_slice(&[0xff, 0xfe, b'\n']);
+
+    let (ok, stderr) = Fixture::new("utf8", &bad).run_cli();
+    assert!(!ok);
+    assert!(stderr.contains("UTF-8"), "cli: {stderr}");
+
+    // Server: a raw INGEST block carrying the same bytes.
+    use std::io::{BufRead, BufReader, Write};
+    let server = Server::spawn(
+        Session::builder().query(QUERY),
+        registry(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("server starts");
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connects");
+    let mut block = Vec::from("INGEST 2\n");
+    block.extend_from_slice(&bad);
+    raw.write_all(&block).expect("write");
+    let mut reply = String::new();
+    BufReader::new(raw.try_clone().expect("clone"))
+        .read_line(&mut reply)
+        .expect("read");
+    assert!(
+        reply.starts_with("ERR") && reply.contains("UTF-8"),
+        "server: {reply}"
+    );
+    server.shutdown();
+}

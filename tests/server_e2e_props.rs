@@ -1,0 +1,427 @@
+//! End-to-end differential battery for the network front-end: a
+//! workload replayed over a loopback socket through `cogra-server` must
+//! be **byte-identical** to the same `Session` run in-process — results,
+//! late-drop counts, and run stats — across workloads
+//! {stock, rideshare, transport} × workers {1, 4} × slack {0, 8},
+//! including mid-stream `DRAIN`s. Plus the protocol's error cases:
+//! reconnect-after-`FINISH`, double `FINISH`, and the loopback-only
+//! bind guard.
+//!
+//! Both sides consume the *same CSV text* (the server through `INGEST`
+//! blocks, the reference through `Session::run_csv`), so any divergence
+//! is the server's fault — framing, chunking, actor ordering, or sink
+//! plumbing — never a decode asymmetry.
+//!
+//! Every test body runs under a watchdog so a hung accept loop or a
+//! deadlocked actor fails fast instead of stalling CI.
+
+use cogra::prelude::*;
+use cogra::workloads::{rideshare, stock, transport};
+use cogra::workloads::{RideshareConfig, StockConfig, TransportConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Per-test timeout: generous for debug builds, far below CI's patience.
+const WATCHDOG_SECS: u64 = 120;
+
+/// Run `f` on its own thread; panic if it does not finish in time. A
+/// hung server (accept loop, actor, subscriber) then fails the test
+/// instead of hanging the whole `cargo test` job.
+fn watchdog<T: Send + 'static>(name: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(WATCHDOG_SECS)) {
+        Ok(value) => {
+            let _ = worker.join();
+            value
+        }
+        Err(_) => panic!("{name}: hung for {WATCHDOG_SECS}s (accept loop / actor deadlock?)"),
+    }
+}
+
+/// One battery workload: registry, query, and a generated stream.
+fn workload(idx: usize, seed: u64, n: usize) -> (TypeRegistry, String, Vec<Event>) {
+    match idx {
+        0 => (
+            stock::registry(),
+            stock::q3_query(50, 25),
+            stock::generate(&StockConfig {
+                events: n,
+                seed,
+                ..StockConfig::default()
+            }),
+        ),
+        1 => (
+            rideshare::registry(),
+            rideshare::q2_query(80, 40),
+            rideshare::generate(&RideshareConfig {
+                events: n,
+                seed,
+                ..RideshareConfig::default()
+            }),
+        ),
+        _ => (
+            transport::registry(),
+            transport::next_query(40, 20),
+            transport::generate(&TransportConfig {
+                events: n,
+                seed,
+                ..TransportConfig::default()
+            }),
+        ),
+    }
+}
+
+/// Disorder the *arrival* order with bounded displacement: each event's
+/// sort key is its time plus a random offset in `[0, extent]`, ties
+/// broken by original position. With `extent` above the session's slack
+/// some events arrive hopelessly late — exercising identical late-drop
+/// accounting on both paths.
+fn jitter(events: Vec<Event>, extent: u64, seed: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keyed: Vec<(u64, usize, Event)> = events
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| (e.time.ticks() + rng.random_range(0..=extent), i, e))
+        .collect();
+    keyed.sort_by_key(|&(key, position, _)| (key, position));
+    keyed.into_iter().map(|(_, _, e)| e).collect()
+}
+
+fn builder_for(query: &str, workers: usize, slack: u64) -> SessionBuilder {
+    let mut builder = Session::builder().query(query).workers(workers);
+    if slack > 0 {
+        builder = builder.slack(slack);
+    }
+    builder
+}
+
+/// Serve `csv` over a loopback socket in `chunk`-row `INGEST` blocks
+/// with a `DRAIN` after every block; return the pushed result lines (as
+/// `q<i> <row>` strings, unsorted), the per-drain reports, and the
+/// `FINISH` report.
+fn serve_csv(
+    query: &str,
+    registry: &TypeRegistry,
+    csv: &str,
+    workers: usize,
+    slack: u64,
+    chunk: usize,
+) -> (Vec<String>, Vec<StatsReport>, StatsReport) {
+    let server = Server::spawn(
+        builder_for(query, workers, slack),
+        registry.clone(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let subscription = Client::connect(addr)
+        .expect("subscriber connects")
+        .subscribe(None)
+        .expect("subscribe io")
+        .expect("subscribe accepted");
+    let collector = std::thread::spawn(move || {
+        subscription
+            .map(|item| {
+                let (q, row) = item.expect("well-formed result line");
+                format!("q{q} {row}")
+            })
+            .collect::<Vec<String>>()
+    });
+
+    let mut feed = Client::connect(addr).expect("feed connects");
+    let mut lines = csv.lines();
+    let header = lines.next().expect("csv has a header");
+    let rows: Vec<&str> = lines.collect();
+    let mut drains = Vec::new();
+    for block in rows.chunks(chunk.max(1)) {
+        let mut doc = String::with_capacity(header.len() + block.len() * 24);
+        doc.push_str(header);
+        doc.push('\n');
+        for row in block {
+            doc.push_str(row);
+            doc.push('\n');
+        }
+        feed.ingest(&doc).expect("ingest io").expect("ingest ok");
+        drains.push(feed.drain().expect("drain io").expect("drain ok"));
+    }
+    let finish = feed.finish().expect("finish io").expect("finish ok");
+    let pushed = collector.join().expect("subscriber joins");
+    server.shutdown();
+    (pushed, drains, finish)
+}
+
+/// The differential core: socket-served vs in-process, byte for byte.
+/// Returns `(mid_stream_results, late_drops)` — the number of results
+/// already emitted by the last mid-stream drain and the late-drop count
+/// — for the battery-wide liveness checks ("results flow before FINISH";
+/// "the slack axis actually drops events, 0 == 0 proves nothing").
+fn diff_case(
+    wl: usize,
+    seed: u64,
+    n: usize,
+    workers: usize,
+    slack: u64,
+    chunk: usize,
+) -> (u64, u64) {
+    let (registry, query, events) = workload(wl, seed, n);
+    let events = if slack > 0 {
+        // Displacement beyond the slack: some drops on both paths.
+        jitter(events, slack + 4, seed ^ 0x9e37)
+    } else {
+        events
+    };
+    let csv = write_events(&events, &registry);
+
+    // In-process reference: the same CSV text through Session::run_csv.
+    let reference = builder_for(&query, workers, slack)
+        .build(&registry)
+        .expect("reference session builds")
+        .run_csv(&csv, &registry)
+        .expect("reference ingests");
+    let mut expected: Vec<String> = reference
+        .per_query
+        .iter()
+        .enumerate()
+        .flat_map(|(q, results)| results.iter().map(move |r| format!("q{q} {r}")))
+        .collect();
+    expected.sort();
+
+    let (mut pushed, drains, finish) = serve_csv(&query, &registry, &csv, workers, slack, chunk);
+    pushed.sort();
+
+    let label = format!("workload {wl} workers {workers} slack {slack} chunk {chunk}");
+    assert_eq!(pushed, expected, "results differ ({label})");
+    assert_eq!(finish.events, reference.events, "event counts ({label})");
+    assert_eq!(finish.late, reference.late_events, "late drops ({label})");
+    assert_eq!(finish.workers, reference.workers, "workers ({label})");
+    assert_eq!(
+        (finish.key_probes, finish.key_allocs),
+        (reference.stats.key_probes, reference.stats.key_allocs),
+        "run stats ({label})"
+    );
+    assert_eq!(
+        finish.results,
+        expected.len() as u64,
+        "result count ({label})"
+    );
+    assert!(finish.finished, "finish reply says finished ({label})");
+
+    // Mid-stream DRAIN prefix-consistency: the emitted count only grows,
+    // never exceeds the final total, and everything pushed before FINISH
+    // is part of the final (reference-identical) set — the subscriber
+    // stream is append-only, so the multiset equality above seals it.
+    let mut last = 0u64;
+    for report in &drains {
+        assert!(
+            report.results >= last,
+            "drain counter regressed ({label}): {} < {last}",
+            report.results
+        );
+        last = report.results;
+    }
+    assert!(last <= finish.results, "drains exceed finish ({label})");
+    (last, finish.late)
+}
+
+#[test]
+fn grid_socket_equals_in_process() {
+    // The full acceptance grid: ≥3 workloads × workers {1,4} × slack
+    // {0,8}, chunked ingest with a DRAIN between chunks.
+    let mut mid_stream_results = 0u64;
+    let mut late_drops = 0u64;
+    for wl in 0..3 {
+        for workers in [1usize, 4] {
+            for slack in [0u64, 8] {
+                let label = format!("grid wl={wl} workers={workers} slack={slack}");
+                let (mid, late) = watchdog(&label.clone(), move || {
+                    diff_case(wl, 7, 400, workers, slack, 90)
+                });
+                mid_stream_results += mid;
+                late_drops += late;
+            }
+        }
+    }
+    // Liveness: across the grid, windows closed (and were pushed) while
+    // streams were still flowing — the server is not buffer-and-reply.
+    assert!(
+        mid_stream_results > 0,
+        "no grid case emitted results before FINISH"
+    );
+    // The slack axis must have exercised real drops: both paths counting
+    // zero late events would make the late-drop parity assertion vacuous.
+    assert!(late_drops > 0, "the jittered grid cases dropped no events");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_workloads_socket_equals_in_process(
+        wl in 0usize..3,
+        workers_idx in 0usize..2,
+        slack_idx in 0usize..2,
+        seed in 0u64..10_000,
+        n in 120usize..420,
+        chunk in 17usize..160,
+    ) {
+        let workers = [1usize, 4][workers_idx];
+        let slack = [0u64, 8][slack_idx];
+        let label = format!("prop wl={wl} workers={workers} slack={slack} seed={seed}");
+        watchdog(&label.clone(), move || {
+            diff_case(wl, seed, n, workers, slack, chunk);
+        });
+    }
+}
+
+#[test]
+fn reconnect_after_finish_is_an_error() {
+    watchdog("reconnect-after-finish", || {
+        let (registry, query, events) = workload(0, 3, 60);
+        let csv = write_events(&events, &registry);
+        let server = Server::spawn(
+            builder_for(&query, 1, 0),
+            registry,
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("server starts");
+        let addr = server.local_addr();
+
+        let mut feed = Client::connect(addr).expect("connects");
+        feed.ingest(&csv).expect("io").expect("ingest ok");
+        feed.finish().expect("io").expect("finish ok");
+
+        // Same connection: the session is gone for every mutating verb.
+        let err = feed.finish().expect("io").unwrap_err();
+        assert!(err.contains("session finished"), "{err}");
+        let err = feed.ingest(&csv).expect("io").unwrap_err();
+        assert!(err.contains("session finished"), "{err}");
+
+        // Reconnect: same answer — the server outlives the session and
+        // keeps refusing, it does not hang or accept new events.
+        let mut late_client = Client::connect(addr).expect("reconnects");
+        let err = late_client.ingest(&csv).expect("io").unwrap_err();
+        assert!(err.contains("session finished"), "{err}");
+        let stats = late_client.stats().expect("io").expect("stats still ok");
+        assert!(stats.finished);
+        assert_eq!(stats.events, 60);
+
+        // A late subscription is answered with an immediate EOS — the
+        // results were push-only, nothing is replayed.
+        let drained: Vec<_> = Client::connect(addr)
+            .expect("reconnects")
+            .subscribe(None)
+            .expect("io")
+            .expect("subscribe accepted")
+            .collect();
+        assert!(drained.is_empty(), "{drained:?}");
+
+        server.shutdown();
+    });
+}
+
+#[test]
+fn protocol_error_replies() {
+    watchdog("protocol-errors", || {
+        let (registry, query, _) = workload(2, 1, 10);
+        let server = Server::spawn(
+            builder_for(&query, 1, 0),
+            registry,
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("server starts");
+        let addr = server.local_addr();
+
+        // Subscribing to a query the session does not have.
+        let err = Client::connect(addr)
+            .expect("connects")
+            .subscribe(Some(5))
+            .expect("io")
+            .unwrap_err();
+        assert!(err.contains("unknown query q5"), "{err}");
+
+        // Raw socket: unknown verbs and malformed INGEST counts answer
+        // ERR without killing the connection.
+        use std::io::{BufRead, BufReader, Write};
+        let mut raw = std::net::TcpStream::connect(addr).expect("connects");
+        let mut replies = BufReader::new(raw.try_clone().expect("clone"));
+        let mut line = String::new();
+        raw.write_all(b"NONSENSE\n").expect("write");
+        replies.read_line(&mut line).expect("read");
+        assert!(line.starts_with("ERR unknown command"), "{line}");
+        line.clear();
+        raw.write_all(b"INGEST many\n").expect("write");
+        replies.read_line(&mut line).expect("read");
+        assert!(line.starts_with("ERR INGEST needs a line count"), "{line}");
+        line.clear();
+        raw.write_all(b"QUIT\n").expect("write");
+        replies.read_line(&mut line).expect("read");
+        assert!(line.starts_with("OK bye"), "{line}");
+
+        // A newline-free flood is answered with ERR at the line-length
+        // cap and the connection is closed — not buffered unbounded.
+        let mut flood = std::net::TcpStream::connect(addr).expect("connects");
+        let mut flood_replies = BufReader::new(flood.try_clone().expect("clone"));
+        // Exactly the cap, no newline: the server consumes every byte
+        // (so this write cannot be cut short by its close), hits the
+        // limit, and answers ERR.
+        flood.write_all(&vec![b'x'; 1024 * 1024]).expect("write");
+        line.clear();
+        flood_replies.read_line(&mut line).expect("read");
+        assert!(
+            line.starts_with("ERR") && line.contains("line-length limit"),
+            "{line}"
+        );
+        line.clear();
+        // The server closes with part of the flood unread, so the tail
+        // is either a clean EOF or a reset — both mean "closed".
+        match flood_replies.read_line(&mut line) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("connection still open after the cap: read {n} bytes `{line}`"),
+        }
+
+        server.shutdown();
+    });
+}
+
+#[test]
+fn server_refuses_nonlocal_bind() {
+    watchdog("loopback-guard", || {
+        let (registry, query, _) = workload(0, 1, 10);
+        let err = match Server::spawn(
+            builder_for(&query, 1, 0),
+            registry.clone(),
+            "0.0.0.0:0",
+            ServerConfig::default(),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("non-loopback bind must be refused by default"),
+        };
+        assert!(
+            matches!(err, ServeError::NotLoopback(_)),
+            "unexpected error {err}"
+        );
+
+        // The guard is an explicit opt-out, not a hard limit.
+        let server = Server::spawn(
+            builder_for(&query, 1, 0),
+            registry,
+            "0.0.0.0:0",
+            ServerConfig {
+                allow_nonlocal: true,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("explicit opt-in binds");
+        server.shutdown();
+    });
+}

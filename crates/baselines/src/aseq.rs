@@ -23,7 +23,7 @@
 use cogra_engine::runtime::EngineConfig;
 use cogra_engine::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
 use cogra_events::{Event, Timestamp, TypeRegistry};
-use cogra_query::{compile, Query, QueryError, QueryResult, Semantics, StateId};
+use cogra_query::{compile, CompiledQuery, Query, QueryError, QueryResult, Semantics, StateId};
 use std::sync::Arc;
 
 /// Per-disjunct prefix counters.
@@ -133,6 +133,72 @@ impl WindowAlgo for ASeqWindow {
                 })
                 .sum::<usize>()
     }
+
+    fn save(&self, _rt: &QueryRuntime, enc: &mut cogra_checkpoint::Enc) {
+        enc.usize(self.disjuncts.len());
+        for pc in &self.disjuncts {
+            enc.usize(pc.counts.len());
+            for row in &pc.counts {
+                Cell::save_slice(row, enc);
+            }
+            enc.usize(pc.pending.len());
+            for (k, s, c) in &pc.pending {
+                enc.usize(*k);
+                enc.u32(s.0);
+                c.save(enc);
+            }
+            enc.u64(pc.pending_time.ticks());
+        }
+    }
+
+    fn load(
+        rt: &QueryRuntime,
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<ASeqWindow, cogra_checkpoint::CheckpointError> {
+        use cogra_checkpoint::CheckpointError;
+        let n = dec.usize()?;
+        if n != rt.disjuncts.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "A-Seq window has {n} disjuncts, query has {}",
+                rt.disjuncts.len()
+            )));
+        }
+        let mut disjuncts = Vec::with_capacity(n);
+        for drt in &rt.disjuncts {
+            let n_states = drt.disjunct.automaton.num_states();
+            let n_rows = dec.usize()?;
+            let mut counts = Vec::with_capacity(n_rows.min(1024));
+            for _ in 0..n_rows {
+                let row = Cell::load_vec(dec)?;
+                if row.len() != n_states {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "A-Seq counter row has {} cells for a {n_states}-state automaton",
+                        row.len()
+                    )));
+                }
+                counts.push(row);
+            }
+            let n_pending = dec.usize()?;
+            let mut pending = Vec::with_capacity(n_pending.min(1024));
+            for _ in 0..n_pending {
+                let k = dec.usize()?;
+                if k >= counts.len() {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "A-Seq pending update targets missing counter row {k}"
+                    )));
+                }
+                let s = StateId(dec.u32()?);
+                pending.push((k, s, Cell::load(dec)?));
+            }
+            let pending_time = Timestamp(dec.u64()?);
+            disjuncts.push(PrefixCounters {
+                counts,
+                pending,
+                pending_time,
+            });
+        }
+        Ok(ASeqWindow { disjuncts })
+    }
 }
 
 impl PrefixCounters {
@@ -153,14 +219,14 @@ impl PrefixCounters {
 /// The A-Seq engine.
 pub type ASeqEngine = Router<ASeqWindow>;
 
-/// Build an A-Seq engine. Fails for query features outside Table 9's
-/// A-Seq row (non-ANY semantics, adjacent predicates, negation).
-pub fn aseq_engine(
-    query: &Query,
+/// Runtime for an already-compiled plan. Fails for query features outside
+/// Table 9's A-Seq row (non-ANY semantics, adjacent predicates, negation).
+/// Shared by [`aseq_engine_from_plan`] and checkpoint restore.
+pub fn aseq_runtime(
+    compiled: &CompiledQuery,
     registry: &TypeRegistry,
     config: EngineConfig,
-) -> QueryResult<ASeqEngine> {
-    let compiled = compile(query, registry)?;
+) -> QueryResult<Arc<QueryRuntime>> {
     if compiled.semantics != Semantics::Any {
         return Err(QueryError::compile(
             "A-Seq supports only skip-till-any-match (Table 9)",
@@ -180,6 +246,29 @@ pub fn aseq_engine(
             "A-Seq does not support negated sub-patterns",
         ));
     }
-    let rt = QueryRuntime::new(compiled, registry).with_config(config);
-    Ok(Router::new(Arc::new(rt), "aseq"))
+    Ok(Arc::new(
+        QueryRuntime::new(compiled.clone(), registry).with_config(config),
+    ))
+}
+
+/// Build an A-Seq engine from an already-compiled plan.
+pub fn aseq_engine_from_plan(
+    compiled: &CompiledQuery,
+    registry: &TypeRegistry,
+    config: EngineConfig,
+) -> QueryResult<ASeqEngine> {
+    Ok(Router::new(
+        aseq_runtime(compiled, registry, config)?,
+        "aseq",
+    ))
+}
+
+/// Build an A-Seq engine. Fails for query features outside Table 9's
+/// A-Seq row (non-ANY semantics, adjacent predicates, negation).
+pub fn aseq_engine(
+    query: &Query,
+    registry: &TypeRegistry,
+    config: EngineConfig,
+) -> QueryResult<ASeqEngine> {
+    aseq_engine_from_plan(&compile(query, registry)?, registry, config)
 }

@@ -21,7 +21,7 @@ use crate::oracle::{trend_cell, visit_any_capped, visit_cont_positional};
 use cogra_engine::runtime::EngineConfig;
 use cogra_engine::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
 use cogra_events::{Event, TypeRegistry};
-use cogra_query::{compile, Query, QueryError, QueryResult, Semantics, StateId};
+use cogra_query::{compile, CompiledQuery, Query, QueryError, QueryResult, Semantics, StateId};
 use std::sync::Arc;
 
 /// Per-window Flink state.
@@ -84,10 +84,56 @@ impl WindowAlgo for FlinkWindow {
                 .map(|t| t.len() * std::mem::size_of::<(u32, StateId)>() + 24)
                 .sum::<usize>()
     }
+
+    fn save(&self, _rt: &QueryRuntime, enc: &mut cogra_checkpoint::Enc) {
+        // `constructed` only exists transiently inside `final_cell` (it is
+        // kept for the spike measurement) — the buffered events are the
+        // whole pre-finalization state.
+        Event::save_slice(&self.events, enc);
+    }
+
+    fn load(
+        _rt: &QueryRuntime,
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<FlinkWindow, cogra_checkpoint::CheckpointError> {
+        Ok(FlinkWindow {
+            events: Event::load_vec(dec)?,
+            constructed: Vec::new(),
+        })
+    }
 }
 
 /// The Flink engine.
 pub type FlinkEngine = Router<FlinkWindow>;
+
+/// Runtime for an already-compiled plan. Fails for skip-till-next-match
+/// (Table 9). Shared by [`flink_engine_from_plan`] and checkpoint restore.
+pub fn flink_runtime(
+    compiled: &CompiledQuery,
+    registry: &TypeRegistry,
+    config: EngineConfig,
+) -> QueryResult<Arc<QueryRuntime>> {
+    if compiled.semantics == Semantics::Next {
+        return Err(QueryError::compile(
+            "Flink does not support skip-till-next-match (Table 9)",
+        ));
+    }
+    Ok(Arc::new(
+        QueryRuntime::new(compiled.clone(), registry).with_config(config),
+    ))
+}
+
+/// Build a Flink engine from an already-compiled plan.
+pub fn flink_engine_from_plan(
+    compiled: &CompiledQuery,
+    registry: &TypeRegistry,
+    config: EngineConfig,
+) -> QueryResult<FlinkEngine> {
+    Ok(Router::new(
+        flink_runtime(compiled, registry, config)?,
+        "flink",
+    ))
+}
 
 /// Build a Flink engine. Fails for skip-till-next-match (Table 9).
 pub fn flink_engine(
@@ -95,12 +141,5 @@ pub fn flink_engine(
     registry: &TypeRegistry,
     config: EngineConfig,
 ) -> QueryResult<FlinkEngine> {
-    let compiled = compile(query, registry)?;
-    if compiled.semantics == Semantics::Next {
-        return Err(QueryError::compile(
-            "Flink does not support skip-till-next-match (Table 9)",
-        ));
-    }
-    let rt = QueryRuntime::new(compiled, registry).with_config(config);
-    Ok(Router::new(Arc::new(rt), "flink"))
+    flink_engine_from_plan(&compile(query, registry)?, registry, config)
 }

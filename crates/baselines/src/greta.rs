@@ -14,7 +14,7 @@
 use cogra_engine::runtime::DisjunctRuntime;
 use cogra_engine::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
 use cogra_events::{Event, TypeRegistry};
-use cogra_query::{compile, Query, QueryResult, Semantics, StateId};
+use cogra_query::{compile, CompiledQuery, Query, QueryResult, Semantics, StateId};
 use std::sync::Arc;
 
 /// A graph node: a matched event with its per-binding aggregate.
@@ -105,6 +105,69 @@ impl WindowAlgo for GretaWindow {
                 })
                 .sum::<usize>()
     }
+
+    fn save(&self, _rt: &QueryRuntime, enc: &mut cogra_checkpoint::Enc) {
+        enc.usize(self.graphs.len());
+        for g in &self.graphs {
+            enc.usize(g.nodes.len());
+            for n in &g.nodes {
+                n.event.save(enc);
+                enc.u32(n.state.0);
+                n.cell.save(enc);
+            }
+            g.final_acc.save(enc);
+            enc.usize(g.neg_clocks.len());
+            for c in &g.neg_clocks {
+                c.save(enc);
+            }
+        }
+    }
+
+    fn load(
+        rt: &QueryRuntime,
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<GretaWindow, cogra_checkpoint::CheckpointError> {
+        use cogra_checkpoint::CheckpointError;
+        let n = dec.usize()?;
+        if n != rt.disjuncts.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "GRETA window has {n} disjuncts, query has {}",
+                rt.disjuncts.len()
+            )));
+        }
+        let mut graphs = Vec::with_capacity(n);
+        for drt in &rt.disjuncts {
+            let n_nodes = dec.usize()?;
+            let mut nodes = Vec::with_capacity(n_nodes.min(1024));
+            for _ in 0..n_nodes {
+                let event = Event::load(dec)?;
+                let state = StateId(dec.u32()?);
+                nodes.push(Node {
+                    event,
+                    state,
+                    cell: Cell::load(dec)?,
+                });
+            }
+            let final_acc = Cell::load(dec)?;
+            let n_clocks = dec.usize()?;
+            if n_clocks != drt.disjunct.automaton.num_negated() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "GRETA window has {n_clocks} negation clocks for {} negated variables",
+                    drt.disjunct.automaton.num_negated()
+                )));
+            }
+            let mut neg_clocks = Vec::with_capacity(n_clocks);
+            for _ in 0..n_clocks {
+                neg_clocks.push(cogra_engine::runtime::NegClock::load(dec)?);
+            }
+            graphs.push(Graph {
+                nodes,
+                final_acc,
+                neg_clocks,
+            });
+        }
+        Ok(GretaWindow { graphs })
+    }
 }
 
 /// GRETA's per-event aggregate: scan all stored predecessor events
@@ -143,15 +206,31 @@ fn compute_cell(graph: &Graph, drt: &DisjunctRuntime, event: &Event, s: StateId)
 /// The GRETA engine.
 pub type GretaEngine = Router<GretaWindow>;
 
-/// Build a GRETA engine; fails if the query needs more than
-/// skip-till-any-match (Table 9).
-pub fn greta_engine(query: &Query, registry: &TypeRegistry) -> QueryResult<GretaEngine> {
-    let compiled = compile(query, registry)?;
+/// Runtime for an already-compiled plan; fails if the query needs more
+/// than skip-till-any-match (Table 9). Shared by
+/// [`greta_engine_from_plan`] and checkpoint restore.
+pub fn greta_runtime(
+    compiled: &CompiledQuery,
+    registry: &TypeRegistry,
+) -> QueryResult<Arc<QueryRuntime>> {
     if compiled.semantics != Semantics::Any {
         return Err(cogra_query::QueryError::compile(
             "GRETA supports only skip-till-any-match (Table 9)",
         ));
     }
-    let rt = QueryRuntime::new(compiled, registry);
-    Ok(Router::new(Arc::new(rt), "greta"))
+    Ok(Arc::new(QueryRuntime::new(compiled.clone(), registry)))
+}
+
+/// Build a GRETA engine from an already-compiled plan.
+pub fn greta_engine_from_plan(
+    compiled: &CompiledQuery,
+    registry: &TypeRegistry,
+) -> QueryResult<GretaEngine> {
+    Ok(Router::new(greta_runtime(compiled, registry)?, "greta"))
+}
+
+/// Build a GRETA engine; fails if the query needs more than
+/// skip-till-any-match (Table 9).
+pub fn greta_engine(query: &Query, registry: &TypeRegistry) -> QueryResult<GretaEngine> {
+    greta_engine_from_plan(&compile(query, registry)?, registry)
 }

@@ -24,9 +24,11 @@ pub mod greta;
 pub mod oracle;
 pub mod sase;
 
-pub use aseq::{aseq_engine, ASeqEngine, ASeqWindow};
+pub use aseq::{aseq_engine, aseq_engine_from_plan, aseq_runtime, ASeqEngine, ASeqWindow};
 pub use capabilities::{Capabilities, Unsupported};
-pub use flink::{flink_engine, FlinkEngine, FlinkWindow};
-pub use greta::{greta_engine, GretaEngine, GretaWindow};
-pub use oracle::{oracle_engine, OracleEngine, OracleWindow};
-pub use sase::{sase_engine, SaseEngine, SaseWindow};
+pub use flink::{flink_engine, flink_engine_from_plan, flink_runtime, FlinkEngine, FlinkWindow};
+pub use greta::{greta_engine, greta_engine_from_plan, greta_runtime, GretaEngine, GretaWindow};
+pub use oracle::{
+    oracle_engine, oracle_engine_from_plan, oracle_runtime, OracleEngine, OracleWindow,
+};
+pub use sase::{sase_engine, sase_engine_from_plan, sase_runtime, SaseEngine, SaseWindow};

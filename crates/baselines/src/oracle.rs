@@ -7,7 +7,7 @@
 use cogra_engine::runtime::DisjunctRuntime;
 use cogra_engine::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
 use cogra_events::{Event, Timestamp, TypeRegistry};
-use cogra_query::{compile, Query, QueryResult, Semantics, StateId};
+use cogra_query::{compile, CompiledQuery, Query, QueryResult, Semantics, StateId};
 use std::sync::Arc;
 
 /// A finished trend: `(index into the window's event list, bound state)`
@@ -322,14 +322,42 @@ impl WindowAlgo for OracleWindow {
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.events.iter().map(Event::memory_bytes).sum::<usize>()
     }
+
+    fn save(&self, _rt: &QueryRuntime, enc: &mut cogra_checkpoint::Enc) {
+        Event::save_slice(&self.events, enc);
+    }
+
+    fn load(
+        _rt: &QueryRuntime,
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<OracleWindow, cogra_checkpoint::CheckpointError> {
+        Ok(OracleWindow {
+            events: Event::load_vec(dec)?,
+        })
+    }
 }
 
 /// The oracle engine.
 pub type OracleEngine = Router<OracleWindow>;
 
+/// Runtime for an already-compiled plan (the oracle supports everything).
+/// Shared by [`oracle_engine_from_plan`] and checkpoint restore.
+pub fn oracle_runtime(
+    compiled: &CompiledQuery,
+    registry: &TypeRegistry,
+) -> QueryResult<Arc<QueryRuntime>> {
+    Ok(Arc::new(QueryRuntime::new(compiled.clone(), registry)))
+}
+
+/// Build an oracle engine from an already-compiled plan.
+pub fn oracle_engine_from_plan(
+    compiled: &CompiledQuery,
+    registry: &TypeRegistry,
+) -> QueryResult<OracleEngine> {
+    Ok(Router::new(oracle_runtime(compiled, registry)?, "oracle"))
+}
+
 /// Build an oracle engine for a parsed query.
 pub fn oracle_engine(query: &Query, registry: &TypeRegistry) -> QueryResult<OracleEngine> {
-    let compiled = compile(query, registry)?;
-    let rt = QueryRuntime::new(compiled, registry);
-    Ok(Router::new(Arc::new(rt), "oracle"))
+    oracle_engine_from_plan(&compile(query, registry)?, registry)
 }

@@ -20,7 +20,7 @@
 use cogra_engine::runtime::{DisjunctRuntime, NegClock};
 use cogra_engine::{Cell, EventBinds, QueryRuntime, Router, WindowAlgo};
 use cogra_events::{Event, TypeRegistry};
-use cogra_query::{compile, Query, QueryResult, Semantics, StateId};
+use cogra_query::{compile, CompiledQuery, Query, QueryResult, Semantics, StateId};
 use std::sync::Arc;
 
 /// One stored matched event with predecessor pointers.
@@ -112,6 +112,99 @@ impl WindowAlgo for SaseWindow {
                         + s.el.len() * std::mem::size_of::<u32>()
                 })
                 .sum::<usize>()
+    }
+
+    fn save(&self, _rt: &QueryRuntime, enc: &mut cogra_checkpoint::Enc) {
+        enc.usize(self.disjuncts.len());
+        for stacks in &self.disjuncts {
+            enc.usize(stacks.entries.len());
+            for e in &stacks.entries {
+                e.event.save(enc);
+                enc.u32(e.state.0);
+                enc.usize(e.preds.len());
+                for &p in &e.preds {
+                    enc.u32(p);
+                }
+                enc.bool(e.starts);
+            }
+            enc.usize(stacks.el.len());
+            for &i in &stacks.el {
+                enc.u32(i);
+            }
+            enc.usize(stacks.neg_clocks.len());
+            for c in &stacks.neg_clocks {
+                c.save(enc);
+            }
+        }
+    }
+
+    fn load(
+        rt: &QueryRuntime,
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<SaseWindow, cogra_checkpoint::CheckpointError> {
+        use cogra_checkpoint::CheckpointError;
+        let n = dec.usize()?;
+        if n != rt.disjuncts.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "SASE window has {n} disjuncts, query has {}",
+                rt.disjuncts.len()
+            )));
+        }
+        let mut disjuncts = Vec::with_capacity(n);
+        for drt in &rt.disjuncts {
+            let n_entries = dec.usize()?;
+            let mut entries = Vec::with_capacity(n_entries.min(1024));
+            for idx in 0..n_entries {
+                let event = Event::load(dec)?;
+                let state = StateId(dec.u32()?);
+                let n_preds = dec.usize()?;
+                let mut preds = Vec::with_capacity(n_preds.min(1024));
+                for _ in 0..n_preds {
+                    let p = dec.u32()?;
+                    if p as usize >= idx {
+                        return Err(CheckpointError::Corrupt(format!(
+                            "SASE entry {idx} points at non-earlier entry {p}"
+                        )));
+                    }
+                    preds.push(p);
+                }
+                let starts = dec.bool()?;
+                entries.push(Entry {
+                    event,
+                    state,
+                    preds,
+                    starts,
+                });
+            }
+            let n_el = dec.usize()?;
+            let mut el = Vec::with_capacity(n_el.min(1024));
+            for _ in 0..n_el {
+                let i = dec.u32()?;
+                if i as usize >= entries.len() {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "SASE chain points at missing entry {i}"
+                    )));
+                }
+                el.push(i);
+            }
+            let n_clocks = dec.usize()?;
+            if n_clocks != drt.disjunct.automaton.num_negated() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "SASE window has {n_clocks} negation clocks for {} negated variables",
+                    drt.disjunct.automaton.num_negated()
+                )));
+            }
+            let mut neg_clocks = Vec::with_capacity(n_clocks);
+            for _ in 0..n_clocks {
+                neg_clocks.push(NegClock::load(dec)?);
+            }
+            disjuncts.push(Stacks {
+                entries,
+                el,
+                neg_clocks,
+            });
+        }
+        Ok(SaseWindow { disjuncts })
     }
 }
 
@@ -230,9 +323,25 @@ impl Stacks {
 /// The SASE engine.
 pub type SaseEngine = Router<SaseWindow>;
 
+/// Runtime for an already-compiled plan (SASE supports every semantics,
+/// Table 9 — nothing to reject). Shared by [`sase_engine_from_plan`] and
+/// checkpoint restore.
+pub fn sase_runtime(
+    compiled: &CompiledQuery,
+    registry: &TypeRegistry,
+) -> QueryResult<Arc<QueryRuntime>> {
+    Ok(Arc::new(QueryRuntime::new(compiled.clone(), registry)))
+}
+
+/// Build a SASE engine from an already-compiled plan.
+pub fn sase_engine_from_plan(
+    compiled: &CompiledQuery,
+    registry: &TypeRegistry,
+) -> QueryResult<SaseEngine> {
+    Ok(Router::new(sase_runtime(compiled, registry)?, "sase"))
+}
+
 /// Build a SASE engine (supports every semantics, Table 9).
 pub fn sase_engine(query: &Query, registry: &TypeRegistry) -> QueryResult<SaseEngine> {
-    let compiled = compile(query, registry)?;
-    let rt = QueryRuntime::new(compiled, registry);
-    Ok(Router::new(Arc::new(rt), "sase"))
+    sase_engine_from_plan(&compile(query, registry)?, registry)
 }

@@ -34,6 +34,15 @@
 //! `cogra-server` TCP front-end on a loopback socket (`path: "remote"`
 //! rows, with a live subscriber consuming every pushed result) — the
 //! delta against the in-process `csv` row is the protocol's overhead.
+//!
+//! `--checkpoint` additionally measures the durability subsystem: after
+//! ingesting each in-memory workload the session is checkpointed to a
+//! buffer (`path: "checkpoint"` — `peak_bytes` is the snapshot size,
+//! `elapsed_ms` the serialization time) and restored from it
+//! (`path: "restore"` — `peak_bytes` is the restored session's logical
+//! footprint, i.e. post-compaction). The stderr report normalizes both
+//! to MB and ms per 1M events so trajectory points at different
+//! `--events` stay comparable.
 
 use cogra_core::session::Session;
 use cogra_events::{write_events, Event, TypeRegistry};
@@ -47,6 +56,7 @@ struct Args {
     out: String,
     speedup_floor: Option<f64>,
     remote: bool,
+    checkpoint: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_PR4.json".to_string(),
         speedup_floor: None,
         remote: false,
+        checkpoint: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -81,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--remote" => args.remote = true,
+            "--checkpoint" => args.checkpoint = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -241,6 +253,68 @@ fn measure_remote(
     best.expect("iters >= 1")
 }
 
+/// Durability cost of one loaded workload: checkpoint the session after
+/// ingesting the whole stream (one drain first, so the snapshot is live
+/// state, not undrained results), then restore from the buffer. Returns
+/// a `"checkpoint"` row (`peak_bytes` = snapshot size, `elapsed_ms` =
+/// serialization time) and a `"restore"` row (`peak_bytes` = the
+/// restored session's logical footprint — post-compaction, so it can
+/// undercut the live session's). Both are best-of-`iters`.
+fn measure_checkpoint(
+    workload: &'static str,
+    query: &str,
+    registry: &TypeRegistry,
+    events: &[Event],
+    workers: usize,
+    iters: usize,
+) -> (Row, Row) {
+    let mut best: Option<(Row, Row)> = None;
+    for _ in 0..iters {
+        let mut s = session(query, registry, workers);
+        for e in events {
+            s.process(e);
+        }
+        let drained = s.drain().len();
+        let stats = s.run_stats();
+
+        let start = Instant::now();
+        let mut snapshot = Vec::new();
+        s.checkpoint(&mut snapshot).expect("harness checkpoints");
+        let ckpt_elapsed = start.elapsed();
+
+        let start = Instant::now();
+        let restored = Session::builder()
+            .workers(workers)
+            .restore(registry, snapshot.as_slice())
+            .expect("harness restores");
+        let restore_elapsed = start.elapsed();
+
+        let row = |path: &'static str, elapsed: std::time::Duration, bytes: usize| Row {
+            workload,
+            path,
+            workers,
+            events: events.len(),
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            events_per_sec: events.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+            peak_bytes: bytes,
+            results: drained,
+            key_probes: stats.key_probes,
+            key_allocs: stats.key_allocs,
+        };
+        let pair = (
+            row("checkpoint", ckpt_elapsed, snapshot.len()),
+            row("restore", restore_elapsed, restored.memory_bytes()),
+        );
+        if best
+            .as_ref()
+            .is_none_or(|(b, _)| pair.0.elapsed_ms < b.elapsed_ms)
+        {
+            best = Some(pair);
+        }
+    }
+    best.expect("iters >= 1")
+}
+
 fn json(rows: &[Row], events: usize, iters: usize, cpus: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"throughput\",\n");
@@ -352,7 +426,38 @@ fn main() {
         }
     }
 
+    if args.checkpoint {
+        // Durability rows: checkpoint + restore cost of each loaded
+        // in-memory workload, streaming (1) and sharded (4).
+        for workers in [1usize, 4] {
+            for (workload, query, registry, events) in [
+                ("stock", &stock_q, &stock_reg, &stock_events),
+                ("rideshare", &ride_q, &ride_reg, &ride_events),
+            ] {
+                let (ckpt, restore) =
+                    measure_checkpoint(workload, query, registry, events, workers, args.iters);
+                rows.push(ckpt);
+                rows.push(restore);
+            }
+        }
+    }
+
     for r in &rows {
+        if r.path == "checkpoint" {
+            // Normalized durability cost: comparable across --events.
+            let per_m = 1e6 / r.events as f64;
+            eprintln!(
+                "{:>9} {:>10} workers={} snapshot {:>10} B ({:>7.2} MB/1M ev)  {:>8.2} ms ({:>7.2} ms/1M ev)",
+                r.workload,
+                r.path,
+                r.workers,
+                r.peak_bytes,
+                r.peak_bytes as f64 * per_m / (1024.0 * 1024.0),
+                r.elapsed_ms,
+                r.elapsed_ms * per_m,
+            );
+            continue;
+        }
         eprintln!(
             "{:>9} {:>6} workers={} {:>10.0} ev/s  peak {:>10} B  {} results",
             r.workload, r.path, r.workers, r.events_per_sec, r.peak_bytes, r.results

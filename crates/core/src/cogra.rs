@@ -103,6 +103,62 @@ impl WindowAlgo for CograWindow {
             })
             .sum()
     }
+
+    fn save(&self, _rt: &QueryRuntime, enc: &mut cogra_checkpoint::Enc) {
+        enc.usize(self.disjuncts.len());
+        for gran in &self.disjuncts {
+            // Tag each disjunct with its granularity: the restored runtime
+            // re-selects the same one, but a mismatched snapshot must fail
+            // typed instead of misparsing.
+            match gran {
+                GranWindow::Type(w) => {
+                    enc.u8(0);
+                    w.save(enc);
+                }
+                GranWindow::Mixed(w) => {
+                    enc.u8(1);
+                    w.save(enc);
+                }
+                GranWindow::Pattern(w) => {
+                    enc.u8(2);
+                    w.save(enc);
+                }
+            }
+        }
+    }
+
+    fn load(
+        rt: &QueryRuntime,
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<CograWindow, cogra_checkpoint::CheckpointError> {
+        let n = dec.usize()?;
+        if n != rt.disjuncts.len() {
+            return Err(cogra_checkpoint::CheckpointError::Corrupt(format!(
+                "window has {n} disjuncts, query has {}",
+                rt.disjuncts.len()
+            )));
+        }
+        let mut disjuncts = Vec::with_capacity(n);
+        for d in &rt.disjuncts {
+            let tag = dec.u8()?;
+            let expected = match d.disjunct.granularity {
+                Granularity::Type => 0,
+                Granularity::Mixed => 1,
+                Granularity::Pattern => 2,
+            };
+            if tag != expected {
+                return Err(cogra_checkpoint::CheckpointError::Corrupt(format!(
+                    "disjunct granularity tag {tag} does not match the compiled plan ({expected})"
+                )));
+            }
+            disjuncts.push(match d.disjunct.granularity {
+                Granularity::Type => GranWindow::Type(TypeGrainedWindow::load(d, dec)?),
+                Granularity::Mixed => GranWindow::Mixed(MixedWindow::load(d, dec)?),
+                Granularity::Pattern => GranWindow::Pattern(PatternWindow::load(d, dec)?),
+            });
+        }
+        Ok(CograWindow { disjuncts })
+    }
 }
 
 /// The COGRA engine: coarse-grained online event trend aggregation — the
@@ -142,6 +198,25 @@ impl CograEngine {
     pub fn process_prehashed(&mut self, event: &Event, key_hash: Option<u64>) {
         self.0.process_prehashed(event, key_hash)
     }
+
+    /// Snapshot the engine's mutable state (see
+    /// [`Router::snapshot_state`]).
+    ///
+    /// [`Router::snapshot_state`]: crate::router::Router::snapshot_state
+    pub fn snapshot_state(&self) -> cogra_engine::RouterState {
+        self.0.snapshot_state()
+    }
+
+    /// Rebuild an engine from a saved state against the same compiled
+    /// runtime (see [`Router::from_state`]).
+    ///
+    /// [`Router::from_state`]: crate::router::Router::from_state
+    pub fn from_state(
+        rt: Arc<QueryRuntime>,
+        state: cogra_engine::RouterState,
+    ) -> Result<CograEngine, cogra_checkpoint::CheckpointError> {
+        Ok(CograEngine(Router::from_state(rt, "cogra", state)?))
+    }
 }
 
 impl TrendEngine for CograEngine {
@@ -179,5 +254,12 @@ impl TrendEngine for CograEngine {
 
     fn run_stats(&self) -> cogra_engine::RunStats {
         self.0.run_stats()
+    }
+
+    fn save_state(
+        &self,
+        enc: &mut cogra_checkpoint::Enc,
+    ) -> Result<(), cogra_checkpoint::CheckpointError> {
+        self.0.save_state(enc)
     }
 }

@@ -37,6 +37,7 @@ pub mod type_grained;
 pub use cogra_engine::{agg, engine, output, router, runtime};
 
 pub use cogra::{CograEngine, CograWindow};
+pub use cogra_checkpoint::CheckpointError;
 pub use cogra_engine::{
     run_to_completion, AggLayout, AggValue, Cell, DisjunctRuntime, EngineConfig, EventBinds, Feed,
     GroupKey, KeyInterner, Output, PartitionId, QueryRuntime, Router, RunStats, SlotFunc,

@@ -174,6 +174,102 @@ impl MixedWindow {
         }
     }
 
+    /// Serialize the full window state (inverse of [`MixedWindow::load`]).
+    pub fn save(&self, enc: &mut cogra_checkpoint::Enc) {
+        Cell::save_slice(&self.cells, enc);
+        Cell::save_slice(&self.shadows, enc);
+        enc.usize(self.stored.len());
+        for se in &self.stored {
+            se.event.save(enc);
+            enc.u32(se.state.0);
+            se.cell.save(enc);
+        }
+        self.final_acc.save(enc);
+        enc.usize(self.neg_clocks.len());
+        for c in &self.neg_clocks {
+            c.save(enc);
+        }
+        enc.usize(self.pending.len());
+        for (s, c) in &self.pending {
+            enc.u32(s.0);
+            c.save(enc);
+        }
+        enc.usize(self.pending_negs.len());
+        for n in &self.pending_negs {
+            enc.u32(n.0);
+        }
+        enc.u64(self.pending_time.ticks());
+    }
+
+    /// Rebuild a window from bytes produced by [`MixedWindow::save`]
+    /// against the same disjunct runtime.
+    pub fn load(
+        rt: &DisjunctRuntime,
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<MixedWindow, cogra_checkpoint::CheckpointError> {
+        let cells = Cell::load_vec(dec)?;
+        if cells.len() != rt.disjunct.automaton.num_states() {
+            return Err(cogra_checkpoint::CheckpointError::Corrupt(format!(
+                "mixed window has {} cells for a {}-state automaton",
+                cells.len(),
+                rt.disjunct.automaton.num_states()
+            )));
+        }
+        let shadows = Cell::load_vec(dec)?;
+        if shadows.len() != rt.neg_edges.len() {
+            return Err(cogra_checkpoint::CheckpointError::Corrupt(format!(
+                "mixed window has {} shadows for {} negation edges",
+                shadows.len(),
+                rt.neg_edges.len()
+            )));
+        }
+        let n_stored = dec.usize()?;
+        let mut stored = Vec::with_capacity(n_stored.min(1024));
+        for _ in 0..n_stored {
+            let event = Event::load(dec)?;
+            let state = StateId(dec.u32()?);
+            stored.push(StoredEvent {
+                event,
+                state,
+                cell: Cell::load(dec)?,
+            });
+        }
+        let final_acc = Cell::load(dec)?;
+        let n_clocks = dec.usize()?;
+        if n_clocks != rt.disjunct.automaton.num_negated() {
+            return Err(cogra_checkpoint::CheckpointError::Corrupt(format!(
+                "mixed window has {n_clocks} negation clocks for {} negated variables",
+                rt.disjunct.automaton.num_negated()
+            )));
+        }
+        let mut neg_clocks = Vec::with_capacity(n_clocks);
+        for _ in 0..n_clocks {
+            neg_clocks.push(NegClock::load(dec)?);
+        }
+        let n_pending = dec.usize()?;
+        let mut pending = Vec::with_capacity(n_pending.min(1024));
+        for _ in 0..n_pending {
+            let s = StateId(dec.u32()?);
+            pending.push((s, Cell::load(dec)?));
+        }
+        let n_negs = dec.usize()?;
+        let mut pending_negs = Vec::with_capacity(n_negs.min(1024));
+        for _ in 0..n_negs {
+            pending_negs.push(NegId(dec.u32()?));
+        }
+        let pending_time = Timestamp(dec.u64()?);
+        Ok(MixedWindow {
+            cells,
+            shadows,
+            stored,
+            final_acc,
+            neg_clocks,
+            pending,
+            pending_negs,
+            pending_time,
+        })
+    }
+
     /// Logical footprint: Θ(t + nₑ) — type cells plus stored events.
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()

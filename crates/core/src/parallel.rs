@@ -31,7 +31,8 @@ use crate::cogra::CograEngine;
 use crate::engine::{run_to_completion, TrendEngine};
 use crate::output::WindowResult;
 use crate::runtime::QueryRuntime;
-use cogra_engine::RunStats;
+use cogra_checkpoint::CheckpointError;
+use cogra_engine::{entry_group_hash, RouterState, RunStats};
 use cogra_events::{Event, LateGate, ReorderBuffer, Timestamp};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
@@ -168,8 +169,21 @@ enum Cmd {
     Batch(Vec<Item>),
     /// Advance to the given safe watermark and emit everything now final.
     Drain(Timestamp),
+    /// Serialize every hosted engine and the reorder buffer's in-flight
+    /// items, without advancing or emitting anything — the pool stays
+    /// live after a snapshot.
+    Snapshot,
     /// End of stream: close every open window, report, and exit.
     Finish,
+}
+
+/// One shard's contribution to a pool snapshot.
+struct ShardSnapshot {
+    /// Per query: the hosted engine's state (`None` where not hosted).
+    states: Vec<Option<RouterState>>,
+    /// In-flight items still in the shard's reorder buffer, in release
+    /// order.
+    buffered: Vec<(u32, Event)>,
 }
 
 /// A worker's answer to [`Cmd::Drain`] / [`Cmd::Finish`].
@@ -184,6 +198,8 @@ struct Reply {
     peak: usize,
     /// The worker's routing hot-path counters so far, over all engines.
     stats: RunStats,
+    /// Engine + reorder-buffer state, only in reply to [`Cmd::Snapshot`].
+    snapshot: Option<ShardSnapshot>,
 }
 
 struct Worker {
@@ -267,27 +283,8 @@ impl StreamingPool {
         assert!(!runtimes.is_empty(), "a pool needs at least one query");
         let threads = Self::threads_for(&runtimes, workers);
         let batch_size = config.batch_size.max(1);
-        let workers = (0..threads)
-            .map(|index| {
-                let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel(CHANNEL_CAPACITY);
-                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-                let shard = ShardConfig {
-                    runtimes: runtimes.clone(),
-                    threads,
-                    index,
-                    slack: config.slack,
-                };
-                let thread = std::thread::spawn(move || shard_worker(shard, cmd_rx, reply_tx));
-                Worker {
-                    tx: Some(cmd_tx),
-                    rx: reply_rx,
-                    thread: Some(thread),
-                    memory: 0,
-                    peak: 0,
-                    stats: RunStats::default(),
-                }
-            })
-            .collect();
+        let seeds = (0..threads).map(|_| None).collect();
+        let workers = Self::spawn_shards(&runtimes, threads, config.slack, seeds);
         StreamingPool {
             runtimes,
             workers,
@@ -298,6 +295,152 @@ impl StreamingPool {
             targets: Vec::new(),
             finished: false,
         }
+    }
+
+    /// Rebuild a pool from checkpointed per-query engine states — possibly
+    /// with a *different* worker count than the snapshotting pool: each
+    /// query's partition entries are re-sharded by replaying the same
+    /// `GROUP-BY`-prefix hash live routing uses, so the new layout is
+    /// exactly what `workers` fresh shards fed the same stream would hold.
+    ///
+    /// `gate` and `raw_watermark` restore the admission clock; in-flight
+    /// reorder-buffer items are re-staged afterwards via
+    /// [`StreamingPool::restage`] / [`StreamingPool::restage_all`].
+    pub fn restore(
+        runtimes: Vec<Arc<QueryRuntime>>,
+        workers: usize,
+        config: PoolConfig,
+        states: Vec<RouterState>,
+        gate: Option<LateGate>,
+        raw_watermark: Timestamp,
+    ) -> Result<StreamingPool, CheckpointError> {
+        assert!(!runtimes.is_empty(), "a pool needs at least one query");
+        assert_eq!(states.len(), runtimes.len(), "one engine state per query");
+        let threads = Self::threads_for(&runtimes, workers);
+        let batch_size = config.batch_size.max(1);
+        // Re-shard each query's partition entries into the new layout.
+        let mut shard_states: Vec<Vec<Option<RouterState>>> = (0..threads)
+            .map(|_| (0..runtimes.len()).map(|_| None).collect())
+            .collect();
+        for (q, (rt, state)) in runtimes.iter().zip(states).enumerate() {
+            let RouterState {
+                watermark,
+                stats,
+                drained_to,
+                finalize_spike,
+                entries,
+            } = state;
+            let home = if rt.query.group_prefix > 0 {
+                0
+            } else {
+                q % threads
+            };
+            let mut split: Vec<Vec<Vec<u8>>> = (0..threads).map(|_| Vec::new()).collect();
+            if rt.query.group_prefix == 0 {
+                split[home] = entries;
+            } else {
+                for entry in entries {
+                    let h = entry_group_hash(&entry, rt.query.group_prefix)?;
+                    split[shard_index(h, threads)].push(entry);
+                }
+            }
+            for (s, entries) in split.into_iter().enumerate() {
+                let hosted = rt.query.group_prefix > 0 || s == home;
+                if !hosted {
+                    debug_assert!(entries.is_empty());
+                    continue;
+                }
+                // Counters and the finalize spike live once, on the
+                // query's first hosting shard; the watermark and drain
+                // floor are global and go to every hosted shard.
+                shard_states[s][q] = Some(RouterState {
+                    watermark,
+                    stats: if s == home {
+                        stats
+                    } else {
+                        RunStats::default()
+                    },
+                    drained_to,
+                    finalize_spike: if s == home { finalize_spike } else { 0 },
+                    entries,
+                });
+            }
+        }
+        // Build the engines here, not in the worker threads, so a corrupt
+        // entry surfaces as a typed error instead of a worker panic.
+        let mut seeds = Vec::with_capacity(threads);
+        for (index, sts) in shard_states.into_iter().enumerate() {
+            let mut engines = Vec::with_capacity(runtimes.len());
+            for (q, (rt, st)) in runtimes.iter().zip(sts).enumerate() {
+                let hosted = rt.query.group_prefix > 0 || q % threads == index;
+                engines.push(match st {
+                    Some(st) => Some(CograEngine::from_state(Arc::clone(rt), st)?),
+                    None if hosted => Some(CograEngine::from_runtime(Arc::clone(rt))),
+                    None => None,
+                });
+            }
+            seeds.push(Some(engines));
+        }
+        let workers = Self::spawn_shards(&runtimes, threads, config.slack, seeds);
+        Ok(StreamingPool {
+            runtimes,
+            workers,
+            stages: (0..threads).map(|_| Vec::new()).collect(),
+            batch_size,
+            gate,
+            raw_watermark,
+            targets: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Spawn the shard worker threads, each seeded with pre-built engines
+    /// (checkpoint restore) or `None` to build fresh ones.
+    fn spawn_shards(
+        runtimes: &[Arc<QueryRuntime>],
+        threads: usize,
+        slack: Option<u64>,
+        mut seeds: Vec<Option<Vec<Option<CograEngine>>>>,
+    ) -> Vec<Worker> {
+        debug_assert_eq!(seeds.len(), threads);
+        (0..threads)
+            .map(|index| {
+                let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel(CHANNEL_CAPACITY);
+                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                let seeded = seeds[index].take();
+                // Mirror restored engine memory and counters immediately
+                // so a freshly restored pool reports its footprint before
+                // any drain.
+                let (memory, stats) = seeded.as_ref().map_or_else(
+                    || (0, RunStats::default()),
+                    |engines| {
+                        let mut stats = RunStats::default();
+                        let mut memory = 0;
+                        for e in engines.iter().flatten() {
+                            memory += e.memory_bytes();
+                            stats.merge(e.run_stats());
+                        }
+                        (memory, stats)
+                    },
+                );
+                let shard = ShardConfig {
+                    runtimes: runtimes.to_vec(),
+                    threads,
+                    index,
+                    slack,
+                    seeded,
+                };
+                let thread = std::thread::spawn(move || shard_worker(shard, cmd_rx, reply_tx));
+                Worker {
+                    tx: Some(cmd_tx),
+                    rx: reply_rx,
+                    thread: Some(thread),
+                    memory,
+                    peak: memory,
+                    stats,
+                }
+            })
+            .collect()
     }
 
     /// Thread count: the requested workers when any query has a `GROUP-BY`
@@ -370,6 +513,113 @@ impl StreamingPool {
             total.merge(w.stats);
         }
         total
+    }
+
+    /// Whether the pool has finished (checkpointing a finished pool is
+    /// unsupported — its engines have emitted and discarded their state).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The coordinator-side admission gate, when slack is active.
+    pub fn gate(&self) -> Option<&LateGate> {
+        self.gate.as_ref()
+    }
+
+    /// The largest event time routed so far (trusted-ordered path only;
+    /// with slack the gate tracks the raw clock itself).
+    pub fn raw_watermark(&self) -> Timestamp {
+        self.raw_watermark
+    }
+
+    /// The configured per-shard disorder slack, if any.
+    pub fn slack(&self) -> Option<u64> {
+        self.gate.as_ref().map(LateGate::slack)
+    }
+
+    /// Snapshot the pool's live state without advancing it: flushes staged
+    /// batches, then collects every shard's engine states (merged per
+    /// query in shard-index order) and in-flight reorder-buffer items.
+    /// The pool remains fully usable afterwards.
+    pub fn snapshot(&mut self) -> (Vec<RouterState>, Vec<(u32, Event)>) {
+        assert!(!self.finished, "streaming pool already finished");
+        self.flush_stages();
+        for w in &mut self.workers {
+            let tx = w.tx.as_ref().expect("pool not finished");
+            if tx.send(Cmd::Snapshot).is_err() {
+                reap(w);
+            }
+        }
+        let mut merged: Vec<Option<RouterState>> = (0..self.runtimes.len()).map(|_| None).collect();
+        let mut buffered = Vec::new();
+        for w in &mut self.workers {
+            let Ok(reply) = w.rx.recv() else { reap(w) };
+            w.memory = reply.memory;
+            w.peak = reply.peak;
+            w.stats = reply.stats;
+            let snap = reply
+                .snapshot
+                .expect("snapshot round trip returns shard state");
+            for (q, st) in snap.states.into_iter().enumerate() {
+                if let Some(st) = st {
+                    match &mut merged[q] {
+                        None => merged[q] = Some(st),
+                        Some(m) => m.merge(st),
+                    }
+                }
+            }
+            buffered.extend(snap.buffered);
+        }
+        let states = merged
+            .into_iter()
+            .map(|m| m.expect("every query is hosted by at least one shard"))
+            .collect();
+        (states, buffered)
+    }
+
+    /// Re-stage one checkpointed in-flight event for one query, bypassing
+    /// the admission gate (the gate was restored verbatim; these events
+    /// were already admitted before the snapshot). Safe to release early
+    /// on the new shard: an admitted buffered event's release threshold
+    /// never overtakes the gate's `released_to` floor.
+    pub fn restage(&mut self, query: u32, event: Event) {
+        let threads = self.workers.len();
+        let rt = &self.runtimes[query as usize];
+        let (shard, key_hash) = if rt.query.group_prefix > 0 {
+            match rt.route_hashes(&event) {
+                Some((group_hash, key_hash)) => (shard_index(group_hash, threads), Some(key_hash)),
+                None => return, // unroutable events are never staged
+            }
+        } else {
+            (query as usize % threads, rt.key_hash(&event))
+        };
+        self.stage(
+            shard,
+            Item {
+                event,
+                query,
+                key_hash,
+            },
+        );
+    }
+
+    /// Re-stage one checkpointed in-flight event for *every* query — the
+    /// restore path for snapshots taken behind a single front reorderer,
+    /// whose buffered events had not been routed per query yet.
+    pub fn restage_all(&mut self, event: Event) {
+        self.compute_targets(&event);
+        let targets = std::mem::take(&mut self.targets);
+        for &(shard, query, key_hash) in &targets {
+            self.stage(
+                shard,
+                Item {
+                    event: event.clone(),
+                    query,
+                    key_hash,
+                },
+            );
+        }
+        self.targets = targets;
     }
 
     /// Route one event to its target shards (one per query, deduplicated
@@ -540,6 +790,7 @@ impl StreamingPool {
                 Cmd::Drain(wm) => Cmd::Drain(*wm),
                 Cmd::Finish => Cmd::Finish,
                 Cmd::Batch(..) => unreachable!("batches are routed, not broadcast"),
+                Cmd::Snapshot => unreachable!("snapshots have their own fan-out"),
             };
             let tx = w.tx.as_ref().expect("pool not finished");
             if tx.send(c).is_err() {
@@ -585,6 +836,8 @@ struct ShardConfig {
     threads: usize,
     index: usize,
     slack: Option<u64>,
+    /// Engines restored from a checkpoint (`None`: build fresh ones).
+    seeded: Option<Vec<Option<CograEngine>>>,
 }
 
 /// One worker's engines: a [`CograEngine`] per query this shard hosts
@@ -605,16 +858,19 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(cfg: &ShardConfig) -> Shard {
-        let engines = cfg
-            .runtimes
-            .iter()
-            .enumerate()
-            .map(|(q, rt)| {
-                let hosted = rt.query.group_prefix > 0 || q % cfg.threads == cfg.index;
-                hosted.then(|| CograEngine::from_runtime(Arc::clone(rt)))
-            })
-            .collect();
+    fn new(mut cfg: ShardConfig) -> Shard {
+        let engines = match cfg.seeded.take() {
+            Some(engines) => engines,
+            None => cfg
+                .runtimes
+                .iter()
+                .enumerate()
+                .map(|(q, rt)| {
+                    let hosted = rt.query.group_prefix > 0 || q % cfg.threads == cfg.index;
+                    hosted.then(|| CograEngine::from_runtime(Arc::clone(rt)))
+                })
+                .collect(),
+        };
         let mut shard = Shard {
             engines,
             reorder: cfg.slack.map(|_| ReorderBuffer::new()),
@@ -726,7 +982,7 @@ impl Shard {
 /// One shard's worker loop: private per-query [`CograEngine`]s over the
 /// shard's sub-stream, replying to drain/finish round trips.
 fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
-    let mut shard = Shard::new(&cfg);
+    let mut shard = Shard::new(cfg);
     for cmd in rx {
         match cmd {
             Cmd::Batch(items) => shard.on_batch(items),
@@ -745,10 +1001,39 @@ fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                         memory: shard.memory(),
                         peak: shard.peak,
                         stats: shard.stats(),
+                        snapshot: None,
                     })
                     .is_err()
                 {
                     return; // coordinator dropped mid-drain
+                }
+            }
+            Cmd::Snapshot => {
+                shard.sample_peak();
+                let states = shard
+                    .engines
+                    .iter()
+                    .map(|e| e.as_ref().map(CograEngine::snapshot_state))
+                    .collect();
+                let buffered = match &shard.reorder {
+                    Some(buffer) => buffer
+                        .ordered()
+                        .into_iter()
+                        .map(|(_, item)| (item.query, item.event.clone()))
+                        .collect(),
+                    None => Vec::new(),
+                };
+                if tx
+                    .send(Reply {
+                        results: Vec::new(),
+                        memory: shard.memory(),
+                        peak: shard.peak,
+                        stats: shard.stats(),
+                        snapshot: Some(ShardSnapshot { states, buffered }),
+                    })
+                    .is_err()
+                {
+                    return; // coordinator dropped mid-snapshot
                 }
             }
             Cmd::Finish => {
@@ -768,6 +1053,7 @@ fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                     memory: shard.memory(),
                     peak: shard.peak,
                     stats: shard.stats(),
+                    snapshot: None,
                 });
                 return;
             }

@@ -160,6 +160,80 @@ impl PatternWindow {
         self.final_acc.clone()
     }
 
+    /// Serialize the full window state (inverse of [`PatternWindow::load`]).
+    /// The recycled `scratch` table is transient and not serialized.
+    pub fn save(&self, enc: &mut cogra_checkpoint::Enc) {
+        match &self.el {
+            Some(el) => {
+                enc.bool(true);
+                el.event.save(enc);
+                enc.usize(el.cells.len());
+                for c in &el.cells {
+                    match c {
+                        Some(cell) => {
+                            enc.bool(true);
+                            cell.save(enc);
+                        }
+                        None => enc.bool(false),
+                    }
+                }
+            }
+            None => enc.bool(false),
+        }
+        self.final_acc.save(enc);
+        enc.usize(self.neg_clocks.len());
+        for c in &self.neg_clocks {
+            c.save(enc);
+        }
+    }
+
+    /// Rebuild a window from bytes produced by [`PatternWindow::save`]
+    /// against the same disjunct runtime.
+    pub fn load(
+        rt: &DisjunctRuntime,
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<PatternWindow, cogra_checkpoint::CheckpointError> {
+        let el = if dec.bool()? {
+            let event = Event::load(dec)?;
+            let n = dec.usize()?;
+            if n != rt.disjunct.automaton.num_states() {
+                return Err(cogra_checkpoint::CheckpointError::Corrupt(format!(
+                    "pattern window has {n} last-event cells for a {}-state automaton",
+                    rt.disjunct.automaton.num_states()
+                )));
+            }
+            let mut cells = Vec::with_capacity(n);
+            for _ in 0..n {
+                cells.push(if dec.bool()? {
+                    Some(Cell::load(dec)?)
+                } else {
+                    None
+                });
+            }
+            Some(LastEvent { event, cells })
+        } else {
+            None
+        };
+        let final_acc = Cell::load(dec)?;
+        let n_clocks = dec.usize()?;
+        if n_clocks != rt.disjunct.automaton.num_negated() {
+            return Err(cogra_checkpoint::CheckpointError::Corrupt(format!(
+                "pattern window has {n_clocks} negation clocks for {} negated variables",
+                rt.disjunct.automaton.num_negated()
+            )));
+        }
+        let mut neg_clocks = Vec::with_capacity(n_clocks);
+        for _ in 0..n_clocks {
+            neg_clocks.push(NegClock::load(dec)?);
+        }
+        Ok(PatternWindow {
+            el,
+            final_acc,
+            neg_clocks,
+            scratch: vec![None; rt.disjunct.automaton.num_states()],
+        })
+    }
+
     /// Logical footprint: O(1) in the number of events — the final cell,
     /// the last matched event, and its O(l) cell table.
     pub fn memory_bytes(&self) -> usize {

@@ -52,13 +52,20 @@
 
 use crate::cogra::CograEngine;
 use crate::parallel::{PoolConfig, StreamingPool};
-use cogra_baselines::{aseq_engine, flink_engine, greta_engine, oracle_engine, sase_engine};
+use cogra_baselines::{
+    aseq_engine_from_plan, aseq_runtime, flink_engine_from_plan, flink_runtime,
+    greta_engine_from_plan, greta_runtime, oracle_engine_from_plan, oracle_runtime,
+    sase_engine_from_plan, sase_runtime, ASeqWindow, FlinkWindow, GretaWindow, OracleWindow,
+    SaseWindow,
+};
+use cogra_checkpoint::{CheckpointError, Dec, Enc, SnapshotReader, SnapshotWriter};
 use cogra_engine::runtime::{EngineConfig, QueryRuntime};
-use cogra_engine::{RunStats, TrendEngine, WindowResult};
+use cogra_engine::{Router, RouterState, RunStats, TrendEngine, WindowResult};
 use cogra_events::csv::{CsvError, EventReader};
-use cogra_events::{Event, Reorderer, Timestamp, TypeRegistry};
+use cogra_events::{Event, LateGate, Reorderer, Timestamp, TypeRegistry};
 use cogra_query::{compile, parse, CompiledQuery, Query, QueryError};
 use std::fmt;
+use std::io;
 use std::str::FromStr;
 use std::sync::Arc;
 
@@ -121,18 +128,83 @@ impl EngineKind {
         registry: &TypeRegistry,
         config: &EngineConfig,
     ) -> Result<Box<dyn TrendEngine>, QueryError> {
+        self.build_plan(&compile(query, registry)?, registry, config)
+    }
+
+    /// Build this engine from an already-compiled plan — THE construction
+    /// path every kind shares (the builder compiles each query exactly
+    /// once and all six constructors reuse that plan). Fails with the
+    /// constructor's [`QueryError`] when the engine does not support the
+    /// plan's features (Table 9).
+    pub fn build_plan(
+        self,
+        compiled: &CompiledQuery,
+        registry: &TypeRegistry,
+        config: &EngineConfig,
+    ) -> Result<Box<dyn TrendEngine>, QueryError> {
         Ok(match self {
-            EngineKind::Cogra => {
-                let compiled = compile(query, registry)?;
-                Box::new(CograEngine::from_runtime(cogra_runtime(
-                    &compiled, registry, config,
-                )))
+            EngineKind::Cogra => Box::new(CograEngine::from_runtime(cogra_runtime(
+                compiled, registry, config,
+            ))),
+            EngineKind::Sase => Box::new(sase_engine_from_plan(compiled, registry)?),
+            EngineKind::Greta => Box::new(greta_engine_from_plan(compiled, registry)?),
+            EngineKind::Aseq => {
+                Box::new(aseq_engine_from_plan(compiled, registry, config.clone())?)
             }
-            EngineKind::Sase => Box::new(sase_engine(query, registry)?),
-            EngineKind::Greta => Box::new(greta_engine(query, registry)?),
-            EngineKind::Aseq => Box::new(aseq_engine(query, registry, config.clone())?),
-            EngineKind::Flink => Box::new(flink_engine(query, registry, config.clone())?),
-            EngineKind::Oracle => Box::new(oracle_engine(query, registry)?),
+            EngineKind::Flink => {
+                Box::new(flink_engine_from_plan(compiled, registry, config.clone())?)
+            }
+            EngineKind::Oracle => Box::new(oracle_engine_from_plan(compiled, registry)?),
+        })
+    }
+
+    /// Rebuild this engine from a checkpointed [`RouterState`] against a
+    /// compiled plan — the streaming restore path of the durability
+    /// subsystem. A Table 9 rejection here means the snapshot pairs a
+    /// query with an engine that cannot run it, which is corruption.
+    fn restore_plan(
+        self,
+        compiled: &CompiledQuery,
+        registry: &TypeRegistry,
+        config: &EngineConfig,
+        state: RouterState,
+    ) -> Result<Box<dyn TrendEngine>, CheckpointError> {
+        let reject = |e: QueryError| {
+            CheckpointError::Corrupt(format!(
+                "snapshot pairs a query with engine `{}`, which rejects it: {e}",
+                self.name()
+            ))
+        };
+        Ok(match self {
+            EngineKind::Cogra => Box::new(CograEngine::from_state(
+                cogra_runtime(compiled, registry, config),
+                state,
+            )?),
+            EngineKind::Sase => Box::new(Router::<SaseWindow>::from_state(
+                sase_runtime(compiled, registry).map_err(reject)?,
+                "sase",
+                state,
+            )?),
+            EngineKind::Greta => Box::new(Router::<GretaWindow>::from_state(
+                greta_runtime(compiled, registry).map_err(reject)?,
+                "greta",
+                state,
+            )?),
+            EngineKind::Aseq => Box::new(Router::<ASeqWindow>::from_state(
+                aseq_runtime(compiled, registry, config.clone()).map_err(reject)?,
+                "aseq",
+                state,
+            )?),
+            EngineKind::Flink => Box::new(Router::<FlinkWindow>::from_state(
+                flink_runtime(compiled, registry, config.clone()).map_err(reject)?,
+                "flink",
+                state,
+            )?),
+            EngineKind::Oracle => Box::new(Router::<OracleWindow>::from_state(
+                oracle_runtime(compiled, registry).map_err(reject)?,
+                "oracle",
+                state,
+            )?),
         })
     }
 
@@ -250,6 +322,107 @@ fn cogra_runtime(
     config: &EngineConfig,
 ) -> Arc<QueryRuntime> {
     Arc::new(QueryRuntime::new(compiled.clone(), registry).with_config(config.clone()))
+}
+
+/// Snapshot reorder-state style: a front [`Reorderer`] (streaming mode).
+const REORDER_FRONT: u8 = 0;
+/// Snapshot reorder-state style: the pool's coordinator-side [`LateGate`]
+/// plus per-shard buffered `(query, event)` items (`.workers(n)` mode).
+const REORDER_GATE: u8 = 1;
+
+/// The reorder state a snapshot carries, decoded — see
+/// [`Session::checkpoint`] for what each variant stores.
+enum ReorderSnap {
+    /// No `.slack(n)`: only the raw stream clock (the largest routed event
+    /// time), so a restored pool's admission floor matches the original's.
+    Absent {
+        /// The raw stream clock at checkpoint time.
+        clock: Timestamp,
+    },
+    /// A streaming-mode front [`Reorderer`].
+    Front {
+        /// Configured disorder tolerance.
+        slack: u64,
+        /// Largest event time pushed so far.
+        watermark: Timestamp,
+        /// Largest event time released to the engines.
+        released_to: Timestamp,
+        /// Late-drop count.
+        late: u64,
+        /// In-flight buffered events, in release order.
+        buffered: Vec<Event>,
+    },
+    /// The `.workers(n)` pool's [`LateGate`] + per-shard buffer contents.
+    Gate {
+        /// Configured disorder tolerance.
+        slack: u64,
+        /// Largest event time admitted so far.
+        watermark: Timestamp,
+        /// Stream-wide safe release point.
+        released_to: Timestamp,
+        /// Late-drop count.
+        late: u64,
+        /// Admitted-but-unreleased event times (the gate's pending set).
+        pending: Vec<Timestamp>,
+        /// In-flight `(query, event)` items from the shard reorderers.
+        buffered: Vec<(u32, Event)>,
+    },
+}
+
+impl ReorderSnap {
+    /// Decode one snapshot `reorder` section.
+    fn load(dec: &mut Dec) -> Result<ReorderSnap, CheckpointError> {
+        if !dec.bool()? {
+            return Ok(ReorderSnap::Absent {
+                clock: Timestamp(dec.u64()?),
+            });
+        }
+        let style = dec.u8()?;
+        let slack = dec.u64()?;
+        let watermark = Timestamp(dec.u64()?);
+        let released_to = Timestamp(dec.u64()?);
+        let late = dec.u64()?;
+        match style {
+            REORDER_FRONT => {
+                let n = dec.usize()?;
+                let mut buffered = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    buffered.push(Event::load(dec)?);
+                }
+                Ok(ReorderSnap::Front {
+                    slack,
+                    watermark,
+                    released_to,
+                    late,
+                    buffered,
+                })
+            }
+            REORDER_GATE => {
+                let n = dec.usize()?;
+                let mut pending = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    pending.push(Timestamp(dec.u64()?));
+                }
+                let n = dec.usize()?;
+                let mut buffered = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let query = dec.u32()?;
+                    buffered.push((query, Event::load(dec)?));
+                }
+                Ok(ReorderSnap::Gate {
+                    slack,
+                    watermark,
+                    released_to,
+                    late,
+                    pending,
+                    buffered,
+                })
+            }
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown reorder style {other}"
+            ))),
+        }
+    }
 }
 
 /// A query handed to the builder: raw text (parsed at
@@ -414,6 +587,12 @@ impl SessionBuilder {
             .enumerate()
             .map(|(i, q)| compile(q, registry).map(Arc::new).map_err(attribute(i)))
             .collect::<Result<_, _>>()?;
+        // Canonical re-parseable text per query — what a checkpoint
+        // stores, so a restore can re-compile the identical plans.
+        let texts: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+        let batch_size = self
+            .batch_size
+            .unwrap_or(crate::parallel::DEFAULT_BATCH_SIZE);
 
         let mode = if self.workers > 1 {
             let runtimes = plans
@@ -424,28 +603,21 @@ impl SessionBuilder {
                 runtimes,
                 self.workers,
                 PoolConfig {
-                    batch_size: self
-                        .batch_size
-                        .unwrap_or(crate::parallel::DEFAULT_BATCH_SIZE),
+                    batch_size,
                     slack: self.slack,
                 },
             );
             Mode::Parallel { pool }
         } else {
-            let engines = queries
+            // Every kind builds from the plan compiled above — one
+            // construction path, no second compile.
+            let engines = plans
                 .iter()
-                .zip(&plans)
                 .zip(&kinds)
                 .enumerate()
-                .map(|(i, ((q, plan), &kind))| match kind {
-                    // COGRA reuses the plan compiled above; the baselines
-                    // compile internally from the parsed query.
-                    EngineKind::Cogra => Ok(Box::new(CograEngine::from_runtime(cogra_runtime(
-                        plan,
-                        registry,
-                        &self.config,
-                    ))) as Box<dyn TrendEngine>),
-                    kind => kind.build(q, registry, &self.config).map_err(attribute(i)),
+                .map(|(i, (plan, &kind))| {
+                    kind.build_plan(plan, registry, &self.config)
+                        .map_err(attribute(i))
                 })
                 .collect::<Result<Vec<_>, SessionError>>()?;
             Mode::Streaming { engines }
@@ -461,9 +633,235 @@ impl SessionBuilder {
             kind: default_kind,
             kinds,
             plans,
+            texts,
+            config: self.config,
+            batch_size,
             mode,
             reorderer,
             scratch: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Rebuild a live session from a [`Session::checkpoint`] snapshot.
+    ///
+    /// The snapshot is authoritative for queries, engine kinds, engine
+    /// configuration and slack — a builder with `.query(...)`,
+    /// `.engine(...)` or `.slack(...)` set is rejected
+    /// ([`CheckpointError::Unsupported`]). Two execution knobs may be
+    /// overridden, because they do not change what the session computes:
+    ///
+    /// * `.workers(n)` — **elastic rescale**: the snapshot's merged
+    ///   per-query states are re-sharded onto `n` workers by replaying the
+    ///   group-prefix hash, so a session checkpointed at one width resumes
+    ///   at another, byte-identically (`tests/checkpoint_props.rs`);
+    /// * `.batch_size(n)` — shard-transport batching.
+    ///
+    /// Restore re-compiles the snapshot's canonical query texts against
+    /// `registry`, so the registry must define the event types the queries
+    /// mention (it is intentionally NOT serialized: the registry is schema,
+    /// owned by the application, not stream state).
+    pub fn restore(
+        self,
+        registry: &TypeRegistry,
+        reader: impl io::Read,
+    ) -> Result<Session, CheckpointError> {
+        if !self.queries.is_empty() || self.engine.is_some() || self.slack.is_some() {
+            return Err(CheckpointError::Unsupported(
+                "restore takes queries, engines and slack from the snapshot; \
+                 only .workers(n) and .batch_size(n) may be overridden"
+                    .to_string(),
+            ));
+        }
+
+        // --- Decode the container -------------------------------------
+        let mut r = SnapshotReader::new(reader)?;
+        let bytes = r.expect("config")?;
+        let mut dec = Dec::new(&bytes);
+        let n_queries = dec.usize()?;
+        let mut texts = Vec::with_capacity(n_queries.min(1 << 16));
+        let mut kinds = Vec::with_capacity(n_queries.min(1 << 16));
+        let parse_kind = |name: &str| name.parse::<EngineKind>().map_err(CheckpointError::Corrupt);
+        for _ in 0..n_queries {
+            texts.push(dec.str()?);
+            kinds.push(parse_kind(&dec.str()?)?);
+        }
+        let default_kind = parse_kind(&dec.str()?)?;
+        let config = EngineConfig {
+            flatten_cap: dec.opt_u64()?.map(|c| c as usize),
+        };
+        let slack = dec.opt_u64()?;
+        let snap_workers = dec.u64()? as usize;
+        let snap_batch = dec.u64()? as usize;
+        dec.finish("config section")?;
+
+        let bytes = r.expect("reorder")?;
+        let mut dec = Dec::new(&bytes);
+        let reorder = ReorderSnap::load(&mut dec)?;
+        dec.finish("reorder section")?;
+        match (&reorder, slack) {
+            (ReorderSnap::Absent { .. }, Some(_)) => {
+                return Err(CheckpointError::Corrupt(
+                    "slack configured but no reorder state in snapshot".to_string(),
+                ));
+            }
+            (ReorderSnap::Front { .. } | ReorderSnap::Gate { .. }, None) => {
+                return Err(CheckpointError::Corrupt(
+                    "reorder state present without slack".to_string(),
+                ));
+            }
+            _ => {}
+        }
+
+        let mut states = Vec::with_capacity(n_queries);
+        for i in 0..n_queries {
+            let bytes = r.expect(&format!("q{i}"))?;
+            let mut dec = Dec::new(&bytes);
+            states.push(RouterState::load(&mut dec)?);
+            dec.finish("engine section")?;
+        }
+        r.finish()?;
+
+        // --- Re-compile the queries ------------------------------------
+        let plans: Vec<Arc<CompiledQuery>> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                parse(text)
+                    .and_then(|q| compile(&q, registry))
+                    .map(Arc::new)
+                    .map_err(|e| {
+                        CheckpointError::Corrupt(format!("query {i} failed to parse/compile: {e}"))
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+
+        // --- Resolve the execution shape -------------------------------
+        let workers = if self.workers > 0 {
+            self.workers
+        } else {
+            snap_workers.max(1)
+        };
+        let batch_size = self.batch_size.unwrap_or(snap_batch).max(1);
+        // Gate-style reorder state always restores into a pool, whatever
+        // the worker count: the buffered items already passed per-query
+        // admission, which a front reorderer cannot replay.
+        let use_pool = workers > 1 || matches!(reorder, ReorderSnap::Gate { .. });
+        if use_pool {
+            if let Some(kind) = kinds.iter().find(|k| **k != EngineKind::Cogra) {
+                return Err(CheckpointError::Unsupported(format!(
+                    "workers > 1 requires the cogra engine, not `{kind}`"
+                )));
+            }
+        }
+
+        let (mode, reorderer) = if use_pool {
+            let runtimes: Vec<Arc<QueryRuntime>> = plans
+                .iter()
+                .map(|plan| cogra_runtime(plan, registry, &config))
+                .collect();
+            let (gate, clock, front_buffered, gate_buffered) = match reorder {
+                ReorderSnap::Absent { clock } => (None, clock, Vec::new(), Vec::new()),
+                ReorderSnap::Front {
+                    slack,
+                    watermark,
+                    released_to,
+                    late,
+                    buffered,
+                } => {
+                    // A streaming snapshot rescaled onto workers: the
+                    // front buffer's event times become the gate's
+                    // pending set, and the events re-stage per shard.
+                    let pending = buffered.iter().map(|e| e.time).collect();
+                    (
+                        Some(LateGate::from_parts(
+                            slack,
+                            watermark,
+                            released_to,
+                            late,
+                            pending,
+                        )),
+                        watermark,
+                        buffered,
+                        Vec::new(),
+                    )
+                }
+                ReorderSnap::Gate {
+                    slack,
+                    watermark,
+                    released_to,
+                    late,
+                    pending,
+                    buffered,
+                } => (
+                    Some(LateGate::from_parts(
+                        slack,
+                        watermark,
+                        released_to,
+                        late,
+                        pending,
+                    )),
+                    watermark,
+                    Vec::new(),
+                    buffered,
+                ),
+            };
+            let mut pool = StreamingPool::restore(
+                runtimes,
+                workers,
+                PoolConfig { batch_size, slack },
+                states,
+                gate,
+                clock,
+            )?;
+            for event in front_buffered {
+                pool.restage_all(event);
+            }
+            for (query, event) in gate_buffered {
+                if query as usize >= n_queries {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "buffered item references query {query} of {n_queries}"
+                    )));
+                }
+                pool.restage(query, event);
+            }
+            (Mode::Parallel { pool }, None)
+        } else {
+            let engines = plans
+                .iter()
+                .zip(&kinds)
+                .zip(states)
+                .map(|((plan, &kind), state)| kind.restore_plan(plan, registry, &config, state))
+                .collect::<Result<Vec<_>, CheckpointError>>()?;
+            let reorderer = match reorder {
+                ReorderSnap::Absent { .. } => None,
+                ReorderSnap::Front {
+                    slack,
+                    watermark,
+                    released_to,
+                    late,
+                    buffered,
+                } => {
+                    let mut r = Reorderer::from_parts(slack, watermark, released_to, late);
+                    r.restore_buffered(buffered);
+                    Some(r)
+                }
+                ReorderSnap::Gate { .. } => unreachable!("gate snapshots restore into a pool"),
+            };
+            (Mode::Streaming { engines }, reorderer)
+        };
+
+        Ok(Session {
+            kind: default_kind,
+            kinds,
+            plans,
+            texts,
+            config,
+            batch_size,
+            mode,
+            reorderer,
+            scratch: Vec::new(),
+            finished: false,
         })
     }
 
@@ -592,9 +990,18 @@ pub struct Session {
     kinds: Vec<EngineKind>,
     /// Compiled plan per query.
     plans: Vec<Arc<CompiledQuery>>,
+    /// Canonical query text per query (what a checkpoint stores).
+    texts: Vec<String>,
+    /// Engine configuration, kept for checkpointing.
+    config: EngineConfig,
+    /// Resolved shard-transport batch size, kept for checkpointing.
+    batch_size: usize,
     mode: Mode,
     reorderer: Option<Reorderer>,
     scratch: Vec<Event>,
+    /// Whether [`Session::finish_into`] ran — a finished session has
+    /// emitted and discarded its state and cannot checkpoint.
+    finished: bool,
 }
 
 impl Session {
@@ -738,6 +1145,7 @@ impl Session {
     /// [`Session::process`] calls are unsupported (in `.workers(n)` mode
     /// they panic — the shard workers are gone).
     pub fn finish_into(&mut self, sink: &mut dyn ResultSink) {
+        self.finished = true;
         self.pump(|reorderer, out| reorderer.flush(out));
         match &mut self.mode {
             Mode::Streaming { engines } => {
@@ -833,6 +1241,147 @@ impl Session {
             Mode::Parallel { pool } => total.merge(pool.run_stats()),
         }
         total
+    }
+
+    /// The active disorder tolerance, wherever it lives (front reorderer
+    /// in streaming mode, the pool's gate under `.workers(n)`).
+    fn slack_value(&self) -> Option<u64> {
+        match &self.mode {
+            Mode::Streaming { .. } => self.reorderer.as_ref().map(Reorderer::slack),
+            Mode::Parallel { pool } => pool.slack(),
+        }
+    }
+
+    /// Serialize the session's complete live state into a versioned
+    /// snapshot (see the `cogra-checkpoint` crate for the container
+    /// format): queries (canonical text) and engine kinds, engine
+    /// configuration, slack/workers/batch-size, every engine's partition
+    /// and window state with watermarks and drain floors, and the
+    /// `.slack(n)` reorder state — in-flight events, release points and
+    /// the late-drop count. Under `.workers(n)` the shards' states are
+    /// merged per query, so the snapshot is layout-independent:
+    /// [`SessionBuilder::restore`] may re-shard it onto a different
+    /// `.workers(n)` (elastic rescale).
+    ///
+    /// Partitions whose window ring is drained empty are *not* written —
+    /// a restored session re-interns only the live key set, which is the
+    /// interner compaction that shrinks [`Session::memory_bytes`] across
+    /// a checkpoint/restore cycle of a churn-heavy workload.
+    ///
+    /// Checkpointing is non-destructive: no windows close, nothing is
+    /// emitted, and the session continues unchanged. A finished session
+    /// cannot checkpoint ([`CheckpointError::Unsupported`]).
+    pub fn checkpoint(&mut self, writer: impl io::Write) -> Result<(), CheckpointError> {
+        if self.finished {
+            return Err(CheckpointError::Unsupported(
+                "cannot checkpoint a finished session".to_string(),
+            ));
+        }
+
+        // Engine states + reorder payload first (the pool does both in
+        // one snapshot round trip), then the container is written in one
+        // pass: config, reorder, one `q<i>` section per query.
+        let (states, reorder) = match &mut self.mode {
+            Mode::Streaming { engines } => {
+                let mut states = Vec::with_capacity(engines.len());
+                for e in engines.iter() {
+                    let mut enc = Enc::new();
+                    e.save_state(&mut enc)?;
+                    states.push(enc.into_bytes());
+                }
+                // Raw stream clock, for a restore onto `.workers(n)`: in
+                // streaming mode every engine saw every event, so the
+                // largest engine watermark is the largest routed time.
+                let clock = engines
+                    .iter()
+                    .map(|e| e.watermark())
+                    .max()
+                    .unwrap_or(Timestamp::ZERO);
+                let mut enc = Enc::new();
+                match &self.reorderer {
+                    None => {
+                        enc.bool(false);
+                        enc.u64(clock.ticks());
+                    }
+                    Some(r) => {
+                        enc.bool(true);
+                        enc.u8(REORDER_FRONT);
+                        enc.u64(r.slack());
+                        enc.u64(r.watermark().ticks());
+                        enc.u64(r.released_to().ticks());
+                        enc.u64(r.late_events());
+                        let buffered = r.buffered_events();
+                        enc.usize(buffered.len());
+                        for e in buffered {
+                            e.save(&mut enc);
+                        }
+                    }
+                }
+                (states, enc.into_bytes())
+            }
+            Mode::Parallel { pool } => {
+                let (router_states, buffered) = pool.snapshot();
+                let states = router_states
+                    .iter()
+                    .map(|st| {
+                        let mut enc = Enc::new();
+                        st.save(&mut enc);
+                        enc.into_bytes()
+                    })
+                    .collect();
+                let mut enc = Enc::new();
+                match pool.gate() {
+                    None => {
+                        enc.bool(false);
+                        enc.u64(pool.raw_watermark().ticks());
+                        debug_assert!(buffered.is_empty(), "no reorder buffers without slack");
+                    }
+                    Some(gate) => {
+                        enc.bool(true);
+                        enc.u8(REORDER_GATE);
+                        enc.u64(gate.slack());
+                        enc.u64(gate.watermark().ticks());
+                        enc.u64(gate.safe_watermark().ticks());
+                        enc.u64(gate.late_events());
+                        let pending = gate.pending_times();
+                        enc.usize(pending.len());
+                        for t in &pending {
+                            enc.u64(t.ticks());
+                        }
+                        // In-flight items, sorted for a layout-independent
+                        // byte stream (shard buffers come back in shard
+                        // order, not time order).
+                        let mut pairs = buffered;
+                        pairs.sort_by_key(|(q, e)| (e.time, e.id, *q));
+                        enc.usize(pairs.len());
+                        for (q, e) in &pairs {
+                            enc.u32(*q);
+                            e.save(&mut enc);
+                        }
+                    }
+                }
+                (states, enc.into_bytes())
+            }
+        };
+
+        let mut w = SnapshotWriter::new(writer)?;
+        let mut enc = Enc::new();
+        enc.usize(self.texts.len());
+        for (text, kind) in self.texts.iter().zip(&self.kinds) {
+            enc.str(text);
+            enc.str(kind.name());
+        }
+        enc.str(self.kind.name());
+        enc.opt_u64(self.config.flatten_cap.map(|c| c as u64));
+        enc.opt_u64(self.slack_value());
+        enc.u64(self.workers() as u64);
+        enc.u64(self.batch_size as u64);
+        w.section("config", enc.as_slice())?;
+        w.section("reorder", &reorder)?;
+        for (i, state) in states.iter().enumerate() {
+            w.section(&format!("q{i}"), state)?;
+        }
+        w.finish()
     }
 
     /// Run the whole stream through the session and collect everything:
@@ -1329,6 +1878,183 @@ mod tests {
                 .run(&events);
             assert_eq!(run.per_query, reference.per_query, "{kind}");
         }
+    }
+
+    /// Feed `head`, checkpoint, restore at `restore_workers`, feed `tail`
+    /// — must equal the uninterrupted run (results, late drops).
+    fn round_trip(
+        builder: SessionBuilder,
+        restore_workers: usize,
+        events: &[Event],
+        split: usize,
+        reg: &TypeRegistry,
+    ) {
+        let expected = builder.clone().build(reg).unwrap().run(events);
+
+        let mut session = builder.build(reg).unwrap();
+        let mut collected: Vec<TaggedResult> = Vec::new();
+        for e in &events[..split] {
+            session.process(e);
+            session.drain_into(&mut collected);
+        }
+        let mut snap = Vec::new();
+        session.checkpoint(&mut snap).unwrap();
+        drop(session);
+
+        let mut restored = Session::builder()
+            .workers(restore_workers)
+            .restore(reg, snap.as_slice())
+            .unwrap();
+        for e in &events[split..] {
+            restored.process(e);
+            restored.drain_into(&mut collected);
+        }
+        restored.finish_into(&mut collected);
+
+        let mut per_query: Vec<Vec<WindowResult>> = vec![Vec::new(); expected.per_query.len()];
+        for t in collected {
+            per_query[t.query].push(t.result);
+        }
+        for results in &mut per_query {
+            WindowResult::sort(results);
+        }
+        assert_eq!(
+            per_query, expected.per_query,
+            "restore_workers={restore_workers}"
+        );
+        assert_eq!(restored.late_events(), expected.late_events);
+    }
+
+    #[test]
+    fn checkpoint_restore_streaming_round_trip() {
+        let reg = registry();
+        let events = stream(&reg, 40);
+        round_trip(Session::builder().query(Q_ANY), 1, &events, 17, &reg);
+    }
+
+    #[test]
+    fn checkpoint_restore_multi_query_with_slack() {
+        let reg = registry();
+        let mut events = stream(&reg, 40);
+        for i in (0..events.len() - 1).step_by(2) {
+            events.swap(i, i + 1);
+        }
+        let builder = Session::builder().query(Q_ANY).query(Q_NEXT).slack(2);
+        round_trip(builder, 1, &events, 21, &reg);
+    }
+
+    #[test]
+    fn checkpoint_restore_rescales_workers() {
+        let reg = registry();
+        let events = stream(&reg, 60);
+        for (snap_w, restore_w) in [(1, 4), (4, 1), (2, 8), (4, 4)] {
+            let builder = Session::builder().query(Q_ANY).workers(snap_w);
+            round_trip(builder, restore_w, &events, 29, &reg);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_rescales_with_slack() {
+        let reg = registry();
+        let mut events = stream(&reg, 60);
+        for i in (0..events.len() - 1).step_by(2) {
+            events.swap(i, i + 1);
+        }
+        for (snap_w, restore_w) in [(1, 4), (4, 1), (4, 2)] {
+            let builder = Session::builder().query(Q_ANY).slack(4).workers(snap_w);
+            round_trip(builder, restore_w, &events, 31, &reg);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_every_engine_kind() {
+        let reg = registry();
+        let events = stream(&reg, 24);
+        for kind in EngineKind::ALL {
+            let builder = Session::builder().query(Q_ANY).engine(kind);
+            round_trip(builder, 1, &events, 11, &reg);
+        }
+    }
+
+    #[test]
+    fn checkpoint_after_finish_is_unsupported() {
+        let reg = registry();
+        let mut session = Session::builder().query(Q_ANY).build(&reg).unwrap();
+        session.finish();
+        let err = session.checkpoint(Vec::new()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_builder_overrides() {
+        let reg = registry();
+        let mut snap = Vec::new();
+        Session::builder()
+            .query(Q_ANY)
+            .build(&reg)
+            .unwrap()
+            .checkpoint(&mut snap)
+            .unwrap();
+        for builder in [
+            Session::builder().query(Q_ANY),
+            Session::builder().engine(EngineKind::Sase),
+            Session::builder().slack(3),
+        ] {
+            let err = builder.restore(&reg, snap.as_slice()).unwrap_err();
+            assert!(matches!(err, CheckpointError::Unsupported(_)), "{err}");
+        }
+        // .workers / .batch_size ARE legal overrides.
+        assert!(Session::builder()
+            .workers(2)
+            .batch_size(64)
+            .restore(&reg, snap.as_slice())
+            .is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let reg = registry();
+        let mut snap = Vec::new();
+        Session::builder()
+            .query(Q_ANY)
+            .build(&reg)
+            .unwrap()
+            .checkpoint(&mut snap)
+            .unwrap();
+
+        // Truncation mid-stream.
+        let err = Session::builder()
+            .restore(&reg, &snap[..snap.len() - 3])
+            .unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Truncated | CheckpointError::Io(_)),
+            "{err}"
+        );
+
+        // Bad magic.
+        let mut bad = snap.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            Session::builder()
+                .restore(&reg, bad.as_slice())
+                .unwrap_err(),
+            CheckpointError::BadMagic
+        ));
+
+        // Flipped payload byte → per-section CRC mismatch.
+        let mut bad = snap.clone();
+        let mid = snap.len() / 2;
+        bad[mid] ^= 0xFF;
+        let err = Session::builder()
+            .restore(&reg, bad.as_slice())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Checksum { .. } | CheckpointError::Corrupt(_)
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -124,6 +124,66 @@ impl TypeGrainedWindow {
         self.cells[rt.end().index()].clone()
     }
 
+    /// Serialize the full window state (inverse of
+    /// [`TypeGrainedWindow::load`]).
+    pub fn save(&self, enc: &mut cogra_checkpoint::Enc) {
+        Cell::save_slice(&self.cells, enc);
+        Cell::save_slice(&self.shadows, enc);
+        enc.usize(self.pending.len());
+        for (s, c) in &self.pending {
+            enc.u32(s.0);
+            c.save(enc);
+        }
+        enc.usize(self.pending_negs.len());
+        for n in &self.pending_negs {
+            enc.u32(n.0);
+        }
+        enc.u64(self.pending_time.ticks());
+    }
+
+    /// Rebuild a window from bytes produced by [`TypeGrainedWindow::save`]
+    /// against the same disjunct runtime.
+    pub fn load(
+        rt: &DisjunctRuntime,
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<TypeGrainedWindow, cogra_checkpoint::CheckpointError> {
+        let cells = Cell::load_vec(dec)?;
+        if cells.len() != rt.disjunct.automaton.num_states() {
+            return Err(cogra_checkpoint::CheckpointError::Corrupt(format!(
+                "type-grained window has {} cells for a {}-state automaton",
+                cells.len(),
+                rt.disjunct.automaton.num_states()
+            )));
+        }
+        let shadows = Cell::load_vec(dec)?;
+        if shadows.len() != rt.neg_edges.len() {
+            return Err(cogra_checkpoint::CheckpointError::Corrupt(format!(
+                "type-grained window has {} shadows for {} negation edges",
+                shadows.len(),
+                rt.neg_edges.len()
+            )));
+        }
+        let n_pending = dec.usize()?;
+        let mut pending = Vec::with_capacity(n_pending.min(1024));
+        for _ in 0..n_pending {
+            let s = StateId(dec.u32()?);
+            pending.push((s, Cell::load(dec)?));
+        }
+        let n_negs = dec.usize()?;
+        let mut pending_negs = Vec::with_capacity(n_negs.min(1024));
+        for _ in 0..n_negs {
+            pending_negs.push(NegId(dec.u32()?));
+        }
+        let pending_time = Timestamp(dec.u64()?);
+        Ok(TypeGrainedWindow {
+            cells,
+            shadows,
+            pending,
+            pending_negs,
+            pending_time,
+        })
+    }
+
     /// Logical footprint: Θ(l) cells plus shadows and open transaction.
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()

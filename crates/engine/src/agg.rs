@@ -347,6 +347,114 @@ impl Cell {
     }
 }
 
+fn save_opt_f64(v: Option<f64>, enc: &mut cogra_checkpoint::Enc) {
+    match v {
+        Some(x) => {
+            enc.u8(1);
+            enc.f64(x);
+        }
+        None => enc.u8(0),
+    }
+}
+
+fn load_opt_f64(
+    dec: &mut cogra_checkpoint::Dec,
+) -> Result<Option<f64>, cogra_checkpoint::CheckpointError> {
+    match dec.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(dec.f64()?)),
+        t => Err(cogra_checkpoint::CheckpointError::Corrupt(format!(
+            "bad option tag {t}"
+        ))),
+    }
+}
+
+impl Val {
+    /// Serialize as a tag byte + payload; floats are stored by bit
+    /// pattern, so restored slots are bit-identical.
+    pub fn save(&self, enc: &mut cogra_checkpoint::Enc) {
+        match self {
+            Val::Cnt(c) => {
+                enc.u8(0);
+                enc.u64(*c);
+            }
+            Val::Sum(s) => {
+                enc.u8(1);
+                enc.f64(*s);
+            }
+            Val::Min(m) => {
+                enc.u8(2);
+                save_opt_f64(*m, enc);
+            }
+            Val::Max(m) => {
+                enc.u8(3);
+                save_opt_f64(*m, enc);
+            }
+        }
+    }
+
+    /// Inverse of [`Val::save`].
+    pub fn load(dec: &mut cogra_checkpoint::Dec) -> Result<Val, cogra_checkpoint::CheckpointError> {
+        Ok(match dec.u8()? {
+            0 => Val::Cnt(dec.u64()?),
+            1 => Val::Sum(dec.f64()?),
+            2 => Val::Min(load_opt_f64(dec)?),
+            3 => Val::Max(load_opt_f64(dec)?),
+            t => {
+                return Err(cogra_checkpoint::CheckpointError::Corrupt(format!(
+                    "bad slot tag {t}"
+                )))
+            }
+        })
+    }
+}
+
+impl Cell {
+    /// Serialize the cell (count, liveness, slot values).
+    pub fn save(&self, enc: &mut cogra_checkpoint::Enc) {
+        enc.u64(self.count);
+        enc.bool(self.live);
+        enc.usize(self.vals.len());
+        for v in &self.vals {
+            v.save(enc);
+        }
+    }
+
+    /// Inverse of [`Cell::save`].
+    pub fn load(
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<Cell, cogra_checkpoint::CheckpointError> {
+        let count = dec.u64()?;
+        let live = dec.bool()?;
+        let n = dec.usize()?;
+        let mut vals = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            vals.push(Val::load(dec)?);
+        }
+        Ok(Cell { count, live, vals })
+    }
+
+    /// Serialize a cell list with a leading count.
+    pub fn save_slice(cells: &[Cell], enc: &mut cogra_checkpoint::Enc) {
+        enc.usize(cells.len());
+        for c in cells {
+            c.save(enc);
+        }
+    }
+
+    /// Inverse of [`Cell::save_slice`].
+    pub fn load_vec(
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<Vec<Cell>, cogra_checkpoint::CheckpointError> {
+        let n = dec.usize()?;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(Cell::load(dec)?);
+        }
+        Ok(out)
+    }
+}
+
 /// A rendered aggregate value in a window result.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AggValue {

@@ -4,6 +4,7 @@
 
 use crate::intern::RunStats;
 use crate::output::WindowResult;
+use cogra_checkpoint::CheckpointError;
 use cogra_events::{Event, Timestamp};
 
 /// A streaming event trend aggregation engine.
@@ -80,6 +81,18 @@ pub trait TrendEngine {
     /// an interned routing path.
     fn run_stats(&self) -> RunStats {
         RunStats::default()
+    }
+
+    /// Serialize the engine's full mutable state into a checkpoint
+    /// section payload. Engines built on the router override this; the
+    /// default refuses, so an engine without a restore path can never
+    /// produce a snapshot it cannot honor.
+    fn save_state(&self, enc: &mut cogra_checkpoint::Enc) -> Result<(), CheckpointError> {
+        let _ = enc;
+        Err(CheckpointError::Unsupported(format!(
+            "engine `{}` does not support checkpointing",
+            self.name()
+        )))
     }
 }
 

@@ -62,6 +62,22 @@ impl RunStats {
         self.key_probes += other.key_probes;
         self.key_allocs += other.key_allocs;
     }
+
+    /// Serialize both counters.
+    pub fn save(&self, enc: &mut cogra_checkpoint::Enc) {
+        enc.u64(self.key_probes);
+        enc.u64(self.key_allocs);
+    }
+
+    /// Inverse of [`RunStats::save`].
+    pub fn load(
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<RunStats, cogra_checkpoint::CheckpointError> {
+        Ok(RunStats {
+            key_probes: dec.u64()?,
+            key_allocs: dec.u64()?,
+        })
+    }
 }
 
 /// Interner from partition keys to dense [`PartitionId`]s.
@@ -152,6 +168,32 @@ impl KeyInterner {
     #[inline]
     pub fn stats(&self) -> RunStats {
         self.stats
+    }
+
+    /// All interned keys in dense-id order.
+    #[inline]
+    pub fn keys(&self) -> &[GroupKey] {
+        &self.keys
+    }
+
+    /// Rebuild an interner from saved keys (dense-id order) and counters.
+    /// Buckets are recomputed with [`hash_values`], so ids and probe
+    /// behavior match an interner that saw the same keys first-hand —
+    /// this is how a restored router re-interns a (possibly compacted)
+    /// key set.
+    pub fn from_parts(keys: Vec<GroupKey>, stats: RunStats) -> KeyInterner {
+        let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        for (id, key) in keys.iter().enumerate() {
+            buckets
+                .entry(hash_values(key.iter()))
+                .or_default()
+                .push(u32::try_from(id).expect("more than u32::MAX partitions"));
+        }
+        KeyInterner {
+            keys,
+            buckets,
+            stats,
+        }
     }
 
     /// Logical memory footprint: interned key values plus table overhead.

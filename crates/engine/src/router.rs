@@ -38,7 +38,8 @@ use crate::engine::TrendEngine;
 use crate::intern::{hash_values, KeyInterner, PartitionId, RunStats};
 use crate::output::WindowResult;
 use crate::runtime::QueryRuntime;
-use cogra_events::{Event, Timestamp, WindowId};
+use cogra_checkpoint::{CheckpointError, Dec, Enc};
+use cogra_events::{Event, Timestamp, Value, WindowId};
 use cogra_query::{NegId, StateId};
 use fxhash::FxHashMap;
 use std::collections::VecDeque;
@@ -79,6 +80,16 @@ pub trait WindowAlgo {
 
     /// Logical memory footprint in bytes.
     fn memory_bytes(&self) -> usize;
+
+    /// Serialize this window's full mutable state for a checkpoint.
+    /// Inverse of [`WindowAlgo::load`].
+    fn save(&self, rt: &QueryRuntime, enc: &mut Enc);
+
+    /// Rebuild a window from bytes produced by [`WindowAlgo::save`]
+    /// against the same compiled runtime.
+    fn load(rt: &QueryRuntime, dec: &mut Dec) -> Result<Self, CheckpointError>
+    where
+        Self: Sized;
 }
 
 /// One partition's open windows: a ring buffer over the contiguous
@@ -355,6 +366,188 @@ impl<W: WindowAlgo> Router<W> {
     }
 }
 
+/// A router's serialized mutable state: the piece of a snapshot that one
+/// engine section carries. `entries` holds one opaque blob per partition
+/// **with open windows** — snapshotting skips drained-empty partitions,
+/// so a restore re-interns only the *live* key set (the interner
+/// compaction of the durability subsystem). Each blob starts with the
+/// partition's full key, so a restore coordinator can re-shard entries by
+/// `GROUP-BY` hash without parsing the window payloads behind it.
+#[derive(Debug, Clone)]
+pub struct RouterState {
+    /// The watermark to restore with. Across shards of one query this
+    /// merges as the *minimum*: a lagging shard's reorder buffer may hold
+    /// events older than a faster shard's watermark, and a restored
+    /// engine must never sit ahead of an event it has yet to ingest.
+    pub watermark: Timestamp,
+    /// Interner probe/alloc counters at snapshot time.
+    pub stats: RunStats,
+    /// Last drained window (`None` = never drained).
+    pub drained_to: Option<WindowId>,
+    /// Largest finalization footprint observed so far.
+    pub finalize_spike: usize,
+    /// One blob per live partition, dense-id order:
+    /// `[key][n_windows][(wid, window bytes)...]`.
+    pub entries: Vec<Vec<u8>>,
+}
+
+impl RouterState {
+    /// Serialize into an engine-section payload.
+    pub fn save(&self, enc: &mut Enc) {
+        enc.u64(self.watermark.ticks());
+        self.stats.save(enc);
+        enc.opt_u64(self.drained_to.map(|w| w.0));
+        enc.usize(self.finalize_spike);
+        enc.usize(self.entries.len());
+        for e in &self.entries {
+            enc.bytes(e);
+        }
+    }
+
+    /// Inverse of [`RouterState::save`].
+    pub fn load(dec: &mut Dec) -> Result<RouterState, CheckpointError> {
+        let watermark = Timestamp(dec.u64()?);
+        let stats = RunStats::load(dec)?;
+        let drained_to = dec.opt_u64()?.map(WindowId);
+        let finalize_spike = dec.usize()?;
+        let n = dec.usize()?;
+        let mut entries = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            entries.push(dec.bytes()?.to_vec());
+        }
+        Ok(RouterState {
+            watermark,
+            stats,
+            drained_to,
+            finalize_spike,
+            entries,
+        })
+    }
+
+    /// Fold another shard's state for the *same* query into this one:
+    /// counters sum, spikes max, entries concatenate (callers merge in
+    /// shard-index order so entry order is deterministic), the merged
+    /// drain floor is the *minimum* (a window is only globally drained if
+    /// every contributing shard drained it), and so is the watermark (a
+    /// lagging shard's buffered events sit behind a faster shard's clock;
+    /// re-advancing a window that stayed open is free, skipping an event
+    /// is not).
+    pub fn merge(&mut self, other: RouterState) {
+        self.stats.merge(other.stats);
+        self.drained_to = match (self.drained_to, other.drained_to) {
+            (Some(a), Some(b)) => Some(WindowId(a.0.min(b.0))),
+            _ => None,
+        };
+        self.finalize_spike = self.finalize_spike.max(other.finalize_spike);
+        self.watermark = self.watermark.min(other.watermark);
+        self.entries.extend(other.entries);
+    }
+}
+
+/// Hash of the `GROUP-BY` prefix of a saved partition entry's key —
+/// exactly the hash live routing places shards with — decoded from the
+/// blob's leading key without touching the window payloads.
+pub fn entry_group_hash(entry: &[u8], group_prefix: usize) -> Result<u64, CheckpointError> {
+    let mut dec = Dec::new(entry);
+    let key = Value::load_vec(&mut dec)?;
+    if key.len() < group_prefix {
+        return Err(CheckpointError::Corrupt(format!(
+            "partition key with {} values is shorter than the GROUP-BY prefix ({group_prefix})",
+            key.len()
+        )));
+    }
+    Ok(hash_values(key[..group_prefix].iter()))
+}
+
+impl<W: WindowAlgo> Router<W> {
+    /// Snapshot the router's mutable state. Partitions whose window ring
+    /// is empty are skipped: their interned key carries no state a future
+    /// event could not recreate, so dropping them here is what shrinks a
+    /// churn-heavy interner across a checkpoint/restore cycle.
+    pub fn snapshot_state(&self) -> RouterState {
+        let mut entries = Vec::new();
+        for (pid, partition) in self.partitions.iter().enumerate() {
+            if partition.windows.is_empty() {
+                continue;
+            }
+            let mut e = Enc::new();
+            Value::save_slice(self.interner.resolve(PartitionId(pid as u32)), &mut e);
+            e.usize(partition.windows.len());
+            for (wid, w) in &partition.windows {
+                e.u64(*wid);
+                let mut we = Enc::new();
+                w.save(&self.rt, &mut we);
+                e.bytes(we.as_slice());
+            }
+            entries.push(e.into_bytes());
+        }
+        RouterState {
+            watermark: self.watermark,
+            stats: self.interner.stats(),
+            drained_to: self.drained_to,
+            finalize_spike: self.finalize_spike,
+            entries,
+        }
+    }
+
+    /// Rebuild a router from a saved state. Keys are re-interned densely
+    /// in entry order (compacting ids if the snapshot skipped dead
+    /// partitions), groups are re-derived from the key prefixes, and every
+    /// restored partition re-enters the active list.
+    pub fn from_state(
+        rt: Arc<QueryRuntime>,
+        name: &'static str,
+        state: RouterState,
+    ) -> Result<Router<W>, CheckpointError> {
+        let mut router = Router::new(Arc::clone(&rt), name);
+        router.watermark = state.watermark;
+        router.drained_to = state.drained_to;
+        router.finalize_spike = state.finalize_spike;
+        let mut keys = Vec::with_capacity(state.entries.len());
+        for (pid, blob) in state.entries.iter().enumerate() {
+            let mut dec = Dec::new(blob);
+            let key = Value::load_vec(&mut dec)?;
+            if key.len() < rt.query.group_prefix {
+                return Err(CheckpointError::Corrupt(format!(
+                    "partition key with {} values is shorter than the GROUP-BY prefix ({})",
+                    key.len(),
+                    rt.query.group_prefix
+                )));
+            }
+            let prefix = &key[..rt.query.group_prefix];
+            let gid = router.groups.intern_with(
+                hash_values(prefix.iter()),
+                |candidate| candidate == prefix,
+                || prefix.to_vec(),
+            );
+            router.partition_group.push(gid.0);
+            let mut partition = Partition::default();
+            let n_windows = dec.usize()?;
+            let mut last = None;
+            for _ in 0..n_windows {
+                let wid = dec.u64()?;
+                if last.is_some_and(|l| wid <= l) {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "window ids out of order in partition {pid}"
+                    )));
+                }
+                last = Some(wid);
+                let mut wdec = Dec::new(dec.bytes()?);
+                let w = W::load(&rt, &mut wdec)?;
+                wdec.finish("window")?;
+                partition.windows.push_back((wid, w));
+            }
+            dec.finish("partition")?;
+            partition.queued = true;
+            router.active.push(pid as u32);
+            keys.push(key);
+            router.partitions.push(partition);
+        }
+        router.interner = KeyInterner::from_parts(keys, state.stats);
+        Ok(router)
+    }
+}
+
 impl<W: WindowAlgo> TrendEngine for Router<W> {
     fn process(&mut self, event: &Event) {
         let key_hash = self.rt.key_hash(event);
@@ -409,5 +602,10 @@ impl<W: WindowAlgo> TrendEngine for Router<W> {
 
     fn run_stats(&self) -> RunStats {
         self.interner.stats()
+    }
+
+    fn save_state(&self, enc: &mut Enc) -> Result<(), CheckpointError> {
+        self.snapshot_state().save(enc);
+        Ok(())
     }
 }

@@ -294,6 +294,22 @@ impl NegClock {
         }
     }
 
+    /// Serialize both stored match times.
+    pub fn save(&self, enc: &mut cogra_checkpoint::Enc) {
+        enc.opt_u64(self.last.map(|t| t.ticks()));
+        enc.opt_u64(self.prev_distinct.map(|t| t.ticks()));
+    }
+
+    /// Inverse of [`NegClock::save`].
+    pub fn load(
+        dec: &mut cogra_checkpoint::Dec,
+    ) -> Result<NegClock, cogra_checkpoint::CheckpointError> {
+        Ok(NegClock {
+            last: dec.opt_u64()?.map(Timestamp),
+            prev_distinct: dec.opt_u64()?.map(Timestamp),
+        })
+    }
+
     /// Whether a match exists strictly inside `(after, before)`.
     pub fn blocked(&self, after: Timestamp, before: Timestamp) -> bool {
         let candidate = match self.last {

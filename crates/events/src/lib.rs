@@ -17,6 +17,7 @@ pub mod csv;
 pub mod event;
 pub mod reorder;
 pub mod schema;
+pub mod snap;
 pub mod stream;
 pub mod value;
 pub mod window;

@@ -122,6 +122,15 @@ impl<T> ReorderBuffer<T> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Non-consuming ordered view of the buffered items, in the exact
+    /// (time, arrival) order [`ReorderBuffer::flush`] would emit them —
+    /// the checkpoint path serializes buffers without draining them.
+    pub fn ordered(&self) -> Vec<(Timestamp, &T)> {
+        let mut pending: Vec<&Pending<T>> = self.heap.iter().map(|Reverse(p)| p).collect();
+        pending.sort_by_key(|p| (p.time, p.seq));
+        pending.into_iter().map(|p| (p.time, &p.item)).collect()
+    }
 }
 
 /// The admission half of a sharded reorder pipeline.
@@ -197,6 +206,39 @@ impl LateGate {
     pub fn late_events(&self) -> u64 {
         self.late
     }
+
+    /// The configured disorder tolerance in ticks.
+    pub fn slack(&self) -> u64 {
+        self.slack
+    }
+
+    /// The admitted-but-unreleased time stamps, sorted ascending — the
+    /// gate's exact pending state, serialized verbatim at checkpoint so a
+    /// restored gate reproduces every future drop decision bit-for-bit.
+    pub fn pending_times(&self) -> Vec<Timestamp> {
+        let mut times: Vec<Timestamp> = self.pending.iter().map(|Reverse(t)| *t).collect();
+        times.sort();
+        times
+    }
+
+    /// Rebuild a gate from checkpointed state ([`LateGate::slack`],
+    /// [`LateGate::watermark`], [`LateGate::safe_watermark`],
+    /// [`LateGate::late_events`], [`LateGate::pending_times`]).
+    pub fn from_parts(
+        slack: u64,
+        watermark: Timestamp,
+        released_to: Timestamp,
+        late: u64,
+        pending: Vec<Timestamp>,
+    ) -> LateGate {
+        LateGate {
+            slack,
+            watermark,
+            released_to,
+            pending: pending.into_iter().map(Reverse).collect(),
+            late,
+        }
+    }
 }
 
 /// Buffering reorderer with a fixed disorder bound.
@@ -267,6 +309,57 @@ impl Reorderer {
     /// Number of events currently buffered.
     pub fn buffered(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// The configured disorder tolerance in ticks.
+    pub fn slack(&self) -> u64 {
+        self.slack
+    }
+
+    /// The raw stream watermark (largest admitted time).
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// The largest time already released — events behind it are late.
+    pub fn released_to(&self) -> Timestamp {
+        self.released_to
+    }
+
+    /// Non-consuming ordered view of the buffered events, in release
+    /// order — what a checkpoint serializes.
+    pub fn buffered_events(&self) -> Vec<&Event> {
+        self.buffer.ordered().into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Rebuild a reorderer from checkpointed counters; buffered events
+    /// are re-staged separately via [`Reorderer::restore_buffered`].
+    pub fn from_parts(
+        slack: u64,
+        watermark: Timestamp,
+        released_to: Timestamp,
+        late: u64,
+    ) -> Reorderer {
+        Reorderer {
+            slack,
+            watermark,
+            released_to,
+            buffer: ReorderBuffer::new(),
+            late,
+        }
+    }
+
+    /// Re-stage checkpointed buffered events, bypassing admission and
+    /// release (a checkpoint only holds events above `released_to`, so
+    /// nothing could release anyway; going around [`Reorderer::push`]
+    /// keeps the watermark exactly as restored). Events must arrive in
+    /// the order [`Reorderer::buffered_events`] produced them so arrival
+    /// sequence numbers keep equal-time events in their original order.
+    pub fn restore_buffered(&mut self, events: impl IntoIterator<Item = Event>) {
+        for event in events {
+            debug_assert!(event.time >= self.released_to, "buffered event is late");
+            self.buffer.push(event.time, event);
+        }
     }
 }
 

@@ -1,0 +1,135 @@
+//! Snapshot codecs for the event model ([`Value`], [`Event`]) — the
+//! leaf encoders everything above (keys, window stores, reorder buffers)
+//! builds on when a session is checkpointed.
+
+use crate::event::{Event, EventId, Timestamp};
+use crate::schema::TypeId;
+use crate::value::Value;
+use cogra_checkpoint::{CheckpointError, Dec, Enc};
+
+impl Value {
+    /// Serialize as a tag byte + payload. Floats are stored by bit
+    /// pattern, so NaN keys survive a round trip with their grouping
+    /// identity intact.
+    pub fn save(&self, enc: &mut Enc) {
+        match self {
+            Value::Int(i) => {
+                enc.u8(0);
+                enc.i64(*i);
+            }
+            Value::Float(f) => {
+                enc.u8(1);
+                enc.f64(*f);
+            }
+            Value::Str(s) => {
+                enc.u8(2);
+                enc.str(s);
+            }
+            Value::Bool(b) => {
+                enc.u8(3);
+                enc.bool(*b);
+            }
+        }
+    }
+
+    /// Inverse of [`Value::save`].
+    pub fn load(dec: &mut Dec) -> Result<Value, CheckpointError> {
+        Ok(match dec.u8()? {
+            0 => Value::Int(dec.i64()?),
+            1 => Value::Float(dec.f64()?),
+            2 => Value::str(dec.str()?),
+            3 => Value::Bool(dec.bool()?),
+            t => return Err(CheckpointError::Corrupt(format!("bad value tag {t}"))),
+        })
+    }
+
+    /// Serialize a value list with a leading count.
+    pub fn save_slice(values: &[Value], enc: &mut Enc) {
+        enc.usize(values.len());
+        for v in values {
+            v.save(enc);
+        }
+    }
+
+    /// Inverse of [`Value::save_slice`].
+    pub fn load_vec(dec: &mut Dec) -> Result<Vec<Value>, CheckpointError> {
+        let n = dec.usize()?;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(Value::load(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Event {
+    /// Serialize id, time, type and attributes.
+    pub fn save(&self, enc: &mut Enc) {
+        enc.u64(self.id.0);
+        enc.u64(self.time.ticks());
+        enc.u32(self.type_id.0);
+        Value::save_slice(&self.attrs, enc);
+    }
+
+    /// Inverse of [`Event::save`].
+    pub fn load(dec: &mut Dec) -> Result<Event, CheckpointError> {
+        Ok(Event {
+            id: EventId(dec.u64()?),
+            time: Timestamp(dec.u64()?),
+            type_id: TypeId(dec.u32()?),
+            attrs: Value::load_vec(dec)?,
+        })
+    }
+
+    /// Serialize an event list with a leading count.
+    pub fn save_slice(events: &[Event], enc: &mut Enc) {
+        enc.usize(events.len());
+        for e in events {
+            e.save(enc);
+        }
+    }
+
+    /// Inverse of [`Event::save_slice`].
+    pub fn load_vec(dec: &mut Dec) -> Result<Vec<Event>, CheckpointError> {
+        let n = dec.usize()?;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(Event::load(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_and_event_round_trip() {
+        let values = vec![
+            Value::Int(-7),
+            Value::Float(f64::NAN),
+            Value::str("IBM"),
+            Value::Bool(true),
+        ];
+        let event = Event::new(42, 99, TypeId(3), values.clone());
+        let mut enc = Enc::new();
+        Value::save_slice(&values, &mut enc);
+        event.save(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(Value::load_vec(&mut dec).unwrap(), values);
+        let back = Event::load(&mut dec).unwrap();
+        assert_eq!(back, event);
+        dec.finish("event").unwrap();
+    }
+
+    #[test]
+    fn bad_tag_is_corrupt() {
+        let mut dec = Dec::new(&[9]);
+        assert!(matches!(
+            Value::load(&mut dec),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+}

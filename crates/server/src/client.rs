@@ -132,6 +132,18 @@ impl Client {
         self.control("FINISH")
     }
 
+    /// Checkpoint the serving session to a file *on the server's
+    /// filesystem* ([`Session::checkpoint`] behind the `SNAPSHOT` verb).
+    /// Returns the server's confirmation payload (`snapshot <path>`);
+    /// the server's `ERR` carries the `{path}: {CheckpointError}` text.
+    ///
+    /// [`Session::checkpoint`]: cogra_core::session::Session::checkpoint
+    pub fn snapshot(&mut self, path: &str) -> Reply<String> {
+        self.writer
+            .write_all(format!("SNAPSHOT {path}\n").as_bytes())?;
+        self.read_reply()
+    }
+
     /// Close the connection politely.
     pub fn quit(mut self) -> io::Result<()> {
         self.writer.write_all(b"QUIT\n")?;

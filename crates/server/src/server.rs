@@ -28,6 +28,7 @@
 
 use crate::wire::{self, StatsReport, EOS};
 use cogra_core::session::{Session, SessionBuilder, SessionError};
+use cogra_core::CheckpointError;
 use cogra_events::TypeRegistry;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -88,6 +89,15 @@ pub enum ServeError {
     NotLoopback(SocketAddr),
     /// The session failed to build (bad query, unsupported engine, ...).
     Session(SessionError),
+    /// Restoring the session from a snapshot failed
+    /// ([`Server::spawn_restored`]).
+    Restore {
+        /// Path of the snapshot file.
+        path: String,
+        /// What went wrong — the message is formatted `{path}: {error}`,
+        /// the same text the CLI's `--restore` prints after `error: `.
+        error: CheckpointError,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -100,6 +110,7 @@ impl fmt::Display for ServeError {
                  (no TLS/auth yet; set ServerConfig::allow_nonlocal to override)"
             ),
             ServeError::Session(e) => write!(f, "session: {e}"),
+            ServeError::Restore { path, error } => write!(f, "{path}: {error}"),
         }
     }
 }
@@ -121,6 +132,11 @@ enum Req {
     Finish {
         reply: Sender<Result<StatsReport, String>>,
     },
+    /// Checkpoint the live session to a server-side file (`SNAPSHOT`).
+    Snapshot {
+        path: String,
+        reply: Sender<Result<String, String>>,
+    },
     /// Register `stream` as a subscriber. The actor itself writes the
     /// `OK subscribed` line (and every later `RESULT`) so subscription
     /// output is totally ordered.
@@ -132,6 +148,11 @@ enum Req {
     /// Stop the actor (server shutdown).
     Shutdown,
 }
+
+/// Deferred session construction: `spawn` builds from scratch,
+/// `spawn_restored` replays a snapshot file — the actor thread runs
+/// whichever it is handed.
+type SessionFactory = Box<dyn FnOnce(&TypeRegistry) -> Result<Session, ServeError> + Send>;
 
 /// A running server: accept loop + session actor, live until
 /// [`Server::shutdown`].
@@ -155,6 +176,47 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> Result<Server, ServeError> {
+        Self::spawn_with(
+            Box::new(move |reg| builder.build(reg).map_err(ServeError::Session)),
+            registry,
+            addr,
+            config,
+        )
+    }
+
+    /// Like [`Server::spawn`], but the session is restored from the
+    /// snapshot file at `snapshot` ([`Session::checkpoint`]) instead of
+    /// built from scratch — the durability path: kill a serving process,
+    /// restart from its last snapshot, and clients resume against the
+    /// identical live state. `builder` may carry only the restore-legal
+    /// overrides (`.workers(n)` for elastic rescale, `.batch_size(n)`).
+    pub fn spawn_restored(
+        builder: SessionBuilder,
+        registry: TypeRegistry,
+        snapshot: impl Into<String>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        let path = snapshot.into();
+        Self::spawn_with(
+            Box::new(move |reg| {
+                std::fs::File::open(&path)
+                    .map_err(CheckpointError::Io)
+                    .and_then(|file| builder.restore(reg, io::BufReader::new(file)))
+                    .map_err(|error| ServeError::Restore { path, error })
+            }),
+            registry,
+            addr,
+            config,
+        )
+    }
+
+    fn spawn_with(
+        build: SessionFactory,
+        registry: TypeRegistry,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(addr).map_err(ServeError::Bind)?;
         let local = listener.local_addr().map_err(ServeError::Bind)?;
         if !config.allow_nonlocal && !local.ip().is_loopback() {
@@ -171,7 +233,7 @@ impl Server {
         let actor = {
             let config = config.clone();
             std::thread::spawn(move || {
-                let session = match builder.build(&registry) {
+                let session = match build(&registry) {
                     Ok(session) => {
                         let _ = built_tx.send(Ok(()));
                         session
@@ -186,7 +248,7 @@ impl Server {
         };
         if let Err(e) = built_rx.recv().expect("actor handshakes before serving") {
             let _ = actor.join();
-            return Err(ServeError::Session(e));
+            return Err(e);
         }
 
         let accept = {
@@ -408,6 +470,21 @@ fn session_actor(
                 };
                 let _ = reply.send(outcome);
             }
+            Req::Snapshot { path, reply } => {
+                // Error text is `{path}: {CheckpointError}` — identical to
+                // what the CLI's `--restore`/`--checkpoint` prints after
+                // `error: `, so both surfaces pin the same messages.
+                let outcome = std::fs::File::create(&path)
+                    .map_err(CheckpointError::Io)
+                    .and_then(|file| {
+                        let mut w = io::BufWriter::new(file);
+                        session.checkpoint(&mut w)?;
+                        w.flush().map_err(CheckpointError::Io)
+                    })
+                    .map(|()| path.clone())
+                    .map_err(|e| format!("{path}: {e}"));
+                let _ = reply.send(outcome);
+            }
             Req::Subscribe {
                 query,
                 stream,
@@ -625,6 +702,31 @@ fn serve_connection(
                     // the write half; this thread's job is done (its fds
                     // close, the actor's clone keeps the socket open).
                     Ok(Ok(())) => return Ok(()),
+                    Ok(Err(msg)) => reply_err(&mut writer, &msg)?,
+                    Err(_) => {
+                        reply_err(&mut writer, "server shutting down")?;
+                        return Ok(());
+                    }
+                }
+            }
+            "SNAPSHOT" => {
+                if arg.is_empty() {
+                    reply_err(&mut writer, "SNAPSHOT needs a file path")?;
+                    continue;
+                }
+                let (tx, rx) = mpsc::channel();
+                if requests
+                    .send(Req::Snapshot {
+                        path: arg.to_string(),
+                        reply: tx,
+                    })
+                    .is_err()
+                {
+                    reply_err(&mut writer, "server shutting down")?;
+                    return Ok(());
+                }
+                match rx.recv() {
+                    Ok(Ok(path)) => reply_ok(&mut writer, &format!("snapshot {path}"))?,
                     Ok(Err(msg)) => reply_err(&mut writer, &msg)?,
                     Err(_) => {
                         reply_err(&mut writer, "server shutting down")?;

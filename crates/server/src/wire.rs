@@ -15,6 +15,8 @@
 //!   SUBSCRIBE <q>       q = "q<i>" (one query) or "*" (all queries)
 //!   DRAIN               flush + emit everything final at the watermark
 //!   STATS               report counters (see StatsReport)
+//!   SNAPSHOT <path>     checkpoint the live session to a server-side file
+//!                       (restore it via `cogra-run serve --restore`)
 //!   FINISH              end of stream: close every window, end subscribers
 //!   QUIT                close this connection
 //!

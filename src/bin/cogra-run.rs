@@ -5,10 +5,12 @@
 //! cogra-run --schema schema.csv --events stream.csv --query query.cep
 //!           [--engine cogra|sase|greta|aseq|flink|oracle] [--workers N]
 //!           [--explain] [--dot] [--slack N] [--memory]
+//!           [--checkpoint snap.cogra] [--restore snap.cogra]
 //! cogra-run serve   --schema schema.csv --query query.cep
 //!           [--engine E] [--workers N] [--slack N] [--listen 127.0.0.1:7878]
+//!           [--restore snap.cogra]
 //! cogra-run connect --addr HOST:PORT --events stream.csv
-//!           [--chunk N] [--stats]
+//!           [--chunk N] [--stats] [--snapshot snap.cogra]
 //! ```
 //!
 //! * `--schema` — CSV with rows `type,attr,kind` (kind ∈ int|float|str|bool)
@@ -25,7 +27,14 @@
 //! * `--slack`  — repair up to N ticks of disorder before ingestion and
 //!   report how many late events had to be dropped;
 //! * `--explain` / `--dot` — print the compiled plan / Graphviz automaton;
-//! * `--memory` — report peak memory after the run.
+//! * `--memory` — report peak memory after the run;
+//! * `--checkpoint SNAP` — ingest the stream, print what is final at the
+//!   watermark, then write the session's remaining live state to `SNAP`
+//!   instead of closing the open windows;
+//! * `--restore SNAP` — resume from a snapshot instead of `--query`
+//!   (queries, engines and slack come from the snapshot; `--workers N`
+//!   rescales elastically). A `--checkpoint` prefix run plus a
+//!   `--restore` suffix run print exactly the uninterrupted run's rows.
 //!
 //! `serve` wraps the same session in the `cogra-server` TCP front-end
 //! (loopback-only; `--listen 127.0.0.1:0` picks an ephemeral port,
@@ -47,9 +56,11 @@ struct Args {
     schema: String,
     events: String,
     queries: Vec<String>,
-    engine: EngineKind,
-    workers: usize,
+    engine: Option<EngineKind>,
+    workers: Option<usize>,
     slack: Option<u64>,
+    checkpoint: Option<String>,
+    restore: Option<String>,
     explain: bool,
     dot: bool,
     memory: bool,
@@ -59,9 +70,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut schema = None;
     let mut events = None;
     let mut queries = Vec::new();
-    let mut engine = EngineKind::Cogra;
-    let mut workers = 1usize;
+    let mut engine = None;
+    let mut workers = None;
     let mut slack = None;
+    let mut checkpoint = None;
+    let mut restore = None;
     let mut explain = false;
     let mut dot = false;
     let mut memory = false;
@@ -72,11 +85,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--schema" => schema = Some(value("--schema")?),
             "--events" => events = Some(value("--events")?),
             "--query" => queries.push(value("--query")?),
-            "--engine" => engine = value("--engine")?.parse()?,
+            "--engine" => engine = Some(value("--engine")?.parse::<EngineKind>()?),
             "--workers" => {
-                workers = value("--workers")?
-                    .parse()
-                    .map_err(|_| "--workers needs an integer".to_string())?
+                workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs an integer".to_string())?,
+                )
             }
             "--slack" => {
                 slack = Some(
@@ -85,6 +100,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| "--slack needs an integer".to_string())?,
                 )
             }
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+            "--restore" => restore = Some(value("--restore")?),
             "--explain" => explain = true,
             "--dot" => dot = true,
             "--memory" => memory = true,
@@ -92,7 +109,22 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if queries.is_empty() {
+    if restore.is_some() {
+        // The snapshot fixes queries, engines and slack; only the
+        // execution-shape knobs may be overridden (Session enforces the
+        // same contract — this just gives flag-level messages).
+        if !queries.is_empty() {
+            return Err("--query cannot be combined with --restore \
+                        (the snapshot defines the queries)"
+                .into());
+        }
+        if engine.is_some() {
+            return Err("--engine cannot be combined with --restore".into());
+        }
+        if slack.is_some() {
+            return Err("--slack cannot be combined with --restore".into());
+        }
+    } else if queries.is_empty() {
         return Err("--query is required".into());
     }
     Ok(Args {
@@ -102,6 +134,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         engine,
         workers,
         slack,
+        checkpoint,
+        restore,
         explain,
         dot,
         memory,
@@ -172,19 +206,40 @@ fn run(argv: &[String]) -> Result<(), String> {
 
     let stream = read(&args.events)?;
 
-    let mut builder = Session::builder().engine(args.engine).workers(args.workers);
-    if let Some(slack) = args.slack {
-        builder = builder.slack(slack);
+    let session = if let Some(snap) = &args.restore {
+        // The snapshot is authoritative for queries/engines/slack;
+        // --workers opts into an elastic rescale.
+        let mut builder = Session::builder();
+        if let Some(workers) = args.workers {
+            builder = builder.workers(workers);
+        }
+        let file = std::fs::File::open(snap).map_err(|e| format!("{snap}: {e}"))?;
+        builder
+            .restore(&registry, std::io::BufReader::new(file))
+            .map_err(|e| format!("{snap}: {e}"))?
+    } else {
+        let mut builder = Session::builder()
+            .engine(args.engine.unwrap_or(EngineKind::Cogra))
+            .workers(args.workers.unwrap_or(1));
+        if let Some(slack) = args.slack {
+            builder = builder.slack(slack);
+        }
+        for query in &queries {
+            builder = builder.query(query);
+        }
+        builder.build(&registry).map_err(|e| match e {
+            // Attribute per-query failures to their query file.
+            SessionError::Query { query, error } => format!("{}: {error}", args.queries[query]),
+            other => other.to_string(),
+        })?
+    };
+    let multi = session.queries() > 1;
+    let engine = session.kind();
+
+    if let Some(path) = &args.checkpoint {
+        return checkpoint_run(session, &args, engine, multi, &stream, &registry, path);
     }
-    for query in &queries {
-        builder = builder.query(query);
-    }
-    let session = builder.build(&registry).map_err(|e| match e {
-        // Attribute per-query failures to their query file.
-        SessionError::Query { query, error } => format!("{}: {error}", args.queries[query]),
-        other => other.to_string(),
-    })?;
-    let multi = queries.len() > 1;
+
     // One pass: CSV rows are decoded and ingested through the Session's
     // shared decode path (`run_csv`), never materializing the event
     // vector. Out-of-order rows fail here unless --slack repairs them.
@@ -207,20 +262,80 @@ fn run(argv: &[String]) -> Result<(), String> {
     let ingested = run.events - run.late_events;
     // Report the shard count actually used, not the one requested: a
     // query without a GROUP-BY prefix clamps to one worker.
-    let workers = match (args.workers, run.workers) {
-        (requested, _) if requested <= 1 => String::new(),
-        (requested, effective) if effective == requested => format!(", {effective} workers"),
-        (requested, effective) => format!(", {effective} of {requested} workers effective"),
-    };
-    eprintln!(
-        "{ingested} events → {total} results ({}{workers})",
-        args.engine
-    );
-    if args.slack.is_some() {
+    let workers = format_workers(args.workers, run.workers);
+    eprintln!("{ingested} events → {total} results ({engine}{workers})");
+    if args.slack.is_some() || run.late_events > 0 {
         eprintln!("reorder: {} late event(s) dropped", run.late_events);
     }
     if args.memory {
         eprintln!("peak memory: {} bytes", run.peak_bytes);
+    }
+    Ok(())
+}
+
+/// Shard-count suffix of the summary line: report the count actually
+/// used, not the one requested — a query without a GROUP-BY prefix
+/// clamps to one worker.
+fn format_workers(requested: Option<usize>, effective: usize) -> String {
+    match (requested, effective) {
+        (None | Some(0) | Some(1), 0..=1) => String::new(),
+        (None, effective) => format!(", {effective} workers"),
+        (Some(requested), effective) if effective == requested => {
+            format!(", {effective} workers")
+        }
+        (Some(requested), effective) => format!(", {effective} of {requested} workers effective"),
+    }
+}
+
+/// `--checkpoint PATH`: ingest the stream, print what is final at the
+/// watermark, then snapshot the session's remaining live state to PATH
+/// *instead of* finishing it — the open windows live on in the snapshot
+/// and a later `--restore PATH` run picks up exactly where this left
+/// off (together they print precisely the uninterrupted run's rows).
+fn checkpoint_run(
+    mut session: Session,
+    args: &Args,
+    engine: EngineKind,
+    multi: bool,
+    stream: &str,
+    registry: &TypeRegistry,
+    path: &str,
+) -> Result<(), String> {
+    let count = session
+        .ingest_csv(stream, registry)
+        .map_err(|e| format!("{}: {e}", args.events))?;
+    let mut per_query: Vec<Vec<WindowResult>> = vec![Vec::new(); session.queries()];
+    session.drain_into(&mut |query: usize, result: WindowResult| per_query[query].push(result));
+    for results in &mut per_query {
+        WindowResult::sort(results);
+    }
+    for (i, results) in per_query.iter().enumerate() {
+        for r in results {
+            if multi {
+                println!("q{i}: {r}");
+            } else {
+                println!("{r}");
+            }
+        }
+    }
+
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    session
+        .checkpoint(&mut writer)
+        .map_err(|e| format!("{path}: {e}"))?;
+    writer.flush().map_err(|e| format!("{path}: {e}"))?;
+
+    let total: usize = per_query.iter().map(Vec::len).sum();
+    let late = session.late_events();
+    let ingested = count - late;
+    let workers = format_workers(args.workers, session.workers());
+    eprintln!("{ingested} events → {total} results ({engine}{workers}); snapshot → {path}");
+    if args.slack.is_some() || late > 0 {
+        eprintln!("reorder: {late} late event(s) dropped");
+    }
+    if args.memory {
+        eprintln!("memory: {} bytes", session.memory_bytes());
     }
     Ok(())
 }
@@ -230,9 +345,10 @@ fn run(argv: &[String]) -> Result<(), String> {
 fn serve(argv: &[String]) -> Result<(), String> {
     let mut schema = None;
     let mut queries: Vec<String> = Vec::new();
-    let mut engine = EngineKind::Cogra;
-    let mut workers = 1usize;
+    let mut engine: Option<EngineKind> = None;
+    let mut workers: Option<usize> = None;
     let mut slack = None;
+    let mut restore: Option<String> = None;
     let mut listen = "127.0.0.1:7878".to_string();
     let mut it = argv.iter().cloned();
     while let Some(arg) = it.next() {
@@ -240,11 +356,13 @@ fn serve(argv: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--schema" => schema = Some(value("--schema")?),
             "--query" => queries.push(value("--query")?),
-            "--engine" => engine = value("--engine")?.parse()?,
+            "--engine" => engine = Some(value("--engine")?.parse::<EngineKind>()?),
             "--workers" => {
-                workers = value("--workers")?
-                    .parse()
-                    .map_err(|_| "--workers needs an integer".to_string())?
+                workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs an integer".to_string())?,
+                )
             }
             "--slack" => {
                 slack = Some(
@@ -253,16 +371,41 @@ fn serve(argv: &[String]) -> Result<(), String> {
                         .map_err(|_| "--slack needs an integer".to_string())?,
                 )
             }
+            "--restore" => restore = Some(value("--restore")?),
             "--listen" => listen = value("--listen")?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if let Some(snap) = &restore {
+        if !queries.is_empty() {
+            return Err("--query cannot be combined with --restore \
+                        (the snapshot defines the queries)"
+                .into());
+        }
+        if engine.is_some() {
+            return Err("--engine cannot be combined with --restore".into());
+        }
+        if slack.is_some() {
+            return Err("--slack cannot be combined with --restore".into());
+        }
+        let registry = load_registry(&read(&schema.ok_or("--schema is required")?)?)?;
+        let mut builder = Session::builder();
+        if let Some(workers) = workers {
+            builder = builder.workers(workers);
+        }
+        let server =
+            Server::spawn_restored(builder, registry, snap, &*listen, ServerConfig::default())
+                .map_err(|e| e.to_string())?;
+        return serve_loop(server);
+    }
     if queries.is_empty() {
         return Err("--query is required".into());
     }
     let registry = load_registry(&read(&schema.ok_or("--schema is required")?)?)?;
-    let mut builder = Session::builder().engine(engine).workers(workers);
+    let mut builder = Session::builder()
+        .engine(engine.unwrap_or(EngineKind::Cogra))
+        .workers(workers.unwrap_or(1));
     if let Some(slack) = slack {
         builder = builder.slack(slack);
     }
@@ -271,6 +414,12 @@ fn serve(argv: &[String]) -> Result<(), String> {
     }
     let server = Server::spawn(builder, registry, &*listen, ServerConfig::default())
         .map_err(|e| e.to_string())?;
+    serve_loop(server)
+}
+
+/// The common serving tail: announce the port, serve until a client's
+/// `FINISH`, shut down.
+fn serve_loop(server: Server) -> Result<(), String> {
     // The port line is the handshake scripts parse — flush past the
     // pipe buffering println! would leave it in.
     println!("listening on {}", server.local_addr());
@@ -288,6 +437,7 @@ fn connect(argv: &[String]) -> Result<(), String> {
     let mut events = None;
     let mut chunk = 1_000usize;
     let mut stats = false;
+    let mut snapshot: Option<String> = None;
     let mut it = argv.iter().cloned();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -301,6 +451,7 @@ fn connect(argv: &[String]) -> Result<(), String> {
                     .max(1)
             }
             "--stats" => stats = true,
+            "--snapshot" => snapshot = Some(value("--snapshot")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -340,6 +491,12 @@ fn connect(argv: &[String]) -> Result<(), String> {
         .replay_csv(&csv, chunk)
         .map_err(io_err)?
         .map_err(|e| format!("{events_path}: {e}"))?;
+    if let Some(path) = &snapshot {
+        // Checkpoint the still-open session (server-side file) before
+        // FINISH discards its live state.
+        control.snapshot(path).map_err(io_err)?.map_err(srv_err)?;
+        eprintln!("snapshot → {path}");
+    }
     let report = control.finish().map_err(io_err)?.map_err(srv_err)?;
     let printed = printer
         .join()
@@ -366,10 +523,14 @@ fn connect(argv: &[String]) -> Result<(), String> {
 
 const USAGE: &str = "usage: cogra-run --schema schema.csv --events stream.csv --query query.cep \
      [--engine cogra|sase|greta|aseq|flink|oracle] [--workers N] [--slack N] \
-     [--explain] [--dot] [--memory]\n\
+     [--checkpoint SNAP] [--explain] [--dot] [--memory]\n\
+       cogra-run --schema schema.csv --events stream.csv --restore SNAP [--workers N] \
+     [--checkpoint SNAP] [--memory]\n\
        cogra-run serve --schema schema.csv --query query.cep [--engine E] \
      [--workers N] [--slack N] [--listen ADDR]\n\
-       cogra-run connect --addr HOST:PORT --events stream.csv [--chunk N] [--stats]";
+       cogra-run serve --schema schema.csv --restore SNAP [--workers N] [--listen ADDR]\n\
+       cogra-run connect --addr HOST:PORT --events stream.csv [--chunk N] [--stats] \
+     [--snapshot SNAP]";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -82,8 +82,8 @@ pub mod prelude {
         TaggedResult,
     };
     pub use cogra_core::{
-        run_parallel, run_to_completion, AggValue, CograEngine, EngineConfig, RunStats,
-        TrendEngine, WindowResult,
+        run_parallel, run_to_completion, AggValue, CheckpointError, CograEngine, EngineConfig,
+        RunStats, TrendEngine, WindowResult,
     };
     pub use cogra_events::{
         read_events, write_events, Event, EventBuilder, EventReader, Timestamp, TypeRegistry,

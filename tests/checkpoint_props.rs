@@ -1,0 +1,656 @@
+//! Differential battery for the durability subsystem: a run-prefix →
+//! `Session::checkpoint` → `SessionBuilder::restore` → run-suffix
+//! pipeline must be **byte-identical** — results, late-drop counts, run
+//! stats — to the same stream run uninterrupted, across workloads
+//! {stock, rideshare, transport} × snapshot/restore workers {1, 2, 4, 8}
+//! × slack {0, 8}, including elastic rescales (snapshot width ≠ restore
+//! width), edge splits (checkpoint before the first / after the last
+//! event) and chained snapshots (restore of a restore).
+//!
+//! On top of the in-process battery:
+//! * a server kill-and-resume e2e: ingest a prefix through
+//!   `cogra-server`, `SNAPSHOT`, hard-stop the server *without* `FINISH`,
+//!   resume a second server from the file at a different width, replay
+//!   the suffix — the two subscribers' pushed rows concatenate to the
+//!   uninterrupted run;
+//! * error-text pinning: a damaged snapshot produces the *same*
+//!   `{path}: {CheckpointError}` text from the CLI (`--restore`) and the
+//!   server (`spawn_restored`), for every corruption class;
+//! * the interner-compaction regression: a partition-churning stream
+//!   checkpoints only live partitions, so the restored session's
+//!   `memory_bytes` drops and a revived dead key re-allocates.
+//!
+//! Every test body runs under a watchdog so a wedged shard pool or a
+//! hung server fails fast instead of stalling CI.
+
+use cogra::prelude::*;
+use cogra::workloads::{rideshare, stock, transport};
+use cogra::workloads::{RideshareConfig, StockConfig, TransportConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Per-test timeout: generous for debug builds, far below CI's patience.
+const WATCHDOG_SECS: u64 = 120;
+
+/// Run `f` on its own thread; panic if it does not finish in time.
+fn watchdog<T: Send + 'static>(name: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(WATCHDOG_SECS)) {
+        Ok(value) => {
+            let _ = worker.join();
+            value
+        }
+        Err(_) => panic!("{name}: hung for {WATCHDOG_SECS}s (shard pool / server deadlock?)"),
+    }
+}
+
+/// One battery workload: registry, query, and a generated stream.
+fn workload(idx: usize, seed: u64, n: usize) -> (TypeRegistry, String, Vec<Event>) {
+    match idx {
+        0 => (
+            stock::registry(),
+            stock::q3_query(50, 25),
+            stock::generate(&StockConfig {
+                events: n,
+                seed,
+                ..StockConfig::default()
+            }),
+        ),
+        1 => (
+            rideshare::registry(),
+            rideshare::q2_query(80, 40),
+            rideshare::generate(&RideshareConfig {
+                events: n,
+                seed,
+                ..RideshareConfig::default()
+            }),
+        ),
+        _ => (
+            transport::registry(),
+            transport::next_query(40, 20),
+            transport::generate(&TransportConfig {
+                events: n,
+                seed,
+                ..TransportConfig::default()
+            }),
+        ),
+    }
+}
+
+/// Disorder the arrival order with bounded displacement (same idiom as
+/// `tests/server_e2e_props.rs`): offsets beyond the session's slack make
+/// some events hopelessly late, so the battery checks late-drop
+/// accounting across the checkpoint too.
+fn jitter(events: Vec<Event>, extent: u64, seed: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keyed: Vec<(u64, usize, Event)> = events
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| (e.time.ticks() + rng.random_range(0..=extent), i, e))
+        .collect();
+    keyed.sort_by_key(|&(key, position, _)| (key, position));
+    keyed.into_iter().map(|(_, _, e)| e).collect()
+}
+
+fn builder_for(query: &str, workers: usize, slack: u64) -> SessionBuilder {
+    let mut builder = Session::builder().query(query).workers(workers);
+    if slack > 0 {
+        builder = builder.slack(slack);
+    }
+    builder
+}
+
+/// A collision-free scratch path under the OS temp dir.
+fn temp_path(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("cogra-ckpt-{}-{tag}.snap", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// The differential core: feed `events[..split]` at `snap_workers`,
+/// checkpoint, restore the snapshot at `restore_workers`, feed the rest,
+/// finish — and compare everything observable against the uninterrupted
+/// run. The batch-size axis is derived from the seed: the prefix session
+/// (and its reference) picks one shard-transport batch size, the
+/// restored session independently overrides another — the snapshot
+/// boundary must be transparent to both. Returns
+/// `(snapshot_bytes, late_drops)` for battery-wide liveness checks.
+fn split_case(
+    wl: usize,
+    seed: u64,
+    n: usize,
+    snap_workers: usize,
+    restore_workers: usize,
+    slack: u64,
+    split: usize,
+) -> (usize, u64) {
+    const BATCHES: [usize; 4] = [1, 7, 256, 512];
+    let snap_batch = BATCHES[(seed % 4) as usize];
+    let restore_batch = BATCHES[(seed / 4 % 4) as usize];
+    let (registry, query, events) = workload(wl, seed, n);
+    let events = if slack > 0 {
+        jitter(events, slack + 4, seed ^ 0x9e37)
+    } else {
+        events
+    };
+    let split = split.min(events.len());
+    let label = format!(
+        "wl={wl} seed={seed} split={split}/{n} {snap_workers}→{restore_workers} workers \
+         slack={slack} batch {snap_batch}→{restore_batch}"
+    );
+
+    let reference = builder_for(&query, snap_workers, slack)
+        .batch_size(snap_batch)
+        .build(&registry)
+        .expect("reference session builds")
+        .run(&events);
+
+    let mut session = builder_for(&query, snap_workers, slack)
+        .batch_size(snap_batch)
+        .build(&registry)
+        .expect("prefix session builds");
+    let mut collected: Vec<TaggedResult> = Vec::new();
+    for e in &events[..split] {
+        session.process(e);
+        session.drain_into(&mut collected);
+    }
+    let mut snap = Vec::new();
+    session.checkpoint(&mut snap).expect("checkpoint");
+    drop(session);
+
+    let mut restored = Session::builder()
+        .workers(restore_workers)
+        .batch_size(restore_batch)
+        .restore(&registry, snap.as_slice())
+        .unwrap_or_else(|e| panic!("restore failed ({label}): {e}"));
+    for e in &events[split..] {
+        restored.process(e);
+        restored.drain_into(&mut collected);
+    }
+    restored.finish_into(&mut collected);
+    let stats = restored.run_stats();
+    let late = restored.late_events();
+
+    let mut per_query: Vec<Vec<WindowResult>> = vec![Vec::new(); reference.per_query.len()];
+    for t in collected {
+        per_query[t.query].push(t.result);
+    }
+    for results in &mut per_query {
+        WindowResult::sort(results);
+    }
+
+    assert_eq!(per_query, reference.per_query, "results differ ({label})");
+    assert_eq!(late, reference.late_events, "late drops differ ({label})");
+    // Routed (event, engine) pairs are identical on both paths; key
+    // materializations can only *grow* across a restore, when interner
+    // compaction dropped a dead key that the suffix then revives.
+    assert_eq!(
+        stats.key_probes, reference.stats.key_probes,
+        "probe counts differ ({label})"
+    );
+    assert!(
+        stats.key_allocs >= reference.stats.key_allocs,
+        "restored run allocated fewer keys than uninterrupted ({label}): {} < {}",
+        stats.key_allocs,
+        reference.stats.key_allocs
+    );
+    (snap.len(), late)
+}
+
+#[test]
+fn grid_rescale_round_trips() {
+    // Workload 0 runs the full {1,2,4,8}² rescale grid; the others cover
+    // the interesting corners (scale-up, scale-down, identity, and the
+    // streaming↔pool transitions through width 1).
+    const FULL: [usize; 4] = [1, 2, 4, 8];
+    let corners: [(usize, usize); 6] = [(1, 4), (4, 1), (2, 8), (8, 2), (1, 1), (8, 8)];
+    let mut late_total = 0u64;
+    for wl in 0..3 {
+        let pairs: Vec<(usize, usize)> = if wl == 0 {
+            FULL.iter()
+                .flat_map(|&sw| FULL.iter().map(move |&rw| (sw, rw)))
+                .collect()
+        } else {
+            corners.to_vec()
+        };
+        for slack in [0u64, 8] {
+            for &(sw, rw) in &pairs {
+                let label = format!("grid wl={wl} {sw}→{rw} slack={slack}");
+                late_total += watchdog(&label.clone(), move || {
+                    split_case(wl, 11, 320, sw, rw, slack, 140).1
+                });
+            }
+        }
+    }
+    // The slack axis must have exercised real drops, or the late-drop
+    // parity assertions above were vacuous.
+    assert!(late_total > 0, "the jittered grid cases dropped no events");
+}
+
+#[test]
+fn edge_splits_round_trip() {
+    // split = 0: the snapshot captures a virgin session (with slack, an
+    // empty reorder buffer). split = n: the whole stream is inside the
+    // snapshot and the restored session only has to finish.
+    for (sw, rw) in [(1usize, 4usize), (4, 2)] {
+        for slack in [0u64, 8] {
+            for split in [0usize, 200] {
+                let label = format!("edge {sw}→{rw} slack={slack} split={split}");
+                watchdog(&label.clone(), move || {
+                    split_case(1, 5, 200, sw, rw, slack, split);
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn chained_checkpoints_round_trip() {
+    // A restore of a restore: the stream crosses several snapshots, each
+    // resuming at a different width. Proves restored sessions checkpoint
+    // as well as built ones.
+    fn chain(wl: usize, widths: &[usize], slack: u64) {
+        let n = 360;
+        let (registry, query, events) = workload(wl, 13, n);
+        let events = if slack > 0 {
+            jitter(events, slack + 4, 0x51ac)
+        } else {
+            events
+        };
+        let reference = builder_for(&query, widths[0], slack)
+            .build(&registry)
+            .expect("reference builds")
+            .run(&events);
+
+        let mut collected: Vec<TaggedResult> = Vec::new();
+        let mut session = builder_for(&query, widths[0], slack)
+            .build(&registry)
+            .expect("first session builds");
+        let cut = events.len() / widths.len();
+        for (leg, width) in widths.iter().enumerate().skip(1) {
+            for e in &events[(leg - 1) * cut..leg * cut] {
+                session.process(e);
+                session.drain_into(&mut collected);
+            }
+            let mut snap = Vec::new();
+            session.checkpoint(&mut snap).expect("checkpoint");
+            session = Session::builder()
+                .workers(*width)
+                .restore(&registry, snap.as_slice())
+                .unwrap_or_else(|e| panic!("leg {leg} restore: {e}"));
+        }
+        for e in &events[(widths.len() - 1) * cut..] {
+            session.process(e);
+            session.drain_into(&mut collected);
+        }
+        session.finish_into(&mut collected);
+
+        let mut per_query: Vec<Vec<WindowResult>> = vec![Vec::new(); reference.per_query.len()];
+        for t in collected {
+            per_query[t.query].push(t.result);
+        }
+        for results in &mut per_query {
+            WindowResult::sort(results);
+        }
+        let label = format!("chain wl={wl} widths={widths:?} slack={slack}");
+        assert_eq!(per_query, reference.per_query, "results differ ({label})");
+        assert_eq!(
+            session.late_events(),
+            reference.late_events,
+            "late drops differ ({label})"
+        );
+    }
+    watchdog("chain-wide", || chain(0, &[4, 1, 8, 2], 0));
+    watchdog("chain-slack", || chain(2, &[1, 4, 2], 8));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_splits_round_trip(
+        wl in 0usize..3,
+        pair_idx in 0usize..16,
+        slack_idx in 0usize..2,
+        seed in 0u64..10_000,
+        n in 120usize..420,
+        split_pct in 0usize..101,
+    ) {
+        let sw = [1, 2, 4, 8][pair_idx / 4];
+        let rw = [1, 2, 4, 8][pair_idx % 4];
+        let slack = [0u64, 8][slack_idx];
+        let split = n * split_pct / 100;
+        let label = format!("prop wl={wl} {sw}→{rw} slack={slack} seed={seed} split={split}");
+        watchdog(&label.clone(), move || {
+            split_case(wl, seed, n, sw, rw, slack, split);
+        });
+    }
+}
+
+/// Collect pushed rows until `EOS` *or* the connection drops — the
+/// kill-and-resume test hard-stops the first server mid-stream, so its
+/// subscriber ends on a reset, not an `EOS`.
+fn collect_rows(subscription: Subscription) -> Vec<String> {
+    let mut rows = Vec::new();
+    for item in subscription {
+        match item {
+            Ok((q, row)) => rows.push(format!("q{q} {row}")),
+            Err(_) => break,
+        }
+    }
+    rows
+}
+
+#[test]
+fn server_kill_and_resume_equals_uninterrupted() {
+    watchdog("kill-and-resume", || {
+        let slack = 8u64;
+        let (registry, query, events) = workload(0, 21, 320);
+        let events = jitter(events, slack + 4, 0x5eed);
+        let reference = builder_for(&query, 4, slack)
+            .build(&registry)
+            .expect("reference builds")
+            .run(&events);
+        let mut expected: Vec<String> = reference
+            .per_query
+            .iter()
+            .enumerate()
+            .flat_map(|(q, results)| results.iter().map(move |r| format!("q{q} {r}")))
+            .collect();
+        expected.sort();
+
+        let split = events.len() / 2;
+        let head = write_events(&events[..split], &registry);
+        let tail = write_events(&events[split..], &registry);
+        let snap = temp_path("resume");
+
+        // Server 1: ingest the prefix, SNAPSHOT, hard stop — no FINISH,
+        // so open windows are *not* force-closed; they live in the file.
+        let server = Server::spawn(
+            builder_for(&query, 4, slack),
+            registry.clone(),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("server 1 starts");
+        let addr = server.local_addr();
+        let subscription = Client::connect(addr)
+            .expect("subscriber 1 connects")
+            .subscribe(None)
+            .expect("subscribe io")
+            .expect("subscribe accepted");
+        let collector = std::thread::spawn(move || collect_rows(subscription));
+        let mut feed = Client::connect(addr).expect("feed 1 connects");
+        feed.replay_csv(&head, 64).expect("io").expect("ingest ok");
+        feed.drain().expect("io").expect("drain ok");
+        feed.snapshot(&snap).expect("io").expect("snapshot ok");
+        server.shutdown();
+        let mut rows = collector.join().expect("subscriber 1 joins");
+
+        // Server 2: resume from the file at a different width, replay the
+        // suffix, FINISH for real.
+        let server = Server::spawn_restored(
+            Session::builder().workers(2),
+            registry.clone(),
+            &*snap,
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("server 2 restores");
+        let addr = server.local_addr();
+        let subscription = Client::connect(addr)
+            .expect("subscriber 2 connects")
+            .subscribe(None)
+            .expect("subscribe io")
+            .expect("subscribe accepted");
+        let collector = std::thread::spawn(move || collect_rows(subscription));
+        let mut feed = Client::connect(addr).expect("feed 2 connects");
+        feed.replay_csv(&tail, 64).expect("io").expect("ingest ok");
+        let finish = feed.finish().expect("io").expect("finish ok");
+        rows.extend(collector.join().expect("subscriber 2 joins"));
+        server.shutdown();
+        std::fs::remove_file(&snap).ok();
+
+        rows.sort();
+        assert_eq!(rows, expected, "prefix + resumed rows ≠ uninterrupted run");
+        // The reorderer's late counter crossed the restart inside the
+        // snapshot: the resumed server reports the *stream-wide* total.
+        assert_eq!(
+            finish.late, reference.late_events,
+            "late drops lost across the restart"
+        );
+        assert_eq!(finish.workers, 2, "resume did not rescale to 2 workers");
+        assert!(finish.finished);
+        assert!(
+            !rows.is_empty(),
+            "battery bug: the split emitted nothing before the kill"
+        );
+    });
+}
+
+/// One corruption case: damage a valid snapshot with `damage`, then
+/// assert the CLI (`--restore`) and the server (`spawn_restored`) report
+/// the *identical* `{path}: {CheckpointError}` text.
+fn pin_corruption_case(
+    tag: &str,
+    valid: &[u8],
+    registry: &TypeRegistry,
+    schema_path: &str,
+    events_path: &str,
+    damage: impl FnOnce(&mut Vec<u8>),
+    expect_contains: &str,
+) {
+    let mut bytes = valid.to_vec();
+    damage(&mut bytes);
+    let snap = temp_path(tag);
+    std::fs::write(&snap, &bytes).expect("write damaged snapshot");
+
+    // Server side: the typed error, displayed exactly as the ERR payload.
+    let server_err = match Server::spawn_restored(
+        Session::builder(),
+        registry.clone(),
+        &*snap,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    ) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("{tag}: server restored a damaged snapshot"),
+    };
+    assert!(
+        server_err.contains(expect_contains),
+        "{tag}: server error `{server_err}` does not mention `{expect_contains}`"
+    );
+    assert!(
+        server_err.starts_with(&snap),
+        "{tag}: server error `{server_err}` is not `{{path}}: …`"
+    );
+
+    // CLI side: `error: {path}: {display}` on stderr, nonzero exit.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_cogra-run"))
+        .args([
+            "--schema",
+            schema_path,
+            "--events",
+            events_path,
+            "--restore",
+            &snap,
+        ])
+        .output()
+        .expect("cogra-run executes");
+    assert!(!output.status.success(), "{tag}: CLI exited 0");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let cli_line = stderr
+        .lines()
+        .find(|l| l.starts_with("error: "))
+        .unwrap_or_else(|| panic!("{tag}: no `error:` line in CLI stderr `{stderr}`"));
+    assert_eq!(
+        cli_line,
+        format!("error: {server_err}"),
+        "{tag}: CLI and server disagree on the error text"
+    );
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn corrupt_snapshot_errors_pin_cli_and_server() {
+    watchdog("corruption-pinning", || {
+        // A real snapshot to damage, from a tiny churn-free session.
+        let mut registry = TypeRegistry::new();
+        let t = registry.register_type("T", vec![("g", ValueKind::Int), ("v", ValueKind::Int)]);
+        let query = "RETURN g, COUNT(*) PATTERN T t+ SEMANTICS skip-till-any-match \
+                     GROUP-BY g WITHIN 8 SLIDE 8";
+        let mut builder = EventBuilder::new();
+        let events: Vec<Event> = (0..24)
+            .map(|i| builder.event(i + 1, t, vec![Value::Int(i as i64 / 4), Value::Int(1)]))
+            .collect();
+        let mut session = Session::builder()
+            .query(query)
+            .build(&registry)
+            .expect("session builds");
+        for e in &events {
+            session.process(e);
+        }
+        let mut valid = Vec::new();
+        session.checkpoint(&mut valid).expect("checkpoint");
+
+        // The CLI needs a schema and an events file; the restore error
+        // fires before either stream row is parsed.
+        let schema_path = temp_path("schema");
+        let events_path = temp_path("events");
+        std::fs::write(&schema_path, "T,g,int\nT,v,int\n").expect("write schema");
+        std::fs::write(&events_path, write_events(&events, &registry)).expect("write events");
+
+        pin_corruption_case(
+            "bad-magic",
+            &valid,
+            &registry,
+            &schema_path,
+            &events_path,
+            |b| b[0] ^= 0xff,
+            "not a cogra snapshot",
+        );
+        pin_corruption_case(
+            "future-version",
+            &valid,
+            &registry,
+            &schema_path,
+            &events_path,
+            |b| b[8..12].copy_from_slice(&99u32.to_le_bytes()),
+            "newer than supported",
+        );
+        let half = valid.len() / 2;
+        pin_corruption_case(
+            "truncated",
+            &valid,
+            &registry,
+            &schema_path,
+            &events_path,
+            move |b| b.truncate(half),
+            "truncated",
+        );
+        let last = valid.len() - 1;
+        pin_corruption_case(
+            "checksum",
+            &valid,
+            &registry,
+            &schema_path,
+            &events_path,
+            move |b| b[last] ^= 0xff,
+            "checksum mismatch",
+        );
+
+        std::fs::remove_file(&schema_path).ok();
+        std::fs::remove_file(&events_path).ok();
+    });
+}
+
+#[test]
+fn churn_snapshot_compacts_interner() {
+    watchdog("churn-compaction", || {
+        // 100 group keys, each alive for 4 ticks under WITHIN 8 SLIDE 8:
+        // by the end of the stream almost every partition's windows have
+        // closed and drained — the keys are dead weight the snapshot
+        // rewrite is allowed to shed.
+        let mut registry = TypeRegistry::new();
+        let t = registry.register_type("T", vec![("g", ValueKind::Int), ("v", ValueKind::Int)]);
+        let query = "RETURN g, COUNT(*) PATTERN T t+ SEMANTICS skip-till-any-match \
+                     GROUP-BY g WITHIN 8 SLIDE 8";
+        let mut builder = EventBuilder::new();
+        let events: Vec<Event> = (0..400u64)
+            .map(|i| builder.event(i + 1, t, vec![Value::Int(i as i64 / 4), Value::Int(1)]))
+            .collect();
+
+        let mut session = Session::builder()
+            .query(query)
+            .build(&registry)
+            .expect("session builds");
+        let mut drained: Vec<TaggedResult> = Vec::new();
+        for e in &events {
+            session.process(e);
+            session.drain_into(&mut drained);
+        }
+        let before = session.memory_bytes();
+
+        let mut snap = Vec::new();
+        session.checkpoint(&mut snap).expect("checkpoint");
+        let mut restored = Session::builder()
+            .restore(&registry, snap.as_slice())
+            .expect("restore");
+        let after = restored.memory_bytes();
+        assert!(
+            after * 2 < before,
+            "snapshot rewrite did not compact: {after} bytes restored vs {before} live"
+        );
+
+        // The compaction is exactly "retained keys == live partitions":
+        // reviving the long-dead key g=0 re-allocates on the restored
+        // session but probes straight through on the original.
+        let allocs_orig = session.run_stats().key_allocs;
+        let allocs_restored = restored.run_stats().key_allocs;
+        assert_eq!(
+            allocs_orig, allocs_restored,
+            "restore changed the checkpointed alloc counter"
+        );
+        let revival = builder.event(401, t, vec![Value::Int(0), Value::Int(1)]);
+        session.process(&revival);
+        restored.process(&revival);
+        assert_eq!(
+            session.run_stats().key_allocs,
+            allocs_orig,
+            "original session re-allocated a key it still holds"
+        );
+        assert_eq!(
+            restored.run_stats().key_allocs,
+            allocs_restored + 1,
+            "restored session kept a dead key the snapshot should have shed"
+        );
+
+        // Compaction must not change behavior: both sessions finish with
+        // identical remaining results.
+        let mut tail_orig: Vec<TaggedResult> = session.finish();
+        let mut tail_restored: Vec<TaggedResult> = restored.finish();
+        let key = |t: &TaggedResult| (t.query, t.result.to_string());
+        tail_orig.sort_by_key(key);
+        tail_restored.sort_by_key(key);
+        assert_eq!(
+            tail_orig.len(),
+            tail_restored.len(),
+            "restored tail emits a different result count"
+        );
+        for (a, b) in tail_orig.iter().zip(&tail_restored) {
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.result, b.result);
+        }
+        assert!(
+            !tail_orig.is_empty(),
+            "battery bug: the churn tail emitted nothing"
+        );
+    });
+}

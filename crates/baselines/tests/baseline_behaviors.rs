@@ -167,6 +167,7 @@ fn flatten_cap_trades_coverage_for_feasibility() {
         parse("RETURN COUNT(*) PATTERN (SEQ(A+, B))+ SEMANTICS ANY WITHIN 100 SLIDE 100").unwrap();
     let capped = EngineConfig {
         flatten_cap: Some(2),
+        ..EngineConfig::default()
     };
     let mut flink = flink_engine(&q, &reg, capped.clone()).unwrap();
     let (results, _) = run_to_completion(&mut flink, &events, 1);

@@ -1,12 +1,13 @@
 //! `throughput` — the perf-trajectory harness.
 //!
-//! Replays the stock and rideshare workloads through the unified
+//! Replays the stock and rideshare workloads — plus the four adversarial
+//! generators (skew, churn, burst, fraud) — through the unified
 //! [`Session`] pipeline and records ingest-path throughput (events per
 //! second), peak logical memory, and routing statistics per
 //! workload × worker count, as JSON. The checked-in `BENCH_PR3.json` /
-//! `BENCH_PR4.json` files at the repository root are the points of the
-//! perf trajectory this repo tracks; re-run the harness after a hot-path
-//! change and diff.
+//! `BENCH_PR4.json` / `BENCH_PR7.json` files at the repository root are
+//! the points of the perf trajectory this repo tracks; re-run the
+//! harness after a hot-path change and diff.
 //!
 //! ```text
 //! cargo run -p cogra-bench --release --bin throughput -- \
@@ -47,7 +48,10 @@
 use cogra_core::session::Session;
 use cogra_events::{write_events, Event, TypeRegistry};
 use cogra_server::{Client, Server, ServerConfig};
-use cogra_workloads::{rideshare, stock, RideshareConfig, StockConfig};
+use cogra_workloads::{burst, churn, fraud, rideshare, skew, stock};
+use cogra_workloads::{
+    BurstConfig, ChurnConfig, FraudConfig, RideshareConfig, SkewConfig, StockConfig,
+};
 use std::time::Instant;
 
 struct Args {
@@ -116,11 +120,18 @@ struct Row {
 }
 
 fn session(query: &str, registry: &TypeRegistry, workers: usize) -> Session {
-    Session::builder()
-        .query(query)
-        .workers(workers)
-        .build(registry)
-        .expect("harness query builds")
+    session_with_slack(query, registry, workers, 0)
+}
+
+/// `slack` > 0 adds the reorder stage — the burst workload arrives
+/// disordered by design, so its rows pay for reordering like a
+/// production deployment would.
+fn session_with_slack(query: &str, registry: &TypeRegistry, workers: usize, slack: u64) -> Session {
+    let mut builder = Session::builder().query(query).workers(workers);
+    if slack > 0 {
+        builder = builder.slack(slack);
+    }
+    builder.build(registry).expect("harness query builds")
 }
 
 /// Best-of-`iters` measurement of one configuration. `once` builds a
@@ -165,8 +176,21 @@ fn measure_memory(
     workers: usize,
     iters: usize,
 ) -> Row {
+    measure_memory_slack(workload, query, registry, events, workers, 0, iters)
+}
+
+/// [`measure_memory`] with a reorder stage in the session.
+fn measure_memory_slack(
+    workload: &'static str,
+    query: &str,
+    registry: &TypeRegistry,
+    events: &[Event],
+    workers: usize,
+    slack: u64,
+    iters: usize,
+) -> Row {
     measure(workload, "memory", workers, events.len(), iters, || {
-        let s = session(query, registry, workers);
+        let s = session_with_slack(query, registry, workers, slack);
         let start = Instant::now();
         let run = s.run(events);
         (run, start.elapsed())
@@ -399,6 +423,65 @@ fn main() {
             args.iters,
         ));
     }
+    // Adversarial rows (always on): the hostile generators ride the
+    // same harness, so the perf trajectory tracks the workloads that
+    // stress shard balance (skew), the interner (churn), the reorder
+    // stage (burst — run with slack equal to the generator's disorder
+    // bound, since its stream arrives disordered by design) and
+    // near-zero selectivity with long Kleene closures (fraud).
+    let adversarial: [(&'static str, TypeRegistry, String, Vec<Event>, u64); 4] = [
+        (
+            "skew",
+            skew::registry(),
+            skew::count_query(1_000, 500),
+            skew::generate(&SkewConfig {
+                events: args.events,
+                ..Default::default()
+            }),
+            0,
+        ),
+        (
+            "churn",
+            churn::registry(),
+            churn::count_query(1_000, 500),
+            churn::generate(&ChurnConfig {
+                events: args.events,
+                ..Default::default()
+            }),
+            0,
+        ),
+        {
+            let cfg = BurstConfig {
+                events: args.events,
+                ..Default::default()
+            };
+            (
+                "burst",
+                burst::registry(),
+                burst::count_query(1_000, 500),
+                burst::generate(&cfg),
+                cfg.disorder,
+            )
+        },
+        (
+            "fraud",
+            fraud::registry(),
+            fraud::detect_query(1_000, 500),
+            fraud::generate(&FraudConfig {
+                events: args.events,
+                ..Default::default()
+            }),
+            0,
+        ),
+    ];
+    for (workload, registry, query, events, slack) in &adversarial {
+        for workers in [1usize, 4] {
+            rows.push(measure_memory_slack(
+                workload, query, registry, events, workers, *slack, args.iters,
+            ));
+        }
+    }
+
     // The shared CSV decode path, at a reduced size (decode dominates).
     let csv_n = (args.events / 4).max(1);
     let csv = write_events(&stock_events[..csv_n.min(stock_events.len())], &stock_reg);

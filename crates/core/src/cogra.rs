@@ -256,6 +256,10 @@ impl TrendEngine for CograEngine {
         self.0.run_stats()
     }
 
+    fn key_overflow(&self) -> Option<u32> {
+        self.0.key_overflow()
+    }
+
     fn save_state(
         &self,
         enc: &mut cogra_checkpoint::Enc,

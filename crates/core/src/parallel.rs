@@ -198,6 +198,11 @@ struct Reply {
     peak: usize,
     /// The worker's routing hot-path counters so far, over all engines.
     stats: RunStats,
+    /// Sticky key-limit overflow across the worker's engines
+    /// ([`TrendEngine::key_overflow`]).
+    key_overflow: Option<u32>,
+    /// Events this shard has ingested into its engines so far.
+    shard_events: u64,
     /// Engine + reorder-buffer state, only in reply to [`Cmd::Snapshot`].
     snapshot: Option<ShardSnapshot>,
 }
@@ -212,6 +217,8 @@ struct Worker {
     memory: usize,
     peak: usize,
     stats: RunStats,
+    key_overflow: Option<u32>,
+    shard_events: u64,
 }
 
 /// A worker's channel closed before the pool finished: the worker exited
@@ -438,6 +445,8 @@ impl StreamingPool {
                     memory,
                     peak: memory,
                     stats,
+                    key_overflow: None,
+                    shard_events: 0,
                 }
             })
             .collect()
@@ -515,6 +524,19 @@ impl StreamingPool {
         total
     }
 
+    /// Sticky partition-key overflow across every shard engine, as of
+    /// each worker's last drain; final once the pool has finished.
+    pub fn key_overflow(&self) -> Option<u32> {
+        self.workers.iter().find_map(|w| w.key_overflow)
+    }
+
+    /// Events ingested per shard worker, as of each worker's last drain;
+    /// final once the pool has finished. The spread between entries is
+    /// the hot-key imbalance a skewed group distribution produces.
+    pub fn shard_events(&self) -> Vec<u64> {
+        self.workers.iter().map(|w| w.shard_events).collect()
+    }
+
     /// Whether the pool has finished (checkpointing a finished pool is
     /// unsupported — its engines have emitted and discarded their state).
     pub fn finished(&self) -> bool {
@@ -557,6 +579,8 @@ impl StreamingPool {
             w.memory = reply.memory;
             w.peak = reply.peak;
             w.stats = reply.stats;
+            w.key_overflow = reply.key_overflow;
+            w.shard_events = reply.shard_events;
             let snap = reply
                 .snapshot
                 .expect("snapshot round trip returns shard state");
@@ -803,6 +827,8 @@ impl StreamingPool {
             w.memory = reply.memory;
             w.peak = reply.peak;
             w.stats = reply.stats;
+            w.key_overflow = reply.key_overflow;
+            w.shard_events = reply.shard_events;
             for (q, r) in reply.results {
                 merged[q as usize].push(r);
             }
@@ -855,6 +881,9 @@ struct Shard {
     released: Vec<Item>,
     peak: usize,
     since_sample: usize,
+    /// Events ingested into this shard's engines (the per-shard counter
+    /// behind [`StreamingPool::shard_events`]).
+    events: u64,
 }
 
 impl Shard {
@@ -879,6 +908,7 @@ impl Shard {
             released: Vec::new(),
             peak: 0,
             since_sample: 0,
+            events: 0,
         };
         shard.peak = shard.memory();
         shard
@@ -900,6 +930,10 @@ impl Shard {
         total
     }
 
+    fn key_overflow(&self) -> Option<u32> {
+        self.engines.iter().flatten().find_map(|e| e.key_overflow())
+    }
+
     fn sample_peak(&mut self) {
         self.peak = self.peak.max(self.memory());
         self.since_sample = 0;
@@ -913,6 +947,7 @@ impl Shard {
             .as_mut()
             .expect("coordinator only targets hosted queries");
         engine.process_prehashed(&item.event, item.key_hash);
+        self.events += 1;
         self.since_sample += 1;
         if self.since_sample >= 64 {
             self.sample_peak();
@@ -944,6 +979,12 @@ impl Shard {
                 }
                 self.released = released;
             }
+        }
+        // Sample at the batch-flush boundary besides the every-64-events
+        // stride: a burst shorter than the stride would otherwise leave
+        // its peak invisible until the next drain.
+        if self.since_sample > 0 {
+            self.sample_peak();
         }
     }
 
@@ -1001,6 +1042,8 @@ fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                         memory: shard.memory(),
                         peak: shard.peak,
                         stats: shard.stats(),
+                        key_overflow: shard.key_overflow(),
+                        shard_events: shard.events,
                         snapshot: None,
                     })
                     .is_err()
@@ -1029,6 +1072,8 @@ fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                         memory: shard.memory(),
                         peak: shard.peak,
                         stats: shard.stats(),
+                        key_overflow: shard.key_overflow(),
+                        shard_events: shard.events,
                         snapshot: Some(ShardSnapshot { states, buffered }),
                     })
                     .is_err()
@@ -1053,6 +1098,8 @@ fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                     memory: shard.memory(),
                     peak: shard.peak,
                     stats: shard.stats(),
+                    key_overflow: shard.key_overflow(),
+                    shard_events: shard.events,
                     snapshot: None,
                 });
                 return;
@@ -1285,6 +1332,57 @@ mod tests {
             WindowResult::sort(&mut got);
             assert_eq!(got, run_parallel(rt, &events, 4).results, "query {q}");
         }
+    }
+
+    #[test]
+    fn batch_flush_samples_peak_below_the_64_event_stride() {
+        // A burst shorter than the 64-event sampling stride must still
+        // register its peak at the batch-flush boundary — sampling only
+        // every 64 events under-reported sub-interval bursts.
+        let (rt, events) = setup(10);
+        let mut shard = Shard::new(ShardConfig {
+            runtimes: vec![Arc::clone(&rt)],
+            threads: 1,
+            index: 0,
+            slack: None,
+            seeded: None,
+        });
+        let items: Vec<Item> = events
+            .iter()
+            .map(|e| Item {
+                event: e.clone(),
+                query: 0,
+                key_hash: rt.key_hash(e),
+            })
+            .collect();
+        shard.on_batch(items);
+        assert!(shard.memory() > 0);
+        assert_eq!(
+            shard.peak,
+            shard.memory(),
+            "a 10-event batch samples peak at its flush boundary"
+        );
+        assert_eq!(shard.events, 10, "per-shard ingest counter");
+    }
+
+    #[test]
+    fn pool_surfaces_per_shard_event_counts() {
+        let (rt, events) = setup(300);
+        let mut pool = pool(&rt, 4, DEFAULT_BATCH_SIZE);
+        for e in &events {
+            pool.route(e);
+        }
+        let mut out = Vec::new();
+        pool.finish_into(&mut |_q, r| out.push(r));
+        let per_shard = pool.shard_events();
+        assert_eq!(per_shard.len(), 4);
+        let total: u64 = per_shard.iter().sum();
+        assert_eq!(total, events.len() as u64, "every routed event counted");
+        assert!(
+            per_shard.iter().filter(|&&n| n > 0).count() > 1,
+            "the 7-group stream spreads across shards: {per_shard:?}"
+        );
+        assert!(pool.key_overflow().is_none(), "no limit configured");
     }
 
     #[test]

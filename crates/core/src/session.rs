@@ -285,6 +285,13 @@ pub enum IngestError {
         /// The stream's watermark when it arrived.
         watermark: Timestamp,
     },
+    /// The stream materialized more distinct partition keys than the
+    /// configured [`EngineConfig::key_limit`] admits — the session
+    /// dropped an event instead of growing the interner without bound.
+    KeyOverflow {
+        /// The configured limit that was hit.
+        limit: u32,
+    },
 }
 
 impl fmt::Display for IngestError {
@@ -299,6 +306,11 @@ impl fmt::Display for IngestError {
                 f,
                 "event {event} at {time} arrived after watermark {watermark}; \
                  pass --slack N / .slack(n) to repair bounded disorder"
+            ),
+            IngestError::KeyOverflow { limit } => write!(
+                f,
+                "stream exceeded the configured limit of {limit} distinct partition keys; \
+                 raise --key-limit N / EngineConfig::key_limit to admit more"
             ),
         }
     }
@@ -639,6 +651,7 @@ impl SessionBuilder {
             mode,
             reorderer,
             scratch: Vec::new(),
+            ingested: 0,
             finished: false,
         })
     }
@@ -687,12 +700,22 @@ impl SessionBuilder {
             kinds.push(parse_kind(&dec.str()?)?);
         }
         let default_kind = parse_kind(&dec.str()?)?;
-        let config = EngineConfig {
-            flatten_cap: dec.opt_u64()?.map(|c| c as usize),
-        };
+        let flatten_cap = dec.opt_u64()?.map(|c| c as usize);
         let slack = dec.opt_u64()?;
         let snap_workers = dec.u64()? as usize;
         let snap_batch = dec.u64()? as usize;
+        // `key_limit` was appended to the config section after the fields
+        // above; snapshots written before it exists decode as `None`, so
+        // the format version honestly stays at 1.
+        let key_limit = if dec.remaining() > 0 {
+            dec.opt_u64()?.map(|v| v as u32)
+        } else {
+            None
+        };
+        let config = EngineConfig {
+            flatten_cap,
+            key_limit,
+        };
         dec.finish("config section")?;
 
         let bytes = r.expect("reorder")?;
@@ -861,6 +884,7 @@ impl SessionBuilder {
             mode,
             reorderer,
             scratch: Vec::new(),
+            ingested: 0,
             finished: false,
         })
     }
@@ -955,6 +979,10 @@ pub struct SessionRun {
     /// `.workers(n)`, every shard): `key_probes - key_allocs` events were
     /// routed without any heap allocation.
     pub stats: RunStats,
+    /// Events ingested per shard worker slot ([`Session::shard_events`]) —
+    /// a single entry in streaming mode. Under a skewed key distribution
+    /// the spread between entries is the hot-key imbalance.
+    pub shard_events: Vec<u64>,
     /// Each query's compiled plan (granularity, automaton, window), in
     /// registration order — shared with the session, so consumers report
     /// on the plan without re-compiling.
@@ -999,6 +1027,9 @@ pub struct Session {
     mode: Mode,
     reorderer: Option<Reorderer>,
     scratch: Vec<Event>,
+    /// Events fed into the session so far (before any `.slack(n)`
+    /// late-drop) — the streaming-mode source for [`Session::shard_events`].
+    ingested: u64,
     /// Whether [`Session::finish_into`] ran — a finished session has
     /// emitted and discarded its state and cannot checkpoint.
     finished: bool,
@@ -1042,6 +1073,7 @@ impl Session {
     /// dropped as late); in `.workers(n)` mode released events are hashed
     /// to their shard and staged for the next batch send immediately.
     pub fn process(&mut self, event: &Event) {
+        self.ingested += 1;
         if self.reorderer.is_some() {
             self.pump(|reorderer, out| reorderer.push(event.clone(), out));
         } else {
@@ -1052,6 +1084,7 @@ impl Session {
     /// Like [`Session::process`], consuming the event — spares a clone on
     /// the `.slack(n)` and single-query `.workers(n)` paths.
     pub fn process_owned(&mut self, event: Event) {
+        self.ingested += 1;
         if self.reorderer.is_some() {
             self.pump(|reorderer, out| reorderer.push(event, out));
         } else {
@@ -1072,6 +1105,9 @@ impl Session {
         for item in self.checked_csv(text, registry)? {
             self.process_owned(item?);
             count += 1;
+            if let Some(limit) = self.key_overflow() {
+                return Err(IngestError::KeyOverflow { limit });
+            }
         }
         Ok(count)
     }
@@ -1243,6 +1279,30 @@ impl Session {
         total
     }
 
+    /// Sticky partition-key overflow: `Some(limit)` once any event was
+    /// dropped because materializing its first-seen partition key would
+    /// exceed the configured [`EngineConfig::key_limit`]. `None` without
+    /// a limit. Under `.workers(n)` the flag is refreshed from the shard
+    /// workers at drain/finish boundaries (the shards run concurrently).
+    pub fn key_overflow(&self) -> Option<u32> {
+        match &self.mode {
+            Mode::Streaming { engines } => engines.iter().find_map(|e| e.key_overflow()),
+            Mode::Parallel { pool } => pool.key_overflow(),
+        }
+    }
+
+    /// Events ingested per shard worker, as of each worker's last drain
+    /// (final once the session finished) — the observable for hot-key
+    /// imbalance under skewed streams. Streaming mode reports one entry.
+    /// Indexed by worker slot; a session whose queries shard narrower
+    /// than `.workers(n)` leaves the unused slots at zero.
+    pub fn shard_events(&self) -> Vec<u64> {
+        match &self.mode {
+            Mode::Streaming { .. } => vec![self.ingested],
+            Mode::Parallel { pool } => pool.shard_events(),
+        }
+    }
+
     /// The active disorder tolerance, wherever it lives (front reorderer
     /// in streaming mode, the pool's gate under `.workers(n)`).
     fn slack_value(&self) -> Option<u64> {
@@ -1376,6 +1436,7 @@ impl Session {
         enc.opt_u64(self.slack_value());
         enc.u64(self.workers() as u64);
         enc.u64(self.batch_size as u64);
+        enc.opt_u64(self.config.key_limit.map(u64::from));
         w.section("config", enc.as_slice())?;
         w.section("reorder", &reorder)?;
         for (i, state) in states.iter().enumerate() {
@@ -1388,15 +1449,19 @@ impl Session {
     /// results (sorted per query), peak memory (sampled every 64 events,
     /// like the harness), workers used, routing stats, plans, and
     /// late-event drops.
+    /// With `EngineConfig::key_limit` set, events past the limit are
+    /// silently dropped here (the overflow stays observable through
+    /// [`Session::key_overflow`] — it is [`Session::run_csv`] and
+    /// [`Session::ingest_csv`] that fail typed).
     pub fn run(self, events: &[Event]) -> SessionRun {
-        self.run_inner(events.iter().map(|e| Ok(Fed::Ref(e))))
+        self.run_inner(events.iter().map(|e| Ok(Fed::Ref(e))), false)
             .unwrap_or_else(|_| unreachable!("in-memory streams cannot fail ingestion"))
     }
 
     /// Like [`Session::run`], consuming an event stream — pairs with lazy
     /// sources (generators, decoders) without materializing a `Vec`.
     pub fn run_stream(self, events: impl IntoIterator<Item = Event>) -> SessionRun {
-        self.run_inner(events.into_iter().map(|e| Ok(Fed::Owned(e))))
+        self.run_inner(events.into_iter().map(|e| Ok(Fed::Owned(e))), false)
             .unwrap_or_else(|_| unreachable!("in-memory streams cannot fail ingestion"))
     }
 
@@ -1407,14 +1472,19 @@ impl Session {
     /// with [`IngestError::OutOfOrder`].
     pub fn run_csv(self, text: &str, registry: &TypeRegistry) -> Result<SessionRun, IngestError> {
         let events = self.checked_csv(text, registry)?;
-        self.run_inner(events.map(|item| item.map(Fed::Owned)))
+        self.run_inner(events.map(|item| item.map(Fed::Owned)), true)
     }
 
     /// The collect-everything loop shared by [`Session::run`],
     /// [`Session::run_stream`] and [`Session::run_csv`].
+    /// `strict_overflow` makes a `key_limit` overflow fail typed (the
+    /// CSV surfaces); the in-memory surfaces pass `false` and stay
+    /// infallible — the overflow remains observable via
+    /// [`Session::key_overflow`].
     fn run_inner<'a>(
         mut self,
         events: impl Iterator<Item = Result<Fed<'a>, IngestError>>,
+        strict_overflow: bool,
     ) -> Result<SessionRun, IngestError> {
         let mut per_query: Vec<Vec<WindowResult>> = vec![Vec::new(); self.queries()];
         let sharded = matches!(self.mode, Mode::Parallel { .. });
@@ -1426,6 +1496,11 @@ impl Session {
                 match item? {
                     Fed::Ref(event) => self.process(event),
                     Fed::Owned(event) => self.process_owned(event),
+                }
+                if strict_overflow {
+                    if let Some(limit) = self.key_overflow() {
+                        return Err(IngestError::KeyOverflow { limit });
+                    }
                 }
                 let i = count as usize;
                 count += 1;
@@ -1471,6 +1546,7 @@ impl Session {
             events: count,
             late_events: self.late_events(),
             stats: self.run_stats(),
+            shard_events: self.shard_events(),
             plans: self.plans.clone(),
         })
     }

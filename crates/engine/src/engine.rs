@@ -83,6 +83,15 @@ pub trait TrendEngine {
         RunStats::default()
     }
 
+    /// Sticky partition-key overflow: `Some(limit)` once any event was
+    /// dropped because materializing its first-seen key would exceed the
+    /// configured `EngineConfig::key_limit`. Engines built on the router
+    /// report the real flag; the default is `None` for engines without an
+    /// interned routing path.
+    fn key_overflow(&self) -> Option<u32> {
+        None
+    }
+
     /// Serialize the engine's full mutable state into a checkpoint
     /// section payload. Engines built on the router override this; the
     /// default refuses, so an engine without a restore path can never

@@ -80,12 +80,23 @@ impl RunStats {
     }
 }
 
+/// The interner refused to materialize another key: the number of
+/// distinct partition keys reached the configured ceiling (by default
+/// `u32::MAX`, the dense-id address space itself). Surfaced as a typed
+/// ingest error instead of a worker-thread panic — unbounded key churn is
+/// a data problem, not a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyOverflow {
+    /// The limit that was hit.
+    pub limit: u32,
+}
+
 /// Interner from partition keys to dense [`PartitionId`]s.
 ///
 /// Generic over nothing but driven by closures, so the caller decides how
 /// to compare a candidate against the (never materialized) probe key and
 /// how to build the key on first sight — see [`KeyInterner::intern_with`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct KeyInterner {
     /// `keys[id]` — the interned key. Never shrinks: id stability is part
     /// of the contract.
@@ -94,6 +105,22 @@ pub struct KeyInterner {
     /// collisions are resolved by the caller's equality check).
     buckets: FxHashMap<u64, Vec<u32>>,
     stats: RunStats,
+    /// Maximum number of distinct keys this interner will hold. The
+    /// default is the full `u32` id space; sessions lower it via
+    /// `EngineConfig::key_limit` to turn unbounded key churn into a typed
+    /// error instead of unbounded memory growth.
+    limit: u32,
+}
+
+impl Default for KeyInterner {
+    fn default() -> KeyInterner {
+        KeyInterner {
+            keys: Vec::new(),
+            buckets: FxHashMap::default(),
+            stats: RunStats::default(),
+            limit: u32::MAX,
+        }
+    }
 }
 
 /// Fold a sequence of values into an [`FxHasher`], exactly as
@@ -116,6 +143,19 @@ impl KeyInterner {
         KeyInterner::default()
     }
 
+    /// Cap the number of distinct keys at `limit`. Existing keys are
+    /// unaffected (ids are stable); once `len()` reaches the limit, every
+    /// first-seen probe returns [`KeyOverflow`].
+    pub fn set_limit(&mut self, limit: u32) {
+        self.limit = limit;
+    }
+
+    /// The configured distinct-key ceiling.
+    #[inline]
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
     /// Intern the key with the given `hash`. `matches` decides whether a
     /// stored candidate equals the probe key (called for each candidate in
     /// the hash's bucket — usually at most one); `materialize` builds the
@@ -123,27 +163,35 @@ impl KeyInterner {
     ///
     /// `hash` must be [`hash_values`] over the same value sequence that
     /// `matches` compares and `materialize` produces.
+    ///
+    /// A first-seen key past the configured limit is refused with
+    /// [`KeyOverflow`]; re-probes of already-interned keys always succeed.
     pub fn intern_with(
         &mut self,
         hash: u64,
         mut matches: impl FnMut(&[Value]) -> bool,
         materialize: impl FnOnce() -> GroupKey,
-    ) -> PartitionId {
+    ) -> Result<PartitionId, KeyOverflow> {
         self.stats.key_probes += 1;
         let bucket = self.buckets.entry(hash).or_default();
         for &id in bucket.iter() {
             if matches(&self.keys[id as usize]) {
-                return PartitionId(id);
+                return Ok(PartitionId(id));
             }
         }
-        // First sight: materialize and assign the next dense id.
+        // First sight: materialize and assign the next dense id — unless
+        // the key population hit the ceiling. (`len() < limit <= u32::MAX`
+        // also guarantees the id fits in a `u32` without a checked cast.)
+        if self.keys.len() >= self.limit as usize {
+            return Err(KeyOverflow { limit: self.limit });
+        }
         self.stats.key_allocs += 1;
-        let id = u32::try_from(self.keys.len()).expect("more than u32::MAX partitions");
+        let id = self.keys.len() as u32;
         let key = materialize();
         debug_assert!(matches(&key), "materialized key must match its own probe");
         self.keys.push(key);
         bucket.push(id);
-        PartitionId(id)
+        Ok(PartitionId(id))
     }
 
     /// The interned key of `id`.
@@ -180,20 +228,26 @@ impl KeyInterner {
     /// Buckets are recomputed with [`hash_values`], so ids and probe
     /// behavior match an interner that saw the same keys first-hand —
     /// this is how a restored router re-interns a (possibly compacted)
-    /// key set.
-    pub fn from_parts(keys: Vec<GroupKey>, stats: RunStats) -> KeyInterner {
+    /// key set. A key set too large for the dense `u32` id space is
+    /// refused instead of panicking (it cannot come from a well-formed
+    /// snapshot, so it is corruption, not load).
+    pub fn from_parts(keys: Vec<GroupKey>, stats: RunStats) -> Result<KeyInterner, KeyOverflow> {
+        if u32::try_from(keys.len()).is_err() {
+            return Err(KeyOverflow { limit: u32::MAX });
+        }
         let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         for (id, key) in keys.iter().enumerate() {
             buckets
                 .entry(hash_values(key.iter()))
                 .or_default()
-                .push(u32::try_from(id).expect("more than u32::MAX partitions"));
+                .push(id as u32);
         }
-        KeyInterner {
+        Ok(KeyInterner {
             keys,
             buckets,
             stats,
-        }
+            limit: u32::MAX,
+        })
     }
 
     /// Logical memory footprint: interned key values plus table overhead.
@@ -227,7 +281,9 @@ mod tests {
     fn intern(interner: &mut KeyInterner, vals: &[i64]) -> PartitionId {
         let k = key(vals);
         let hash = hash_values(k.iter());
-        interner.intern_with(hash, |cand| cand == &k[..], || k.clone())
+        interner
+            .intern_with(hash, |cand| cand == &k[..], || k.clone())
+            .expect("under the key limit")
     }
 
     #[test]
@@ -285,6 +341,31 @@ mod tests {
         assert_eq!(i.memory_bytes(), one, "re-probes allocate nothing");
         intern(&mut i, &[2]);
         assert!(i.memory_bytes() > one);
+    }
+
+    #[test]
+    fn key_limit_refuses_fresh_keys_but_keeps_serving_old_ones() {
+        // Regression for the former `expect("more than u32::MAX
+        // partitions")` panic: past the ceiling the interner returns a
+        // typed error instead, and everything already interned still
+        // routes.
+        let mut i = KeyInterner::new();
+        i.set_limit(2);
+        assert_eq!(intern(&mut i, &[1]), PartitionId(0));
+        assert_eq!(intern(&mut i, &[2]), PartitionId(1));
+        let k = key(&[3]);
+        let overflow = i
+            .intern_with(hash_values(k.iter()), |c| c == &k[..], || k.clone())
+            .expect_err("third distinct key is over the limit");
+        assert_eq!(overflow, KeyOverflow { limit: 2 });
+        // Old keys keep resolving to their stable ids…
+        assert_eq!(intern(&mut i, &[1]), PartitionId(0));
+        assert_eq!(intern(&mut i, &[2]), PartitionId(1));
+        assert_eq!(i.len(), 2);
+        // …and the refused probe counted as a probe, not an allocation.
+        let s = i.stats();
+        assert_eq!(s.key_probes, 5);
+        assert_eq!(s.key_allocs, 2);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod runtime;
 
 pub use agg::{AggLayout, AggValue, Cell, Feed, Output, SlotFunc, Val};
 pub use engine::{run_to_completion, TrendEngine};
-pub use intern::{KeyInterner, PartitionId, RunStats};
+pub use intern::{KeyInterner, KeyOverflow, PartitionId, RunStats};
 pub use output::{GroupKey, WindowResult};
 pub use router::{entry_group_hash, EventBinds, Router, RouterState, WindowAlgo};
 pub use runtime::{DisjunctRuntime, EngineConfig, QueryRuntime};

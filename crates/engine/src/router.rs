@@ -204,6 +204,11 @@ pub struct Router<W: WindowAlgo> {
     /// engines materialize their trends inside `final_cell`, a spike that
     /// periodic sampling would miss.
     finalize_spike: usize,
+    /// Sticky record of the first interner overflow: `Some(limit)` once
+    /// any event was dropped because its first-seen key would exceed
+    /// `EngineConfig::key_limit`. Overflow drops the event, never the
+    /// engine — no worker-thread panic.
+    key_overflow: Option<u32>,
 }
 
 impl<W: WindowAlgo> Router<W> {
@@ -212,10 +217,14 @@ impl<W: WindowAlgo> Router<W> {
         let binds = EventBinds {
             per_disjunct: rt.disjuncts.iter().map(|_| Default::default()).collect(),
         };
+        let mut interner = KeyInterner::new();
+        if let Some(limit) = rt.config.key_limit {
+            interner.set_limit(limit);
+        }
         Router {
             rt,
             name,
-            interner: KeyInterner::new(),
+            interner,
             groups: KeyInterner::new(),
             partition_group: Vec::new(),
             partitions: Vec::new(),
@@ -224,6 +233,7 @@ impl<W: WindowAlgo> Router<W> {
             drained_to: None,
             binds,
             finalize_spike: 0,
+            key_overflow: None,
         }
     }
 
@@ -263,21 +273,33 @@ impl<W: WindowAlgo> Router<W> {
         if self.binds.is_irrelevant() && rt.query.semantics != cogra_query::Semantics::Cont {
             return;
         }
-        let pid = self.interner.intern_with(
+        let pid = match self.interner.intern_with(
             hash,
             |candidate| rt.key_matches(event, candidate),
             || rt.partition_key(event).expect("key hash implies a key"),
-        );
+        ) {
+            Ok(pid) => pid,
+            Err(overflow) => {
+                // A first-seen key past the configured limit: drop the
+                // event and record the overflow stickily; already-interned
+                // keys keep flowing.
+                self.key_overflow = Some(overflow.limit);
+                return;
+            }
+        };
         if pid.index() == self.partitions.len() {
             // First sight of this key: register its output group and a
             // fresh partition slot (dense ids arrive in order).
             let key = self.interner.resolve(pid);
             let prefix = &key[..rt.query.group_prefix];
-            let gid = self.groups.intern_with(
-                hash_values(prefix.iter()),
-                |candidate| candidate == prefix,
-                || prefix.to_vec(),
-            );
+            let gid = self
+                .groups
+                .intern_with(
+                    hash_values(prefix.iter()),
+                    |candidate| candidate == prefix,
+                    || prefix.to_vec(),
+                )
+                .expect("groups cannot outnumber partitions");
             self.partition_group.push(gid.0);
             self.partitions.push(Partition::default());
         }
@@ -515,11 +537,19 @@ impl<W: WindowAlgo> Router<W> {
                 )));
             }
             let prefix = &key[..rt.query.group_prefix];
-            let gid = router.groups.intern_with(
-                hash_values(prefix.iter()),
-                |candidate| candidate == prefix,
-                || prefix.to_vec(),
-            );
+            let gid = router
+                .groups
+                .intern_with(
+                    hash_values(prefix.iter()),
+                    |candidate| candidate == prefix,
+                    || prefix.to_vec(),
+                )
+                .map_err(|o| {
+                    CheckpointError::Corrupt(format!(
+                        "snapshot holds more than {} distinct groups",
+                        o.limit
+                    ))
+                })?;
             router.partition_group.push(gid.0);
             let mut partition = Partition::default();
             let n_windows = dec.usize()?;
@@ -543,7 +573,17 @@ impl<W: WindowAlgo> Router<W> {
             keys.push(key);
             router.partitions.push(partition);
         }
-        router.interner = KeyInterner::from_parts(keys, state.stats);
+        router.interner = KeyInterner::from_parts(keys, state.stats).map_err(|o| {
+            CheckpointError::Corrupt(format!(
+                "snapshot holds more than {} distinct partition keys",
+                o.limit
+            ))
+        })?;
+        // `from_parts` resets the ceiling; re-apply the config's limit so
+        // a restored session keeps the same churn guard as a fresh one.
+        if let Some(limit) = rt.config.key_limit {
+            router.interner.set_limit(limit);
+        }
         Ok(router)
     }
 }
@@ -602,6 +642,10 @@ impl<W: WindowAlgo> TrendEngine for Router<W> {
 
     fn run_stats(&self) -> RunStats {
         self.interner.stats()
+    }
+
+    fn key_overflow(&self) -> Option<u32> {
+        self.key_overflow
     }
 
     fn save_state(&self, enc: &mut Enc) -> Result<(), CheckpointError> {

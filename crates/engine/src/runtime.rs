@@ -135,6 +135,16 @@ pub struct EngineConfig {
     /// cover all possible lengths up to l"). `None` = unbounded (exact,
     /// but the covered length grows with the window content).
     pub flatten_cap: Option<usize>,
+    /// Maximum number of distinct partition keys the router's
+    /// [`KeyInterner`] will materialize. `None` = the full dense-id space
+    /// (`u32::MAX`). Events whose first-seen key would exceed the limit
+    /// are dropped with a sticky, typed overflow instead of panicking —
+    /// the guard rail for unbounded key-churn streams. Under
+    /// `.workers(n)` each shard owns its own interner, so the limit is
+    /// per shard, not global.
+    ///
+    /// [`KeyInterner`]: crate::intern::KeyInterner
+    pub key_limit: Option<u32>,
 }
 
 /// Everything an engine needs to execute one compiled query.

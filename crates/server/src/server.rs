@@ -295,12 +295,7 @@ impl Server {
     /// Block until a `FINISH` command has been processed, or `timeout`
     /// elapses. Returns whether the session finished.
     pub fn wait_finished(&self, timeout: Duration) -> bool {
-        let (lock, cvar) = &*self.finished;
-        let guard = lock.lock().expect("finished flag lock");
-        let (guard, _) = cvar
-            .wait_timeout_while(guard, timeout, |done| !*done)
-            .expect("finished flag lock");
-        *guard
+        wait_finished_flag(&self.finished, timeout)
     }
 
     /// Stop serving: close the accept loop and the session actor, then
@@ -409,6 +404,7 @@ fn session_actor(
             memory: session.memory_bytes(),
             key_probes: run_stats.key_probes,
             key_allocs: run_stats.key_allocs,
+            shard_events: session.shard_events(),
             finished,
         }
     };
@@ -665,9 +661,7 @@ fn serve_connection(
                         reply_ok(&mut writer, &report.encode())?;
                         // Reply delivered — only now may wait_finished
                         // waiters proceed (and possibly exit the process).
-                        let (lock, cvar) = &*finished;
-                        *lock.lock().expect("finished flag lock") = true;
-                        cvar.notify_all();
+                        set_finished_flag(&finished);
                     }
                     Ok(Err(msg)) => reply_err(&mut writer, &msg)?,
                     Err(_) => {
@@ -749,4 +743,58 @@ fn reply_ok(writer: &mut TcpStream, payload: &str) -> io::Result<()> {
 
 fn reply_err(writer: &mut TcpStream, message: &str) -> io::Result<()> {
     writer.write_all(format!("{} {message}\n", wire::ERR).as_bytes())
+}
+
+/// Set the finished flag and wake every waiter. The flag is a plain
+/// bool, so a connection thread that panicked while holding the lock
+/// cannot have left it half-written — recover a poisoned guard instead
+/// of propagating the panic into [`Server::wait_finished`] callers and
+/// taking the whole server down with one misbehaving connection.
+fn set_finished_flag(finished: &(Mutex<bool>, Condvar)) {
+    let (lock, cvar) = finished;
+    *lock.lock().unwrap_or_else(|p| p.into_inner()) = true;
+    cvar.notify_all();
+}
+
+/// Block until the finished flag is set or `timeout` elapses; returns
+/// the flag. Poison-tolerant for the same reason as
+/// [`set_finished_flag`].
+fn wait_finished_flag(finished: &(Mutex<bool>, Condvar), timeout: Duration) -> bool {
+    let (lock, cvar) = finished;
+    let guard = lock.lock().unwrap_or_else(|p| p.into_inner());
+    let (guard, _) = cvar
+        .wait_timeout_while(guard, timeout, |done| !*done)
+        .unwrap_or_else(|p| p.into_inner());
+    *guard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finished_flag_survives_a_poisoned_lock() {
+        // A thread that panics while holding the lock poisons it; the
+        // flag helpers must recover (the bool carries no invariant a
+        // panicked holder could break) instead of panicking every later
+        // wait_finished() call.
+        let finished = Arc::new((Mutex::new(false), Condvar::new()));
+        let poisoner = Arc::clone(&finished);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.0.lock().unwrap();
+            panic!("poison the finished flag lock");
+        })
+        .join();
+        assert!(finished.0.lock().is_err(), "the lock is actually poisoned");
+
+        assert!(
+            !wait_finished_flag(&finished, Duration::from_millis(10)),
+            "an unfinished poisoned flag still reports unfinished"
+        );
+        set_finished_flag(&finished);
+        assert!(
+            wait_finished_flag(&finished, Duration::from_millis(10)),
+            "the flag set through a poisoned lock is observable"
+        );
+    }
 }

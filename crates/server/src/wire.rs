@@ -80,7 +80,7 @@ pub fn parse_subscription(arg: &str) -> Result<Option<usize>, String> {
 /// The counters surfaced by `STATS` (and, minus the mirrors, by
 /// `FINISH`): session progress, watermark, late drops and the routing
 /// hot-path statistics, as `key=value` pairs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsReport {
     /// Events accepted by the replied-to command (`INGEST` replies only;
     /// 0 in every other reply — the cumulative count is `events`).
@@ -103,6 +103,11 @@ pub struct StatsReport {
     pub key_probes: u64,
     /// First-seen key materializations.
     pub key_allocs: u64,
+    /// Events ingested per shard worker slot, as of the last drain — the
+    /// spread between entries is the hot-key imbalance a skewed group
+    /// distribution produces. One entry in streaming mode; empty only in
+    /// replies from servers predating the field.
+    pub shard_events: Vec<u64>,
     /// Whether `FINISH` has been processed.
     pub finished: bool,
 }
@@ -110,9 +115,9 @@ pub struct StatsReport {
 impl StatsReport {
     /// Encode as the `key=value ...` payload of the `STATS` reply.
     pub fn encode(&self) -> String {
-        format!(
+        let mut out = format!(
             "ingested={} events={} late={} results={} watermark={} queries={} workers={} \
-             memory={} key_probes={} key_allocs={} finished={}",
+             memory={} key_probes={} key_allocs={}",
             self.ingested,
             self.events,
             self.late,
@@ -123,8 +128,20 @@ impl StatsReport {
             self.memory,
             self.key_probes,
             self.key_allocs,
-            self.finished,
-        )
+        );
+        // Omitted when empty: `shards=` with no entries would not parse,
+        // and old decoders ignore the key anyway.
+        if !self.shard_events.is_empty() {
+            out.push_str(" shards=");
+            for (i, n) in self.shard_events.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&n.to_string());
+            }
+        }
+        out.push_str(&format!(" finished={}", self.finished));
+        out
     }
 
     /// Decode a `STATS` reply payload. Unknown keys are ignored so the
@@ -147,6 +164,12 @@ impl StatsReport {
                 "memory" => out.memory = value.parse().map_err(|_| bad())?,
                 "key_probes" => out.key_probes = value.parse().map_err(|_| bad())?,
                 "key_allocs" => out.key_allocs = value.parse().map_err(|_| bad())?,
+                "shards" => {
+                    out.shard_events = value
+                        .split(',')
+                        .map(|v| v.parse().map_err(|_| bad()))
+                        .collect::<Result<_, _>>()?
+                }
                 "finished" => out.finished = value.parse().map_err(|_| bad())?,
                 _ => {}
             }
@@ -172,9 +195,14 @@ mod tests {
             memory: 4096,
             key_probes: 10,
             key_allocs: 3,
+            shard_events: vec![6, 0, 4, 0],
             finished: true,
         };
         assert_eq!(StatsReport::decode(&stats.encode()).unwrap(), stats);
+        // An empty shard list is omitted and decodes back to empty.
+        let bare = StatsReport::default();
+        assert!(!bare.encode().contains("shards="));
+        assert_eq!(StatsReport::decode(&bare.encode()).unwrap(), bare);
         // Unknown keys are ignored; malformed pairs are not.
         assert_eq!(
             StatsReport::decode("events=5 future_field=1")
@@ -184,6 +212,7 @@ mod tests {
         );
         assert!(StatsReport::decode("events").is_err());
         assert!(StatsReport::decode("events=x").is_err());
+        assert!(StatsReport::decode("shards=1,x").is_err());
     }
 
     #[test]

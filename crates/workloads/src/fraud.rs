@@ -1,0 +1,179 @@
+//! Adversarial workload: rare long pattern matches over noise (ROADMAP
+//! direction 5).
+//!
+//! A fraud-detection stream: almost every event is an innocent `Probe`
+//! transaction on a random account that never completes the pattern. A
+//! rare fraud episode picks one account, runs a *long* chain of probes on
+//! it and ends in a `Cashout` — only then does `SEQ(Probe A+, Cashout B)`
+//! close a match, and the Kleene prefix it closes over is long. This is
+//! the inverse of the friendly workloads: selectivity near zero, match
+//! size large, so per-window state is dominated by trends that mostly
+//! never pay off.
+
+use cogra_events::{Event, EventBuilder, TypeRegistry, Value, ValueKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the fraud stream.
+#[derive(Debug, Clone)]
+pub struct FraudConfig {
+    /// Number of distinct accounts (the group key).
+    pub accounts: usize,
+    /// Probability per event slot that a fraud episode starts.
+    pub fraud_rate: f64,
+    /// Probes in one fraud chain before its cashout.
+    pub chain_len: usize,
+    /// Number of events to generate.
+    pub events: usize,
+    /// RNG seed — streams are fully deterministic.
+    pub seed: u64,
+}
+
+impl Default for FraudConfig {
+    fn default() -> Self {
+        FraudConfig {
+            accounts: 50,
+            fraud_rate: 0.002,
+            chain_len: 24,
+            events: 10_000,
+            seed: 7,
+        }
+    }
+}
+
+/// Register the `Probe` and `Cashout` event types.
+pub fn registry() -> TypeRegistry {
+    let mut r = TypeRegistry::new();
+    for t in ["Probe", "Cashout"] {
+        r.register_type(
+            t,
+            vec![("account", ValueKind::Int), ("amount", ValueKind::Int)],
+        );
+    }
+    r
+}
+
+/// Generate the stream: one event per tick. Noise probes go to random
+/// accounts; when a fraud episode fires, the next `chain_len` slots are
+/// probes on one account followed by its `Cashout`.
+pub fn generate(cfg: &FraudConfig) -> Vec<Event> {
+    assert!(cfg.accounts > 0 && cfg.chain_len > 0);
+    assert!((0.0..=1.0).contains(&cfg.fraud_rate));
+    let reg = registry();
+    let probe = reg.id_of("Probe").expect("registered above");
+    let cashout = reg.id_of("Cashout").expect("registered above");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = EventBuilder::new();
+    let mut out = Vec::with_capacity(cfg.events);
+    // (account, probes still to emit) of the active episode, if any.
+    let mut episode: Option<(i64, usize)> = None;
+    for i in 0..cfg.events {
+        let t = (i + 1) as u64;
+        match episode.take() {
+            Some((account, 0)) => {
+                out.push(b.event(
+                    t,
+                    cashout,
+                    vec![
+                        Value::Int(account),
+                        Value::Int(rng.random_range(5_000..50_000)),
+                    ],
+                ));
+            }
+            Some((account, left)) => {
+                out.push(b.event(
+                    t,
+                    probe,
+                    vec![Value::Int(account), Value::Int(rng.random_range(1..50))],
+                ));
+                episode = Some((account, left - 1));
+            }
+            None => {
+                if rng.random::<f64>() < cfg.fraud_rate {
+                    episode = Some((rng.random_range(0..cfg.accounts) as i64, cfg.chain_len));
+                }
+                out.push(b.event(
+                    t,
+                    probe,
+                    vec![
+                        Value::Int(rng.random_range(0..cfg.accounts) as i64),
+                        Value::Int(rng.random_range(1..50)),
+                    ],
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The detection query: a probe run on one account ending in its cashout.
+pub fn detect_query(within: u64, slide: u64) -> String {
+    format!(
+        "RETURN account, COUNT(*) \
+         PATTERN SEQ(Probe A+, Cashout B) \
+         SEMANTICS skip-till-any-match \
+         WHERE [account] \
+         GROUP-BY account \
+         WITHIN {within} SLIDE {slide}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogra_events::validate_ordered;
+
+    #[test]
+    fn stream_is_deterministic_and_ordered() {
+        let cfg = FraudConfig {
+            events: 500,
+            ..Default::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        assert!(validate_ordered(&a).is_ok());
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn matches_are_rare_and_chains_are_long() {
+        let cfg = FraudConfig {
+            events: 50_000,
+            ..Default::default()
+        };
+        let reg = registry();
+        let cashout = reg.id_of("Cashout").unwrap();
+        let account = reg.schema(cashout).attr("account").unwrap();
+        let events = generate(&cfg);
+        let cashouts: Vec<&Event> = events.iter().filter(|e| e.type_id == cashout).collect();
+        // Rare: well under 1% of the stream completes the pattern…
+        assert!(!cashouts.is_empty(), "no fraud episode fired at all");
+        assert!(
+            cashouts.len() * 100 < events.len(),
+            "{} cashouts in {} events — fraud is not rare",
+            cashouts.len(),
+            events.len()
+        );
+        // …and long: each cashout is preceded by its full probe chain on
+        // the same account, back to back.
+        let probe = reg.id_of("Probe").unwrap();
+        for c in &cashouts {
+            let pos = events.iter().position(|e| e.id == c.id).unwrap();
+            let acct = c.attr(account).as_i64().unwrap();
+            for back in 1..=cfg.chain_len {
+                let p = &events[pos - back];
+                assert_eq!(p.type_id, probe);
+                assert_eq!(p.attr(account).as_i64().unwrap(), acct);
+            }
+        }
+    }
+
+    #[test]
+    fn queries_parse_and_compile() {
+        let reg = registry();
+        let q = detect_query(100, 50);
+        let parsed = cogra_query::parse(&q).unwrap();
+        cogra_query::compile(&parsed, &reg).unwrap();
+    }
+}

@@ -13,15 +13,34 @@
 //!   query q2 and the skip-till-next-match experiments.
 //!
 //! See DESIGN.md ("Substitutions") for the real-data-to-synthetic mapping.
+//!
+//! On top of the paper's (friendly) workloads, an **adversarial** layer
+//! stresses what production would (ROADMAP direction 5):
+//!
+//! * [`skew`] — power-law key skew: a few hot users absorb most traffic,
+//!   exposing shard imbalance in the group-prefix hash;
+//! * [`churn`] — unbounded session-id-like keys growing the interner
+//!   linearly with stream length;
+//! * [`burst`] — flash-crowd arrival with deep time-stamp disorder,
+//!   stressing reorder-buffer sizing and the late-drop policy;
+//! * [`fraud`] — rare long pattern matches over a mostly-noise stream.
 
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod burst;
+pub mod churn;
+pub mod fraud;
 pub mod rideshare;
+pub mod skew;
 pub mod stock;
 pub mod transport;
 
 pub use activity::ActivityConfig;
+pub use burst::BurstConfig;
+pub use churn::ChurnConfig;
+pub use fraud::FraudConfig;
 pub use rideshare::RideshareConfig;
+pub use skew::SkewConfig;
 pub use stock::StockConfig;
 pub use transport::TransportConfig;

@@ -1,0 +1,191 @@
+//! Adversarial workload: power-law key skew (ROADMAP direction 5).
+//!
+//! Models a social-graph feed after the LDBC SIGMOD 2014 contest analysis
+//! (PAPERS.md): post activity per user follows a Zipf distribution, so a
+//! handful of hot users absorb most of the traffic. Under the group-prefix
+//! shard hash every event of one user lands on one shard — a hot key is a
+//! hot *shard*, and the per-shard ingest counters this PR surfaces make
+//! the imbalance observable instead of silent.
+//!
+//! Sampling is exact inverse-CDF Zipf: the cumulative weights
+//! `1/rank^alpha` are tabulated once over the key universe and each draw
+//! binary-searches them, so the empirical frequency of rank `r` converges
+//! to `r^-alpha / H` with no approximation error beyond sampling noise.
+
+use cogra_events::{Event, EventBuilder, TypeRegistry, Value, ValueKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the skewed social stream.
+#[derive(Debug, Clone)]
+pub struct SkewConfig {
+    /// Size of the key universe (distinct users).
+    pub universe: usize,
+    /// Zipf exponent: 0 = uniform, 1 ≈ classic web skew, larger = hotter.
+    pub alpha: f64,
+    /// Number of events to generate.
+    pub events: usize,
+    /// RNG seed — streams are fully deterministic.
+    pub seed: u64,
+}
+
+impl Default for SkewConfig {
+    fn default() -> Self {
+        SkewConfig {
+            universe: 1_000,
+            alpha: 1.1,
+            events: 10_000,
+            seed: 7,
+        }
+    }
+}
+
+/// Register the `Post` event type.
+pub fn registry() -> TypeRegistry {
+    let mut r = TypeRegistry::new();
+    r.register_type(
+        "Post",
+        vec![
+            ("user", ValueKind::Int),
+            ("topic", ValueKind::Int),
+            ("len", ValueKind::Int),
+        ],
+    );
+    r
+}
+
+/// The tabulated inverse CDF of `P(rank = r) ∝ r^-alpha` over
+/// `1..=universe`, as cumulative probabilities in `[0, 1]`.
+fn zipf_cdf(universe: usize, alpha: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(universe);
+    let mut acc = 0.0;
+    for rank in 1..=universe {
+        acc += (rank as f64).powf(-alpha);
+        cdf.push(acc);
+    }
+    let total = acc;
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+/// Generate the stream: one event per tick, users drawn Zipf(alpha) so
+/// user 0 is the hottest key, user 1 the next, and so on.
+pub fn generate(cfg: &SkewConfig) -> Vec<Event> {
+    assert!(cfg.universe > 0);
+    assert!(cfg.alpha >= 0.0);
+    let reg = registry();
+    let post = reg.id_of("Post").expect("registered above");
+    let cdf = zipf_cdf(cfg.universe, cfg.alpha);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = EventBuilder::new();
+    let mut out = Vec::with_capacity(cfg.events);
+    for i in 0..cfg.events {
+        let u: f64 = rng.random::<f64>();
+        let user = cdf.partition_point(|&c| c < u).min(cfg.universe - 1);
+        out.push(b.event(
+            (i + 1) as u64,
+            post,
+            vec![
+                Value::Int(user as i64),
+                Value::Int(rng.random_range(0..50)),
+                Value::Int(rng.random_range(1..280)),
+            ],
+        ));
+    }
+    out
+}
+
+/// Per-user post-run count — the hot keys dominate every window.
+pub fn count_query(within: u64, slide: u64) -> String {
+    format!(
+        "RETURN user, COUNT(*) \
+         PATTERN Post P+ \
+         SEMANTICS skip-till-any-match \
+         GROUP-BY user \
+         WITHIN {within} SLIDE {slide}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogra_events::validate_ordered;
+
+    fn user_counts(events: &[Event]) -> Vec<usize> {
+        let reg = registry();
+        let user = reg.schema(reg.id_of("Post").unwrap()).attr("user").unwrap();
+        let mut counts = vec![0usize; 1_000];
+        for e in events {
+            counts[e.attr(user).as_i64().unwrap() as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_ordered() {
+        let cfg = SkewConfig {
+            events: 500,
+            ..Default::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        assert!(validate_ordered(&a).is_ok());
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn key_frequency_follows_the_power_law() {
+        let cfg = SkewConfig {
+            events: 40_000,
+            universe: 1_000,
+            alpha: 1.1,
+            seed: 42,
+        };
+        let counts = user_counts(&generate(&cfg));
+        // The hottest key takes far more than its uniform share…
+        let uniform = cfg.events / cfg.universe;
+        assert!(
+            counts[0] > 50 * uniform,
+            "rank-1 key got {} of {} events — not skewed",
+            counts[0],
+            cfg.events
+        );
+        // …and ranks decay: the top key beats rank 10 beats rank 100.
+        assert!(counts[0] > 2 * counts[9], "{} vs {}", counts[0], counts[9]);
+        assert!(
+            counts[9] > 2 * counts[99],
+            "{} vs {}",
+            counts[9],
+            counts[99]
+        );
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let cfg = SkewConfig {
+            events: 40_000,
+            universe: 100,
+            alpha: 0.0,
+            seed: 11,
+        };
+        let counts = user_counts(&generate(&cfg));
+        let uniform = cfg.events as f64 / cfg.universe as f64;
+        for (user, &c) in counts.iter().take(cfg.universe).enumerate() {
+            assert!(
+                (c as f64) > 0.5 * uniform && (c as f64) < 1.5 * uniform,
+                "user {user}: {c} events vs uniform {uniform}"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_parse_and_compile() {
+        let reg = registry();
+        let q = count_query(100, 50);
+        let parsed = cogra_query::parse(&q).unwrap();
+        cogra_query::compile(&parsed, &reg).unwrap();
+    }
+}

@@ -4,11 +4,11 @@
 //! ```text
 //! cogra-run --schema schema.csv --events stream.csv --query query.cep
 //!           [--engine cogra|sase|greta|aseq|flink|oracle] [--workers N]
-//!           [--explain] [--dot] [--slack N] [--memory]
+//!           [--explain] [--dot] [--slack N] [--key-limit N] [--memory]
 //!           [--checkpoint snap.cogra] [--restore snap.cogra]
 //! cogra-run serve   --schema schema.csv --query query.cep
-//!           [--engine E] [--workers N] [--slack N] [--listen 127.0.0.1:7878]
-//!           [--restore snap.cogra]
+//!           [--engine E] [--workers N] [--slack N] [--key-limit N]
+//!           [--listen 127.0.0.1:7878] [--restore snap.cogra]
 //! cogra-run connect --addr HOST:PORT --events stream.csv
 //!           [--chunk N] [--stats] [--snapshot snap.cogra]
 //! ```
@@ -26,6 +26,9 @@
 //!   `GROUP-BY` prefix to shard on);
 //! * `--slack`  — repair up to N ticks of disorder before ingestion and
 //!   report how many late events had to be dropped;
+//! * `--key-limit` — admit at most N distinct partition keys; a stream
+//!   that materializes more (e.g. unbounded session ids) fails ingestion
+//!   with a typed error instead of growing the interner without bound;
 //! * `--explain` / `--dot` — print the compiled plan / Graphviz automaton;
 //! * `--memory` — report peak memory after the run;
 //! * `--checkpoint SNAP` — ingest the stream, print what is final at the
@@ -59,6 +62,7 @@ struct Args {
     engine: Option<EngineKind>,
     workers: Option<usize>,
     slack: Option<u64>,
+    key_limit: Option<u32>,
     checkpoint: Option<String>,
     restore: Option<String>,
     explain: bool,
@@ -73,6 +77,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut engine = None;
     let mut workers = None;
     let mut slack = None;
+    let mut key_limit = None;
     let mut checkpoint = None;
     let mut restore = None;
     let mut explain = false;
@@ -100,6 +105,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| "--slack needs an integer".to_string())?,
                 )
             }
+            "--key-limit" => {
+                key_limit = Some(
+                    value("--key-limit")?
+                        .parse()
+                        .map_err(|_| "--key-limit needs an integer".to_string())?,
+                )
+            }
             "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
             "--restore" => restore = Some(value("--restore")?),
             "--explain" => explain = true,
@@ -124,6 +136,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         if slack.is_some() {
             return Err("--slack cannot be combined with --restore".into());
         }
+        if key_limit.is_some() {
+            return Err("--key-limit cannot be combined with --restore".into());
+        }
     } else if queries.is_empty() {
         return Err("--query is required".into());
     }
@@ -134,6 +149,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         engine,
         workers,
         slack,
+        key_limit,
         checkpoint,
         restore,
         explain,
@@ -223,6 +239,12 @@ fn run(argv: &[String]) -> Result<(), String> {
             .workers(args.workers.unwrap_or(1));
         if let Some(slack) = args.slack {
             builder = builder.slack(slack);
+        }
+        if let Some(limit) = args.key_limit {
+            builder = builder.config(EngineConfig {
+                key_limit: Some(limit),
+                ..EngineConfig::default()
+            });
         }
         for query in &queries {
             builder = builder.query(query);
@@ -348,6 +370,7 @@ fn serve(argv: &[String]) -> Result<(), String> {
     let mut engine: Option<EngineKind> = None;
     let mut workers: Option<usize> = None;
     let mut slack = None;
+    let mut key_limit: Option<u32> = None;
     let mut restore: Option<String> = None;
     let mut listen = "127.0.0.1:7878".to_string();
     let mut it = argv.iter().cloned();
@@ -371,6 +394,13 @@ fn serve(argv: &[String]) -> Result<(), String> {
                         .map_err(|_| "--slack needs an integer".to_string())?,
                 )
             }
+            "--key-limit" => {
+                key_limit = Some(
+                    value("--key-limit")?
+                        .parse()
+                        .map_err(|_| "--key-limit needs an integer".to_string())?,
+                )
+            }
             "--restore" => restore = Some(value("--restore")?),
             "--listen" => listen = value("--listen")?,
             "--help" | "-h" => return Err(String::new()),
@@ -388,6 +418,9 @@ fn serve(argv: &[String]) -> Result<(), String> {
         }
         if slack.is_some() {
             return Err("--slack cannot be combined with --restore".into());
+        }
+        if key_limit.is_some() {
+            return Err("--key-limit cannot be combined with --restore".into());
         }
         let registry = load_registry(&read(&schema.ok_or("--schema is required")?)?)?;
         let mut builder = Session::builder();
@@ -408,6 +441,12 @@ fn serve(argv: &[String]) -> Result<(), String> {
         .workers(workers.unwrap_or(1));
     if let Some(slack) = slack {
         builder = builder.slack(slack);
+    }
+    if let Some(limit) = key_limit {
+        builder = builder.config(EngineConfig {
+            key_limit: Some(limit),
+            ..EngineConfig::default()
+        });
     }
     for path in &queries {
         builder = builder.query(parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?);
@@ -522,12 +561,12 @@ fn connect(argv: &[String]) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage: cogra-run --schema schema.csv --events stream.csv --query query.cep \
-     [--engine cogra|sase|greta|aseq|flink|oracle] [--workers N] [--slack N] \
+     [--engine cogra|sase|greta|aseq|flink|oracle] [--workers N] [--slack N] [--key-limit N] \
      [--checkpoint SNAP] [--explain] [--dot] [--memory]\n\
        cogra-run --schema schema.csv --events stream.csv --restore SNAP [--workers N] \
      [--checkpoint SNAP] [--memory]\n\
        cogra-run serve --schema schema.csv --query query.cep [--engine E] \
-     [--workers N] [--slack N] [--listen ADDR]\n\
+     [--workers N] [--slack N] [--key-limit N] [--listen ADDR]\n\
        cogra-run serve --schema schema.csv --restore SNAP [--workers N] [--listen ADDR]\n\
        cogra-run connect --addr HOST:PORT --events stream.csv [--chunk N] [--stats] \
      [--snapshot SNAP]";

@@ -2,7 +2,7 @@
 //! `Session::checkpoint` → `SessionBuilder::restore` → run-suffix
 //! pipeline must be **byte-identical** — results, late-drop counts, run
 //! stats — to the same stream run uninterrupted, across workloads
-//! {stock, rideshare, transport} × snapshot/restore workers {1, 2, 4, 8}
+//! {stock, rideshare, transport, skew, churn} × snapshot/restore workers {1, 2, 4, 8}
 //! × slack {0, 8}, including elastic rescales (snapshot width ≠ restore
 //! width), edge splits (checkpoint before the first / after the last
 //! event) and chained snapshots (restore of a restore).
@@ -24,8 +24,8 @@
 //! hung server fails fast instead of stalling CI.
 
 use cogra::prelude::*;
-use cogra::workloads::{rideshare, stock, transport};
-use cogra::workloads::{RideshareConfig, StockConfig, TransportConfig};
+use cogra::workloads::{churn, rideshare, skew, stock, transport};
+use cogra::workloads::{ChurnConfig, RideshareConfig, SkewConfig, StockConfig, TransportConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -71,13 +71,35 @@ fn workload(idx: usize, seed: u64, n: usize) -> (TypeRegistry, String, Vec<Event
                 ..RideshareConfig::default()
             }),
         ),
-        _ => (
+        2 => (
             transport::registry(),
             transport::next_query(40, 20),
             transport::generate(&TransportConfig {
                 events: n,
                 seed,
                 ..TransportConfig::default()
+            }),
+        ),
+        // Adversarial workloads: the hostile key shapes must round-trip
+        // a checkpoint/rescale as cleanly as the friendly ones.
+        3 => (
+            skew::registry(),
+            skew::count_query(50, 25),
+            skew::generate(&SkewConfig {
+                events: n,
+                seed,
+                ..SkewConfig::default()
+            }),
+        ),
+        // Churn floods the interner with short-lived session ids, so a
+        // rescale restore replays snapshot-time compaction under fire.
+        _ => (
+            churn::registry(),
+            churn::count_query(40, 20),
+            churn::generate(&ChurnConfig {
+                events: n,
+                seed,
+                ..ChurnConfig::default()
             }),
         ),
     }
@@ -212,7 +234,7 @@ fn grid_rescale_round_trips() {
     const FULL: [usize; 4] = [1, 2, 4, 8];
     let corners: [(usize, usize); 6] = [(1, 4), (4, 1), (2, 8), (8, 2), (1, 1), (8, 8)];
     let mut late_total = 0u64;
-    for wl in 0..3 {
+    for wl in 0..5 {
         let pairs: Vec<(usize, usize)> = if wl == 0 {
             FULL.iter()
                 .flat_map(|&sw| FULL.iter().map(move |&rw| (sw, rw)))
@@ -316,7 +338,7 @@ proptest! {
 
     #[test]
     fn random_splits_round_trip(
-        wl in 0usize..3,
+        wl in 0usize..5,
         pair_idx in 0usize..16,
         slack_idx in 0usize..2,
         seed in 0u64..10_000,

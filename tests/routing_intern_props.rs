@@ -300,6 +300,48 @@ proptest! {
     }
 }
 
+/// Adversarial key churn: every session id is fresh, so the interner
+/// grows linearly with the stream — and the interned/dense router still
+/// matches the `Vec<Value>`-keyed reference byte for byte, across all
+/// worker counts. This is the workload the intern rewrite is most
+/// exposed to: no key is ever re-seen, so the "zero allocations for
+/// seen keys" fast path never fires.
+#[test]
+fn churn_streams_match_the_reference_with_linear_interner_growth() {
+    use cogra::workloads::{churn, ChurnConfig};
+    let reg = churn::registry();
+    let query = churn::count_query(40, 20);
+    let events = churn::generate(&ChurnConfig {
+        events: 600,
+        seed: 23,
+        ..ChurnConfig::default()
+    });
+    let distinct: std::collections::HashSet<&Value> = events.iter().map(|e| &e.attrs[0]).collect();
+    assert!(
+        distinct.len() >= events.len() / 20,
+        "churn generator lost its bite: {} keys over {} events",
+        distinct.len(),
+        events.len()
+    );
+
+    let expected = reference(&query, &reg, &events, 1);
+    assert!(!expected.is_empty(), "churn stream closes windows");
+    for workers in WORKER_COUNTS {
+        let run = Session::builder()
+            .query(query.as_str())
+            .workers(workers)
+            .build(&reg)
+            .expect("session builds")
+            .run(&events);
+        assert_eq!(run.per_query, vec![expected.clone()], "workers={workers}");
+        assert_eq!(
+            run.stats.key_allocs,
+            distinct.len() as u64,
+            "workers={workers}: one materialization per fresh session id"
+        );
+    }
+}
+
 /// Deterministic spot check of the RunStats plumbing end to end,
 /// including the sharded path (where counters come back from the worker
 /// threads' replies).

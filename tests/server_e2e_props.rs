@@ -313,6 +313,9 @@ fn reconnect_after_finish_is_an_error() {
         let stats = late_client.stats().expect("io").expect("stats still ok");
         assert!(stats.finished);
         assert_eq!(stats.events, 60);
+        // Per-shard ingest counters ride STATS: one streaming engine,
+        // so the whole stream sits in one slot.
+        assert_eq!(stats.shard_events, vec![60]);
 
         // A late subscription is answered with an immediate EOS — the
         // results were push-only, nothing is replayed.
@@ -389,6 +392,62 @@ fn protocol_error_replies() {
             Ok(n) => panic!("connection still open after the cap: read {n} bytes `{line}`"),
         }
 
+        server.shutdown();
+    });
+}
+
+#[test]
+fn misbehaving_connections_do_not_take_the_server_down() {
+    watchdog("misbehaving-connections", || {
+        use std::io::{BufRead, BufReader, Write};
+
+        let (registry, query, events) = workload(0, 11, 80);
+        let csv = write_events(&events, &registry);
+        let server = Server::spawn(
+            builder_for(&query, 1, 0),
+            registry,
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("server starts");
+        let addr = server.local_addr();
+
+        // Hostile connection 1: binary garbage, then an abrupt drop.
+        let mut garbage = std::net::TcpStream::connect(addr).expect("connects");
+        garbage
+            .write_all(b"\x00\xffINGEST\x07 not-a-count\n\x13\x37\n")
+            .expect("write");
+        drop(garbage);
+
+        // Hostile connection 2: announce an INGEST block, send half of
+        // it, and vanish mid-payload.
+        let mut truncated = std::net::TcpStream::connect(addr).expect("connects");
+        truncated
+            .write_all(b"INGEST 500\ntype,time\n")
+            .expect("write");
+        drop(truncated);
+
+        // Hostile connection 3: a well-formed verb answered with ERR,
+        // then the connection keeps being served.
+        let mut raw = std::net::TcpStream::connect(addr).expect("connects");
+        let mut replies = BufReader::new(raw.try_clone().expect("clone"));
+        let mut line = String::new();
+        raw.write_all(b"FEED ME\n").expect("write");
+        replies.read_line(&mut line).expect("read");
+        assert!(line.starts_with("ERR unknown command"), "{line}");
+        drop(raw);
+
+        // A healthy connection still gets full service: ingest, finish,
+        // and the wait_finished() handshake all work.
+        let mut feed = Client::connect(addr).expect("healthy client connects");
+        feed.ingest(&csv).expect("ingest io").expect("ingest ok");
+        let report = feed.finish().expect("finish io").expect("finish ok");
+        assert!(report.finished);
+        assert_eq!(report.events, 80);
+        assert!(
+            server.wait_finished(Duration::from_secs(30)),
+            "wait_finished sees the FINISH despite earlier hostile connections"
+        );
         server.shutdown();
     });
 }

@@ -219,4 +219,70 @@ proptest! {
         );
         prop_assert_eq!(&vec![out], &reference.per_query);
     }
+
+    #[test]
+    fn burst_disorder_keeps_late_drops_invariant_across_workers(
+        seed in 0u64..10_000,
+        disorder in 0u64..40,
+        slack_idx in 0usize..3,
+        worker_idx in 0usize..4,
+        batch_idx in 0usize..4,
+        chunk in 1usize..40,
+    ) {
+        // The same slack × workers invariant, but over the adversarial
+        // flash-crowd generator instead of uniformly random rows: bursts
+        // pack ~4 events per tick with time stamps scattered up to
+        // `disorder` ticks backwards, so slack < disorder *must* drop
+        // events — identically on every worker count and transport batch
+        // size. Shrinking stays enabled: a failure minimizes to the
+        // smallest hostile (seed, disorder, slack) triple.
+        use cogra::workloads::{burst, BurstConfig};
+        let slack = [0u64, 8, 24][slack_idx];
+        let workers = WORKER_COUNTS[worker_idx];
+        let reg = burst::registry();
+        let query = burst::count_query(16, 8);
+        let events = burst::generate(&BurstConfig {
+            disorder,
+            events: 320,
+            seed,
+            ..BurstConfig::default()
+        });
+
+        let reference = Session::builder()
+            .query(query.as_str())
+            .slack(slack)
+            .build(&reg)
+            .expect("session builds")
+            .run(&events);
+
+        let mut session = Session::builder()
+            .query(query.as_str())
+            .slack(slack)
+            .workers(workers)
+            .batch_size(BATCH_SIZES[batch_idx])
+            .build(&reg)
+            .expect("session builds");
+        let mut out: Vec<WindowResult> = Vec::new();
+        for chunk in events.chunks(chunk) {
+            for e in chunk {
+                session.process(e);
+            }
+            session.drain_into(&mut out);
+        }
+        session.finish_into(&mut out);
+        let late = session.late_events();
+        WindowResult::sort(&mut out);
+
+        prop_assert_eq!(
+            late,
+            reference.late_events,
+            "burst late drops (disorder={}, slack={}, workers={})",
+            disorder, slack, workers
+        );
+        prop_assert_eq!(&vec![out], &reference.per_query);
+        // With slack at least as deep as the disorder, nothing may drop.
+        if slack >= disorder.max(1) {
+            prop_assert_eq!(late, 0, "slack {} covers disorder {}", slack, disorder);
+        }
+    }
 }

@@ -323,6 +323,46 @@ impl<'a> Dec<'a> {
     }
 }
 
+/// Crash-safe snapshot write: serialize via `emit` into memory, write to
+/// `{path}.tmp`, `sync_all`, then atomically rename over `path`.
+///
+/// The contract every caller (CLI `--checkpoint`, server `SNAPSHOT`,
+/// SIGTERM snapshot) relies on: **the final path either still holds its
+/// previous contents or holds a complete, synced snapshot — never a
+/// partial one.** An `emit` failure (e.g. [`CheckpointError::Unsupported`])
+/// creates no file at all; an IO failure may leave `{path}.tmp` debris but
+/// never touches `path`.
+///
+/// With the `faults` feature on, two failpoints model the crash classes:
+/// `checkpoint/write` (process dies mid-write — half the bytes land in the
+/// tmp file, which stays behind exactly as a real crash would leave it)
+/// and `checkpoint/rename` (dies between sync and rename).
+pub fn write_atomic(
+    path: &str,
+    emit: impl FnOnce(&mut Vec<u8>) -> Result<(), CheckpointError>,
+) -> Result<(), CheckpointError> {
+    let mut bytes = Vec::new();
+    emit(&mut bytes)?;
+    let tmp = format!("{path}.tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    #[cfg(feature = "faults")]
+    if let Some(e) = cogra_faults::io_error("checkpoint/write") {
+        // A crash mid-write: a prefix of the bytes lands in the tmp file
+        // and nobody cleans up — the final path must survive this.
+        let _ = file.write_all(&bytes[..bytes.len() / 2]);
+        return Err(CheckpointError::Io(e));
+    }
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    drop(file);
+    #[cfg(feature = "faults")]
+    if let Some(e) = cogra_faults::io_error("checkpoint/rename") {
+        return Err(CheckpointError::Io(e));
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 /// Writes the snapshot header and checksummed sections to any
 /// [`Write`] sink.
 pub struct SnapshotWriter<W: Write> {
@@ -638,5 +678,95 @@ mod tests {
     fn crc32_matches_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    /// A scratch directory that cleans up after itself.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(name: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("cogra-ckpt-{name}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn path(&self, file: &str) -> String {
+            self.0.join(file).to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn write_atomic_round_trips_and_leaves_no_tmp() {
+        let dir = TempDir::new("atomic");
+        let path = dir.path("snap.cogra");
+        write_atomic(&path, |out| {
+            let mut w = SnapshotWriter::new(out)?;
+            w.section("config", b"abc")?;
+            w.finish()
+        })
+        .unwrap();
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+        let mut r = SnapshotReader::new(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(r.expect("config").unwrap(), b"abc");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn write_atomic_emit_failure_creates_no_file() {
+        let dir = TempDir::new("emit-fail");
+        let path = dir.path("snap.cogra");
+        let err = write_atomic(&path, |_| {
+            Err(CheckpointError::Unsupported("cannot snapshot".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Unsupported(_)));
+        assert!(!std::path::Path::new(&path).exists());
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+    }
+
+    #[test]
+    fn write_atomic_io_failure_never_touches_final_path() {
+        let dir = TempDir::new("io-fail");
+        // The tmp file lands in a directory that does not exist, so
+        // File::create fails — and the final path must not appear.
+        let path = dir.path("missing-dir/snap.cogra");
+        let err = write_atomic(&path, |out| {
+            let w = SnapshotWriter::new(out)?;
+            w.finish()
+        })
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+        assert!(!std::path::Path::new(&path).exists());
+    }
+
+    #[test]
+    fn short_write_surfaces_typed_io_error() {
+        // The disk-full stand-in: a writer that dies after 4 bytes makes
+        // every snapshot emission a typed CheckpointError::Io, and the
+        // bytes that did land can never parse as a complete snapshot.
+        let mut sink = Vec::new();
+        let result = (|| {
+            let w = cogra_faults::FaultyWriter::new(&mut sink, 4);
+            let mut w = SnapshotWriter::new(w)?;
+            w.section("config", b"abc")?;
+            w.finish()
+        })();
+        match result {
+            Err(CheckpointError::Io(e)) => {
+                assert_eq!(e.to_string(), "injected write failure")
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert!(matches!(
+            SnapshotReader::new(&sink[..]),
+            Err(CheckpointError::BadMagic | CheckpointError::Truncated)
+        ));
     }
 }

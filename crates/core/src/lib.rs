@@ -43,7 +43,10 @@ pub use cogra_engine::{
     GroupKey, KeyInterner, Output, PartitionId, QueryRuntime, Router, RunStats, SlotFunc,
     TrendEngine, Val, WindowAlgo, WindowResult,
 };
-pub use parallel::{run_parallel, ParallelRun, PoolConfig, StreamingPool, DEFAULT_BATCH_SIZE};
+pub use parallel::{
+    run_parallel, FailurePolicy, ParallelRun, PoolConfig, StreamingPool, WorkerFailure,
+    DEFAULT_BATCH_SIZE,
+};
 pub use session::{
     EngineKind, IngestError, ResultSink, Session, SessionBuilder, SessionError, SessionRun,
     TaggedResult,

@@ -124,6 +124,49 @@ pub fn run_parallel(rt: &Arc<QueryRuntime>, events: &[Event], workers: usize) ->
     }
 }
 
+/// What the coordinator does when a shard worker dies (panics or exits
+/// without being asked). Set via `SessionBuilder::on_worker_failure`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Surface a sticky, typed [`WorkerFailure`]: the pool stops
+    /// accepting events and emits nothing further. The default — a
+    /// correctness-first caller wants the loud error, not partial data.
+    #[default]
+    Fail,
+    /// Quarantine the dead shard and keep serving: its accumulated state
+    /// and in-flight events are counted as dropped, future events for its
+    /// groups reroute to the next live shard (fresh state), and the run
+    /// reports which shards degraded. Availability over completeness —
+    /// nothing is lost *silently*.
+    Degrade,
+    /// Respawn the shard from its last per-shard recovery baseline (the
+    /// state captured at the previous drain) and replay the journaled
+    /// events delivered since, then retry the interrupted command. The
+    /// merged output is byte-identical to a run without the failure
+    /// (asserted by `tests/chaos_props.rs`). Costs a per-shard state
+    /// snapshot on every drain and an event journal between drains.
+    Restart,
+}
+
+/// A shard worker died. Under [`FailurePolicy::Fail`] this is the sticky
+/// terminal error of the pool (surfaced as `IngestError::WorkerFailed`
+/// through the session); under the other policies it is recovered
+/// internally and only shows up in degraded-status reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFailure {
+    /// Which shard died.
+    pub shard: usize,
+    /// The panic payload (or a generic message when the worker exited
+    /// without one).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} worker failed: {}", self.shard, self.message)
+    }
+}
+
 /// Transport tuning of a [`StreamingPool`].
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
@@ -137,7 +180,14 @@ pub struct PoolConfig {
     /// coordinator's [`LateGate`] keeps late-drop decisions identical to
     /// one stream-wide front reorderer.
     pub slack: Option<u64>,
+    /// Recovery behavior when a shard worker dies.
+    pub policy: FailurePolicy,
 }
+
+/// What [`StreamingPool::snapshot`] captures: per-query router states
+/// (merged across shards) plus the in-flight reorder-buffer items, each
+/// tagged with the query it was routed for.
+pub type PoolSnapshot = (Vec<RouterState>, Vec<(u32, Event)>);
 
 /// The default shard-transport batch size: big enough to amortize a
 /// bounded-channel hand-off over hundreds of events, small enough that a
@@ -149,6 +199,7 @@ impl Default for PoolConfig {
         PoolConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             slack: None,
+            policy: FailurePolicy::Fail,
         }
     }
 }
@@ -156,7 +207,9 @@ impl Default for PoolConfig {
 /// One routed event in flight to a shard worker: the event, the index of
 /// the query it is for, and its precomputed full partition-key hash
 /// (`None`: the event's type has no partition key; the engine drops it
-/// itself, exactly like a sequential run).
+/// itself, exactly like a sequential run). `Clone` so the coordinator can
+/// journal delivered items under [`FailurePolicy::Restart`].
+#[derive(Clone)]
 struct Item {
     event: Event,
     query: u32,
@@ -177,13 +230,17 @@ enum Cmd {
     Finish,
 }
 
-/// One shard's contribution to a pool snapshot.
+/// One shard's contribution to a pool snapshot — also the per-shard
+/// recovery baseline under [`FailurePolicy::Restart`].
 struct ShardSnapshot {
     /// Per query: the hosted engine's state (`None` where not hosted).
     states: Vec<Option<RouterState>>,
     /// In-flight items still in the shard's reorder buffer, in release
     /// order.
     buffered: Vec<(u32, Event)>,
+    /// The shard's ingest counter at snapshot time, so a respawned shard
+    /// resumes its accounting instead of restarting from zero.
+    events: u64,
 }
 
 /// A worker's answer to [`Cmd::Drain`] / [`Cmd::Finish`].
@@ -203,8 +260,29 @@ struct Reply {
     key_overflow: Option<u32>,
     /// Events this shard has ingested into its engines so far.
     shard_events: u64,
-    /// Engine + reorder-buffer state, only in reply to [`Cmd::Snapshot`].
+    /// Engine + reorder-buffer state: in reply to [`Cmd::Snapshot`], and
+    /// attached to every [`Cmd::Drain`] reply when the pool journals for
+    /// [`FailurePolicy::Restart`] (the recovery baseline refresh).
     snapshot: Option<ShardSnapshot>,
+    /// Set when the worker body panicked: the supervisor wrapper caught
+    /// the unwind and reports the payload in-band instead of re-raising.
+    failure: Option<String>,
+}
+
+impl Reply {
+    /// The supervisor's in-band report of a dead worker body.
+    fn failed(message: String) -> Reply {
+        Reply {
+            results: Vec::new(),
+            memory: 0,
+            peak: 0,
+            stats: RunStats::default(),
+            key_overflow: None,
+            shard_events: 0,
+            snapshot: None,
+            failure: Some(message),
+        }
+    }
 }
 
 struct Worker {
@@ -212,6 +290,9 @@ struct Worker {
     tx: Option<SyncSender<Cmd>>,
     rx: Receiver<Reply>,
     thread: Option<JoinHandle<()>>,
+    /// Quarantined by [`FailurePolicy::Degrade`]: the shard is dead and
+    /// stays dead; its groups reroute to the next live shard.
+    quarantined: bool,
     /// Mirrors of the worker's last report, so [`StreamingPool::memory_bytes`]
     /// needs no synchronous round trip.
     memory: usize,
@@ -221,14 +302,32 @@ struct Worker {
     shard_events: u64,
 }
 
-/// A worker's channel closed before the pool finished: the worker exited
-/// early, almost certainly by panicking. Join it and re-raise the original
-/// payload so the root cause is not masked by a generic channel error.
-fn reap(w: &mut Worker) -> ! {
-    w.tx = None;
-    match w.thread.take().map(JoinHandle::join) {
-        Some(Err(payload)) => std::panic::resume_unwind(payload),
-        _ => panic!("shard worker exited unexpectedly"),
+/// A respawned shard that dies this many times is escalated to
+/// [`FailurePolicy::Fail`] — a deterministic crash would otherwise
+/// restart-loop forever.
+const MAX_RESTARTS: u32 = 8;
+
+/// One shard's recovery baseline under [`FailurePolicy::Restart`]: the
+/// state captured at the last drain/snapshot, plus the journal of every
+/// item delivered to the shard since. Rebuilding the baseline engines and
+/// replaying the journal reproduces the dead shard exactly — nothing was
+/// emitted since the baseline (results only leave a shard at drains), so
+/// recovery neither loses nor duplicates output.
+struct ShardBaseline {
+    states: Vec<Option<RouterState>>,
+    buffered: Vec<(u32, Event)>,
+    events: u64,
+    journal: Vec<Item>,
+}
+
+impl ShardBaseline {
+    fn empty(queries: usize) -> ShardBaseline {
+        ShardBaseline {
+            states: (0..queries).map(|_| None).collect(),
+            buffered: Vec::new(),
+            events: 0,
+            journal: Vec::new(),
+        }
     }
 }
 
@@ -271,6 +370,8 @@ pub struct StreamingPool {
     /// Per-shard staging buffers awaiting a batch send.
     stages: Vec<Vec<Item>>,
     batch_size: usize,
+    /// The configured per-shard slack, kept for respawning shards.
+    slack_cfg: Option<u64>,
     /// Admission gate under slack (None: the stream is trusted ordered).
     gate: Option<LateGate>,
     /// Raw stream progress: the largest event time routed so far.
@@ -278,6 +379,21 @@ pub struct StreamingPool {
     /// Reusable `(shard, query, key_hash)` placement scratch.
     targets: Vec<(usize, u32, Option<u64>)>,
     finished: bool,
+    /// Recovery behavior when a shard worker dies.
+    policy: FailurePolicy,
+    /// Per-shard baselines + journals ([`FailurePolicy::Restart`] only).
+    recovery: Option<Vec<ShardBaseline>>,
+    /// Restarts performed per shard, for the [`MAX_RESTARTS`] escalation.
+    restarts: Vec<u32>,
+    /// The sticky terminal failure ([`FailurePolicy::Fail`] or escalation).
+    failed: Option<WorkerFailure>,
+    /// Items staged per shard since pool start (delivered or in flight);
+    /// frozen at 0 when a shard is quarantined.
+    delivered: Vec<u64>,
+    /// Every item staged across the pool, including ones later dropped.
+    routed_items: u64,
+    /// Items lost to quarantined shards ([`FailurePolicy::Degrade`]).
+    dropped: u64,
 }
 
 impl StreamingPool {
@@ -291,16 +407,30 @@ impl StreamingPool {
         let threads = Self::threads_for(&runtimes, workers);
         let batch_size = config.batch_size.max(1);
         let seeds = (0..threads).map(|_| None).collect();
-        let workers = Self::spawn_shards(&runtimes, threads, config.slack, seeds);
+        let journal = config.policy == FailurePolicy::Restart;
+        let workers = Self::spawn_shards(&runtimes, threads, config.slack, seeds, journal);
+        let queries = runtimes.len();
         StreamingPool {
             runtimes,
             workers,
             stages: (0..threads).map(|_| Vec::new()).collect(),
             batch_size,
+            slack_cfg: config.slack,
             gate: config.slack.map(LateGate::new),
             raw_watermark: Timestamp::ZERO,
             targets: Vec::new(),
             finished: false,
+            policy: config.policy,
+            recovery: journal.then(|| {
+                (0..threads)
+                    .map(|_| ShardBaseline::empty(queries))
+                    .collect()
+            }),
+            restarts: vec![0; threads],
+            failed: None,
+            delivered: vec![0; threads],
+            routed_items: 0,
+            dropped: 0,
         }
     }
 
@@ -373,6 +503,20 @@ impl StreamingPool {
                 });
             }
         }
+        // Under Restart, the restored layout is also the initial recovery
+        // baseline of every shard (cloned before the engines consume it).
+        let journal = config.policy == FailurePolicy::Restart;
+        let recovery = journal.then(|| {
+            shard_states
+                .iter()
+                .map(|states| ShardBaseline {
+                    states: states.clone(),
+                    buffered: Vec::new(),
+                    events: 0,
+                    journal: Vec::new(),
+                })
+                .collect::<Vec<_>>()
+        });
         // Build the engines here, not in the worker threads, so a corrupt
         // entry surfaces as a typed error instead of a worker panic.
         let mut seeds = Vec::with_capacity(threads);
@@ -388,16 +532,24 @@ impl StreamingPool {
             }
             seeds.push(Some(engines));
         }
-        let workers = Self::spawn_shards(&runtimes, threads, config.slack, seeds);
+        let workers = Self::spawn_shards(&runtimes, threads, config.slack, seeds, journal);
         Ok(StreamingPool {
             runtimes,
             workers,
             stages: (0..threads).map(|_| Vec::new()).collect(),
             batch_size,
+            slack_cfg: config.slack,
             gate,
             raw_watermark,
             targets: Vec::new(),
             finished: false,
+            policy: config.policy,
+            recovery,
+            restarts: vec![0; threads],
+            failed: None,
+            delivered: vec![0; threads],
+            routed_items: 0,
+            dropped: 0,
         })
     }
 
@@ -408,48 +560,73 @@ impl StreamingPool {
         threads: usize,
         slack: Option<u64>,
         mut seeds: Vec<Option<Vec<Option<CograEngine>>>>,
+        attach_snapshots: bool,
     ) -> Vec<Worker> {
         debug_assert_eq!(seeds.len(), threads);
         (0..threads)
             .map(|index| {
-                let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel(CHANNEL_CAPACITY);
-                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-                let seeded = seeds[index].take();
-                // Mirror restored engine memory and counters immediately
-                // so a freshly restored pool reports its footprint before
-                // any drain.
-                let (memory, stats) = seeded.as_ref().map_or_else(
-                    || (0, RunStats::default()),
-                    |engines| {
-                        let mut stats = RunStats::default();
-                        let mut memory = 0;
-                        for e in engines.iter().flatten() {
-                            memory += e.memory_bytes();
-                            stats.merge(e.run_stats());
-                        }
-                        (memory, stats)
-                    },
-                );
-                let shard = ShardConfig {
-                    runtimes: runtimes.to_vec(),
+                Self::spawn_one(
+                    runtimes,
                     threads,
                     index,
                     slack,
-                    seeded,
-                };
-                let thread = std::thread::spawn(move || shard_worker(shard, cmd_rx, reply_tx));
-                Worker {
-                    tx: Some(cmd_tx),
-                    rx: reply_rx,
-                    thread: Some(thread),
-                    memory,
-                    peak: memory,
-                    stats,
-                    key_overflow: None,
-                    shard_events: 0,
-                }
+                    seeds[index].take(),
+                    0,
+                    attach_snapshots,
+                )
             })
             .collect()
+    }
+
+    /// Spawn a single shard worker — the unit both pool construction and
+    /// [`FailurePolicy::Restart`] respawns go through.
+    fn spawn_one(
+        runtimes: &[Arc<QueryRuntime>],
+        threads: usize,
+        index: usize,
+        slack: Option<u64>,
+        seeded: Option<Vec<Option<CograEngine>>>,
+        events: u64,
+        attach_snapshots: bool,
+    ) -> Worker {
+        let (cmd_tx, cmd_rx) = std::sync::mpsc::sync_channel(CHANNEL_CAPACITY);
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        // Mirror restored engine memory and counters immediately
+        // so a freshly restored pool reports its footprint before
+        // any drain.
+        let (memory, stats) = seeded.as_ref().map_or_else(
+            || (0, RunStats::default()),
+            |engines| {
+                let mut stats = RunStats::default();
+                let mut memory = 0;
+                for e in engines.iter().flatten() {
+                    memory += e.memory_bytes();
+                    stats.merge(e.run_stats());
+                }
+                (memory, stats)
+            },
+        );
+        let shard = ShardConfig {
+            runtimes: runtimes.to_vec(),
+            threads,
+            index,
+            slack,
+            seeded,
+            events,
+            attach_snapshots,
+        };
+        let thread = std::thread::spawn(move || shard_worker(shard, cmd_rx, reply_tx));
+        Worker {
+            tx: Some(cmd_tx),
+            rx: reply_rx,
+            thread: Some(thread),
+            quarantined: false,
+            memory,
+            peak: memory,
+            stats,
+            key_overflow: None,
+            shard_events: events,
+        }
     }
 
     /// Thread count: the requested workers when any query has a `GROUP-BY`
@@ -537,6 +714,46 @@ impl StreamingPool {
         self.workers.iter().map(|w| w.shard_events).collect()
     }
 
+    /// The sticky terminal failure, if a shard worker died under
+    /// [`FailurePolicy::Fail`] (or a restart loop escalated). Once set,
+    /// the pool accepts no more events and emits nothing further.
+    pub fn failure(&self) -> Option<&WorkerFailure> {
+        self.failed.as_ref()
+    }
+
+    /// Shards quarantined by [`FailurePolicy::Degrade`], in index order.
+    /// Empty on a healthy pool.
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.quarantined)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Items lost to quarantined shards: everything delivered to a shard
+    /// before it died plus everything rerouted-to-nowhere after (pinned
+    /// queries whose home shard is gone). 0 on a healthy pool. Together
+    /// with [`StreamingPool::shard_events`] this conserves the routed
+    /// total: `routed_items == sum(shard_events) + dropped_events` once
+    /// the pool finishes.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Every `(event, query)` item the coordinator has staged, including
+    /// ones later dropped by quarantine — the left-hand side of the
+    /// conservation invariant chaos tests assert.
+    pub fn routed_items(&self) -> u64 {
+        self.routed_items
+    }
+
+    /// The configured failure policy.
+    pub fn policy(&self) -> FailurePolicy {
+        self.policy
+    }
+
     /// Whether the pool has finished (checkpointing a finished pool is
     /// unsupported — its engines have emitted and discarded their state).
     pub fn finished(&self) -> bool {
@@ -563,27 +780,46 @@ impl StreamingPool {
     /// batches, then collects every shard's engine states (merged per
     /// query in shard-index order) and in-flight reorder-buffer items.
     /// The pool remains fully usable afterwards.
-    pub fn snapshot(&mut self) -> (Vec<RouterState>, Vec<(u32, Event)>) {
+    ///
+    /// A failed pool ([`FailurePolicy::Fail`]) or a degraded one
+    /// ([`FailurePolicy::Degrade`] after a quarantine) cannot checkpoint —
+    /// part of its state is gone; the error is typed, never a partial
+    /// snapshot. A worker dying *during* the snapshot under
+    /// [`FailurePolicy::Restart`] is recovered and the shard re-asked.
+    pub fn snapshot(&mut self) -> Result<PoolSnapshot, CheckpointError> {
         assert!(!self.finished, "streaming pool already finished");
+        self.snapshot_guard()?;
         self.flush_stages();
-        for w in &mut self.workers {
-            let tx = w.tx.as_ref().expect("pool not finished");
-            if tx.send(Cmd::Snapshot).is_err() {
-                reap(w);
-            }
+        self.snapshot_guard()?;
+        let cmd = Cmd::Snapshot;
+        let n = self.workers.len();
+        let mut sent = vec![false; n];
+        for (s, flag) in sent.iter_mut().enumerate() {
+            *flag = self.send_control(s, &cmd);
         }
         let mut merged: Vec<Option<RouterState>> = (0..self.runtimes.len()).map(|_| None).collect();
         let mut buffered = Vec::new();
-        for w in &mut self.workers {
-            let Ok(reply) = w.rx.recv() else { reap(w) };
-            w.memory = reply.memory;
-            w.peak = reply.peak;
-            w.stats = reply.stats;
-            w.key_overflow = reply.key_overflow;
-            w.shard_events = reply.shard_events;
+        for (s, &ok) in sent.iter().enumerate() {
+            if !ok {
+                continue;
+            }
+            let Some(mut reply) = self.recv_reply(s, &cmd) else {
+                continue;
+            };
             let snap = reply
                 .snapshot
+                .take()
                 .expect("snapshot round trip returns shard state");
+            self.absorb_mirrors(s, &reply);
+            // This full-state reply doubles as a fresh recovery baseline.
+            self.store_baseline(
+                s,
+                ShardSnapshot {
+                    states: snap.states.clone(),
+                    buffered: snap.buffered.clone(),
+                    events: snap.events,
+                },
+            );
             for (q, st) in snap.states.into_iter().enumerate() {
                 if let Some(st) = st {
                     match &mut merged[q] {
@@ -594,11 +830,263 @@ impl StreamingPool {
             }
             buffered.extend(snap.buffered);
         }
+        self.snapshot_guard()?;
         let states = merged
             .into_iter()
             .map(|m| m.expect("every query is hosted by at least one shard"))
             .collect();
-        (states, buffered)
+        Ok((states, buffered))
+    }
+
+    /// The typed reasons a pool cannot produce a complete snapshot.
+    fn snapshot_guard(&self) -> Result<(), CheckpointError> {
+        if let Some(f) = &self.failed {
+            return Err(CheckpointError::Unsupported(format!(
+                "cannot checkpoint a failed session ({f})"
+            )));
+        }
+        if self.workers.iter().any(|w| w.quarantined) {
+            return Err(CheckpointError::Unsupported(
+                "cannot checkpoint a degraded session (a shard worker was quarantined)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Refresh a shard's recovery baseline from a full-state reply and
+    /// forget the journal it supersedes. No-op unless journaling
+    /// ([`FailurePolicy::Restart`]).
+    fn store_baseline(&mut self, shard: usize, snap: ShardSnapshot) {
+        if let Some(recovery) = &mut self.recovery {
+            recovery[shard] = ShardBaseline {
+                states: snap.states,
+                buffered: snap.buffered,
+                events: snap.events,
+                journal: Vec::new(),
+            };
+        }
+    }
+
+    /// Copy a live reply's counters into the coordinator-side mirrors.
+    fn absorb_mirrors(&mut self, shard: usize, reply: &Reply) {
+        let w = &mut self.workers[shard];
+        w.memory = reply.memory;
+        w.peak = w.peak.max(reply.peak);
+        w.stats = reply.stats;
+        w.key_overflow = reply.key_overflow;
+        w.shard_events = reply.shard_events;
+    }
+
+    /// Send one control command (`Drain`/`Snapshot`/`Finish`) to a shard,
+    /// recovering per policy if its channel is dead. `false`: the shard is
+    /// not participating (quarantined, or the pool failed).
+    fn send_control(&mut self, shard: usize, cmd: &Cmd) -> bool {
+        loop {
+            if self.failed.is_some() {
+                return false;
+            }
+            let Some(tx) = self.workers[shard].tx.as_ref() else {
+                return false;
+            };
+            if tx.send(control_clone(cmd)).is_ok() {
+                return true;
+            }
+            self.recover(shard, None);
+        }
+    }
+
+    /// Receive a shard's reply to `cmd`, recovering per policy when the
+    /// worker died instead: under [`FailurePolicy::Restart`] the respawned
+    /// shard is re-sent `cmd` and the receive retried. `None`: the shard
+    /// dropped out of this round trip (quarantined or pool failed).
+    fn recv_reply(&mut self, shard: usize, cmd: &Cmd) -> Option<Reply> {
+        loop {
+            if self.failed.is_some() || self.workers[shard].tx.is_none() {
+                return None;
+            }
+            match self.workers[shard].rx.recv() {
+                Ok(reply) => match reply.failure {
+                    None => return Some(reply),
+                    Some(message) => self.recover(shard, Some(message)),
+                },
+                Err(_) => self.recover(shard, None),
+            }
+            // A restarted shard has replayed its journal but not seen the
+            // in-flight command yet — re-issue it and listen again.
+            if self.workers[shard].tx.is_some() && !self.send_control(shard, cmd) {
+                return None;
+            }
+        }
+    }
+
+    /// The worker on `shard` is dead (send failed, receive disconnected,
+    /// or an in-band failure reply arrived — passed as `got`). Extract the
+    /// failure and recover per policy: quarantine, respawn-and-replay, or
+    /// fail the pool terminally.
+    fn recover(&mut self, shard: usize, got: Option<String>) {
+        let failure = self.failure_of(shard, got);
+        match self.policy {
+            FailurePolicy::Fail => self.fail_all(failure),
+            FailurePolicy::Degrade => self.quarantine(shard),
+            FailurePolicy::Restart => {
+                if self.restarts[shard] >= MAX_RESTARTS {
+                    let failure = WorkerFailure {
+                        shard,
+                        message: format!(
+                            "giving up after {MAX_RESTARTS} restarts: {}",
+                            failure.message
+                        ),
+                    };
+                    self.fail_all(failure);
+                } else {
+                    self.restart_shard(shard);
+                }
+            }
+        }
+    }
+
+    /// Reap a dead worker and name its failure: close our end, skim its
+    /// reply channel for the supervisor's in-band panic report (it races
+    /// the channel teardown), and join the thread.
+    fn failure_of(&mut self, shard: usize, got: Option<String>) -> WorkerFailure {
+        let w = &mut self.workers[shard];
+        w.tx = None;
+        let mut message = got;
+        while message.is_none() {
+            match w.rx.recv_timeout(std::time::Duration::from_secs(10)) {
+                Ok(reply) => message = reply.failure, // skim data replies
+                Err(_) => break,
+            }
+        }
+        if let Some(t) = w.thread.take() {
+            let _ = t.join();
+        }
+        WorkerFailure {
+            shard,
+            message: message.unwrap_or_else(|| "shard worker exited unexpectedly".into()),
+        }
+    }
+
+    /// Terminal failure: record it, stop every worker, drop staged items.
+    fn fail_all(&mut self, failure: WorkerFailure) {
+        self.failed = Some(failure);
+        for w in &mut self.workers {
+            w.tx = None;
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+        }
+        for stage in &mut self.stages {
+            stage.clear();
+        }
+        if let Some(recovery) = &mut self.recovery {
+            for b in recovery.iter_mut() {
+                b.journal.clear();
+            }
+        }
+    }
+
+    /// [`FailurePolicy::Degrade`]: the shard stays dead. Everything ever
+    /// delivered to it (processed state and in-flight items alike) is
+    /// accounted as dropped; its groups reroute to the next live shard
+    /// from here on.
+    fn quarantine(&mut self, shard: usize) {
+        let w = &mut self.workers[shard];
+        w.quarantined = true;
+        w.memory = 0;
+        w.shard_events = 0;
+        self.dropped += self.delivered[shard];
+        self.delivered[shard] = 0;
+        self.stages[shard].clear();
+    }
+
+    /// [`FailurePolicy::Restart`]: rebuild the shard's engines from its
+    /// recovery baseline, respawn the worker, and redeliver the baseline's
+    /// in-flight items plus the journal of everything delivered since.
+    /// Emission-safe: nothing has been emitted since the baseline (results
+    /// only leave at drains, and every drain refreshes the baseline).
+    fn restart_shard(&mut self, shard: usize) {
+        self.restarts[shard] += 1;
+        let threads = self.workers.len();
+        let baseline = &self.recovery.as_ref().expect("Restart keeps baselines")[shard];
+        let mut engines = Vec::with_capacity(self.runtimes.len());
+        for (q, (rt, st)) in self.runtimes.iter().zip(&baseline.states).enumerate() {
+            let hosted = rt.query.group_prefix > 0 || q % threads == shard;
+            engines.push(match st {
+                Some(st) => match CograEngine::from_state(Arc::clone(rt), st.clone()) {
+                    Ok(engine) => Some(engine),
+                    Err(e) => {
+                        // The baseline itself cannot be revived — escalate.
+                        let failure = WorkerFailure {
+                            shard,
+                            message: format!("recovery baseline is unusable: {e}"),
+                        };
+                        self.fail_all(failure);
+                        return;
+                    }
+                },
+                None if hosted => Some(CograEngine::from_runtime(Arc::clone(rt))),
+                None => None,
+            });
+        }
+        self.workers[shard] = Self::spawn_one(
+            &self.runtimes,
+            threads,
+            shard,
+            self.slack_cfg,
+            Some(engines),
+            baseline.events,
+            true,
+        );
+        // Redeliver: first the baseline's reorder-buffered items (their
+        // release order is the order the checkpoint restage path uses),
+        // then the journal, both through the normal batch transport.
+        let mut replay: Vec<Item> = Vec::with_capacity(baseline.journal.len());
+        for (query, event) in baseline.buffered.clone() {
+            let rt = &self.runtimes[query as usize];
+            let key_hash = if rt.query.group_prefix > 0 {
+                match rt.route_hashes(&event) {
+                    Some((_, key_hash)) => Some(key_hash),
+                    None => continue,
+                }
+            } else {
+                rt.key_hash(&event)
+            };
+            replay.push(Item {
+                event,
+                query,
+                key_hash,
+            });
+        }
+        replay.extend(baseline.journal.iter().cloned());
+        for chunk in replay.chunks(self.batch_size.max(1)) {
+            let Some(tx) = self.workers[shard].tx.as_ref() else {
+                return;
+            };
+            if tx.send(Cmd::Batch(chunk.to_vec())).is_err() {
+                // Died again during replay — recurse; MAX_RESTARTS bounds
+                // the depth.
+                self.recover(shard, None);
+                return;
+            }
+        }
+    }
+
+    /// Where an item bound for `shard` actually goes: the shard itself
+    /// while it lives; after a quarantine, the next live shard (shardable
+    /// queries — every shard hosts them) or nowhere (pinned queries whose
+    /// home worker is gone).
+    fn live_target(&self, shard: usize, query: u32) -> Option<usize> {
+        if !self.workers[shard].quarantined {
+            return Some(shard);
+        }
+        if self.runtimes[query as usize].query.group_prefix == 0 {
+            return None;
+        }
+        let n = self.workers.len();
+        (1..n)
+            .map(|k| (shard + k) % n)
+            .find(|&s| !self.workers[s].quarantined)
     }
 
     /// Re-stage one checkpointed in-flight event for one query, bypassing
@@ -707,6 +1195,11 @@ impl StreamingPool {
     /// maintained on the trusted-ordered path.
     fn admit(&mut self, event: &Event) -> bool {
         assert!(!self.finished, "streaming pool already finished");
+        if self.failed.is_some() {
+            // Terminally failed: ignore further input; the caller sees the
+            // sticky `failure()` instead of a panic.
+            return false;
+        }
         match &mut self.gate {
             Some(gate) => gate.admit(event.time),
             None => {
@@ -742,9 +1235,21 @@ impl StreamingPool {
         }
     }
 
-    /// Append one item to a shard's staging buffer, shipping the buffer
-    /// as a batch once it reaches the configured size.
+    /// Append one item to a shard's staging buffer (rerouted past
+    /// quarantined shards, journaled under [`FailurePolicy::Restart`]),
+    /// shipping the buffer as a batch once it reaches the configured size.
     fn stage(&mut self, shard: usize, item: Item) {
+        self.routed_items += 1;
+        let Some(shard) = self.live_target(shard, item.query) else {
+            // A pinned query's home worker is quarantined — the item has
+            // nowhere correct to go; count it instead of losing it silently.
+            self.dropped += 1;
+            return;
+        };
+        self.delivered[shard] += 1;
+        if let Some(recovery) = &mut self.recovery {
+            recovery[shard].journal.push(item.clone());
+        }
         let stage = &mut self.stages[shard];
         stage.push(item);
         if stage.len() >= self.batch_size {
@@ -752,17 +1257,29 @@ impl StreamingPool {
         }
     }
 
-    /// Send a shard's staged events as one [`Cmd::Batch`].
+    /// Send a shard's staged events as one [`Cmd::Batch`]. A dead channel
+    /// triggers policy recovery; the batch itself is never re-sent here —
+    /// under Restart the journal replay already covers it, under Degrade
+    /// it is part of the quarantined shard's counted losses.
     fn ship(&mut self, shard: usize) {
         if self.stages[shard].is_empty() {
             return;
         }
         let cap = self.batch_size.min(4096);
         let batch = std::mem::replace(&mut self.stages[shard], Vec::with_capacity(cap));
-        let w = &mut self.workers[shard];
-        let tx = w.tx.as_ref().expect("pool not finished");
+        #[cfg(feature = "faults")]
+        if cogra_faults::fired(&format!("pool/ship/{shard}")) {
+            // Simulated transport failure: drop our end of the channel (the
+            // worker exits cleanly when it drains) and run recovery.
+            self.workers[shard].tx = None;
+            self.recover(shard, Some(format!("injected fault at pool/ship/{shard}")));
+            return;
+        }
+        let Some(tx) = self.workers[shard].tx.as_ref() else {
+            return; // quarantined or failed since staging
+        };
         if tx.send(Cmd::Batch(batch)).is_err() {
-            reap(w);
+            self.recover(shard, None);
         }
     }
 
@@ -779,7 +1296,7 @@ impl StreamingPool {
     /// broadcasts the watermark first, so shards whose sub-stream went
     /// quiet still close the windows that closed globally.
     pub fn drain_into(&mut self, out: &mut dyn FnMut(usize, WindowResult)) {
-        if self.finished {
+        if self.finished || self.failed.is_some() {
             return;
         }
         self.flush_stages();
@@ -789,49 +1306,56 @@ impl StreamingPool {
     /// End of stream: flush staged batches and shard reorder buffers,
     /// close every open window on every shard, emit the merged remainder,
     /// and join the worker threads. Further drains are no-ops; further
-    /// routing is a bug (and panics).
+    /// routing is a bug (and panics). On a terminally failed pool this
+    /// emits nothing — the caller sees [`StreamingPool::failure`].
     pub fn finish_into(&mut self, out: &mut dyn FnMut(usize, WindowResult)) {
         if self.finished {
             return;
         }
-        self.flush_stages();
-        self.round_trip(Cmd::Finish, out);
+        if self.failed.is_none() {
+            self.flush_stages();
+            self.round_trip(Cmd::Finish, out);
+        }
         self.finished = true;
         for w in &mut self.workers {
             w.tx = None; // close the channel …
             if let Some(t) = w.thread.take() {
-                t.join().expect("shard worker panicked"); // … and reap
+                let _ = t.join(); // … and reap (panics arrived in-band)
             }
         }
     }
 
-    /// Broadcast one command to every shard, then merge the replies per
-    /// query. Command fan-out happens before any reply collection so the
-    /// shards drain concurrently.
+    /// Broadcast one command to every live shard, then merge the replies
+    /// per query. Command fan-out happens before any reply collection so
+    /// the shards drain concurrently. Worker deaths along the way are
+    /// recovered per policy; a pool that fails terminally mid-trip emits
+    /// nothing (no partial result set masquerading as a complete one).
     fn round_trip(&mut self, cmd: Cmd, out: &mut dyn FnMut(usize, WindowResult)) {
-        for w in &mut self.workers {
-            let c = match &cmd {
-                Cmd::Drain(wm) => Cmd::Drain(*wm),
-                Cmd::Finish => Cmd::Finish,
-                Cmd::Batch(..) => unreachable!("batches are routed, not broadcast"),
-                Cmd::Snapshot => unreachable!("snapshots have their own fan-out"),
-            };
-            let tx = w.tx.as_ref().expect("pool not finished");
-            if tx.send(c).is_err() {
-                reap(w);
-            }
+        let n = self.workers.len();
+        let mut sent = vec![false; n];
+        for (s, flag) in sent.iter_mut().enumerate() {
+            *flag = self.send_control(s, &cmd);
         }
         let mut merged: Vec<Vec<WindowResult>> = vec![Vec::new(); self.runtimes.len()];
-        for w in &mut self.workers {
-            let Ok(reply) = w.rx.recv() else { reap(w) };
-            w.memory = reply.memory;
-            w.peak = reply.peak;
-            w.stats = reply.stats;
-            w.key_overflow = reply.key_overflow;
-            w.shard_events = reply.shard_events;
+        for (s, &ok) in sent.iter().enumerate() {
+            if !ok {
+                continue;
+            }
+            let Some(mut reply) = self.recv_reply(s, &cmd) else {
+                continue;
+            };
+            self.absorb_mirrors(s, &reply);
+            if let Some(snap) = reply.snapshot.take() {
+                // Journaling drain: the attached state is the shard's new
+                // recovery baseline and retires its journal.
+                self.store_baseline(s, snap);
+            }
             for (q, r) in reply.results {
                 merged[q as usize].push(r);
             }
+        }
+        if self.failed.is_some() {
+            return;
         }
         for (q, results) in merged.iter_mut().enumerate() {
             // Shards own disjoint (window, group) result spaces per query,
@@ -842,6 +1366,17 @@ impl StreamingPool {
                 out(q, r);
             }
         }
+    }
+}
+
+/// Clone a broadcastable control command ([`Cmd::Batch`] is routed, not
+/// broadcast, and never comes through here).
+fn control_clone(cmd: &Cmd) -> Cmd {
+    match cmd {
+        Cmd::Drain(wm) => Cmd::Drain(*wm),
+        Cmd::Snapshot => Cmd::Snapshot,
+        Cmd::Finish => Cmd::Finish,
+        Cmd::Batch(..) => unreachable!("batches are routed, not broadcast"),
     }
 }
 
@@ -862,8 +1397,15 @@ struct ShardConfig {
     threads: usize,
     index: usize,
     slack: Option<u64>,
-    /// Engines restored from a checkpoint (`None`: build fresh ones).
+    /// Engines restored from a checkpoint or a recovery baseline
+    /// (`None`: build fresh ones).
     seeded: Option<Vec<Option<CograEngine>>>,
+    /// Ingest-counter seed, so a respawned shard resumes its accounting.
+    events: u64,
+    /// Attach a [`ShardSnapshot`] to every drain reply — the coordinator
+    /// journals for [`FailurePolicy::Restart`] and refreshes its recovery
+    /// baseline from them.
+    attach_snapshots: bool,
 }
 
 /// One worker's engines: a [`CograEngine`] per query this shard hosts
@@ -908,10 +1450,34 @@ impl Shard {
             released: Vec::new(),
             peak: 0,
             since_sample: 0,
-            events: 0,
+            events: cfg.events,
         };
         shard.peak = shard.memory();
         shard
+    }
+
+    /// Serialize the shard for a pool snapshot or recovery baseline:
+    /// every hosted engine's state, the reorder buffer's in-flight items
+    /// in release order, and the ingest counter.
+    fn snapshot(&self) -> ShardSnapshot {
+        let states = self
+            .engines
+            .iter()
+            .map(|e| e.as_ref().map(CograEngine::snapshot_state))
+            .collect();
+        let buffered = match &self.reorder {
+            Some(buffer) => buffer
+                .ordered()
+                .into_iter()
+                .map(|(_, item)| (item.query, item.event.clone()))
+                .collect(),
+            None => Vec::new(),
+        };
+        ShardSnapshot {
+            states,
+            buffered,
+            events: self.events,
+        }
     }
 
     fn memory(&self) -> usize {
@@ -1020,14 +1586,57 @@ impl Shard {
     }
 }
 
-/// One shard's worker loop: private per-query [`CograEngine`]s over the
-/// shard's sub-stream, replying to drain/finish round trips.
+/// The supervisor wrapper around a shard's worker loop: a panic anywhere
+/// in the body is caught and reported in-band as a [`Reply::failed`]
+/// instead of being re-raised into the coordinator — the coordinator
+/// recovers per its [`FailurePolicy`]. The shard's state is discarded on
+/// unwind (a replacement is rebuilt from the recovery baseline), so
+/// `AssertUnwindSafe` is sound here.
 fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
+    let failure_tx = tx.clone();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        shard_loop(cfg, rx, tx)
+    }));
+    if let Err(payload) = result {
+        let _ = failure_tx.send(Reply::failed(panic_message(payload.as_ref())));
+    }
+}
+
+/// Render a caught panic payload — the `panic!` message when there is
+/// one, a generic marker otherwise.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "shard worker panicked".to_string()
+    }
+}
+
+/// One shard's worker loop: private per-query [`CograEngine`]s over the
+/// shard's sub-stream, replying to drain/finish round trips. With the
+/// `faults` feature, per-shard failpoints (`worker/batch/{i}`,
+/// `worker/drain/{i}`, `worker/snapshot/{i}`, `worker/finish/{i}`) panic
+/// the loop on schedule — each shard's command stream is deterministic
+/// given the routing, so the hit counters are too.
+fn shard_loop(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
+    #[cfg(feature = "faults")]
+    let index = cfg.index;
+    let attach_snapshots = cfg.attach_snapshots;
     let mut shard = Shard::new(cfg);
     for cmd in rx {
         match cmd {
-            Cmd::Batch(items) => shard.on_batch(items),
+            Cmd::Batch(items) => {
+                shard.on_batch(items);
+                // Fire *after* the batch mutated the engines: recovery
+                // must discard the partial work, not resume over it.
+                #[cfg(feature = "faults")]
+                cogra_faults::maybe_panic(&format!("worker/batch/{index}"));
+            }
             Cmd::Drain(wm) => {
+                #[cfg(feature = "faults")]
+                cogra_faults::maybe_panic(&format!("worker/drain/{index}"));
                 shard.advance_to(wm);
                 shard.sample_peak();
                 let mut results = Vec::new();
@@ -1044,7 +1653,8 @@ fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                         stats: shard.stats(),
                         key_overflow: shard.key_overflow(),
                         shard_events: shard.events,
-                        snapshot: None,
+                        snapshot: attach_snapshots.then(|| shard.snapshot()),
+                        failure: None,
                     })
                     .is_err()
                 {
@@ -1052,20 +1662,9 @@ fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                 }
             }
             Cmd::Snapshot => {
+                #[cfg(feature = "faults")]
+                cogra_faults::maybe_panic(&format!("worker/snapshot/{index}"));
                 shard.sample_peak();
-                let states = shard
-                    .engines
-                    .iter()
-                    .map(|e| e.as_ref().map(CograEngine::snapshot_state))
-                    .collect();
-                let buffered = match &shard.reorder {
-                    Some(buffer) => buffer
-                        .ordered()
-                        .into_iter()
-                        .map(|(_, item)| (item.query, item.event.clone()))
-                        .collect(),
-                    None => Vec::new(),
-                };
                 if tx
                     .send(Reply {
                         results: Vec::new(),
@@ -1074,7 +1673,8 @@ fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                         stats: shard.stats(),
                         key_overflow: shard.key_overflow(),
                         shard_events: shard.events,
-                        snapshot: Some(ShardSnapshot { states, buffered }),
+                        snapshot: Some(shard.snapshot()),
+                        failure: None,
                     })
                     .is_err()
                 {
@@ -1082,6 +1682,8 @@ fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                 }
             }
             Cmd::Finish => {
+                #[cfg(feature = "faults")]
+                cogra_faults::maybe_panic(&format!("worker/finish/{index}"));
                 shard.flush();
                 shard.sample_peak();
                 let mut results = Vec::new();
@@ -1101,6 +1703,7 @@ fn shard_worker(cfg: ShardConfig, rx: Receiver<Cmd>, tx: Sender<Reply>) {
                     key_overflow: shard.key_overflow(),
                     shard_events: shard.events,
                     snapshot: None,
+                    failure: None,
                 });
                 return;
             }
@@ -1147,6 +1750,7 @@ mod tests {
             PoolConfig {
                 batch_size: batch,
                 slack: None,
+                policy: FailurePolicy::Fail,
             },
         )
     }
@@ -1346,6 +1950,8 @@ mod tests {
             index: 0,
             slack: None,
             seeded: None,
+            events: 0,
+            attach_snapshots: false,
         });
         let items: Vec<Item> = events
             .iter()
@@ -1401,6 +2007,7 @@ mod tests {
                 PoolConfig {
                     batch_size,
                     slack: Some(5),
+                    policy: FailurePolicy::Fail,
                 },
             );
             let mut out = Vec::new();

@@ -51,7 +51,7 @@
 //!   [`ResultSink`] without materializing intermediate vectors.
 
 use crate::cogra::CograEngine;
-use crate::parallel::{PoolConfig, StreamingPool};
+use crate::parallel::{FailurePolicy, PoolConfig, StreamingPool, WorkerFailure};
 use cogra_baselines::{
     aseq_engine_from_plan, aseq_runtime, flink_engine_from_plan, flink_runtime,
     greta_engine_from_plan, greta_runtime, oracle_engine_from_plan, oracle_runtime,
@@ -292,6 +292,10 @@ pub enum IngestError {
         /// The configured limit that was hit.
         limit: u32,
     },
+    /// A shard worker died under [`FailurePolicy::Fail`] (or exhausted
+    /// its restart budget). The session is sticky-failed: it accepts no
+    /// further events and emits nothing — no partial output.
+    WorkerFailed(WorkerFailure),
 }
 
 impl fmt::Display for IngestError {
@@ -312,6 +316,7 @@ impl fmt::Display for IngestError {
                 "stream exceeded the configured limit of {limit} distinct partition keys; \
                  raise --key-limit N / EngineConfig::key_limit to admit more"
             ),
+            IngestError::WorkerFailed(failure) => failure.fmt(f),
         }
     }
 }
@@ -481,6 +486,7 @@ pub struct SessionBuilder {
     slack: Option<u64>,
     workers: usize,
     batch_size: Option<usize>,
+    policy: FailurePolicy,
 }
 
 impl SessionBuilder {
@@ -565,6 +571,20 @@ impl SessionBuilder {
         self
     }
 
+    /// What a `.workers(n)` session does when a shard worker panics
+    /// (default [`FailurePolicy::Fail`]). [`FailurePolicy::Restart`]
+    /// respawns the shard from its last in-memory snapshot and replays
+    /// the events staged since, so output stays byte-identical to an
+    /// undisturbed run; [`FailurePolicy::Degrade`] quarantines the shard
+    /// and keeps serving the remaining keys, counting what the dead
+    /// shard had absorbed as [`Session::dropped_events`]. Streaming
+    /// (single-worker) sessions ignore the policy — there is no worker
+    /// to supervise.
+    pub fn on_worker_failure(mut self, policy: FailurePolicy) -> SessionBuilder {
+        self.policy = policy;
+        self
+    }
+
     /// Resolve queries and construct the engines.
     pub fn build(self, registry: &TypeRegistry) -> Result<Session, SessionError> {
         if self.queries.is_empty() {
@@ -617,9 +637,12 @@ impl SessionBuilder {
                 PoolConfig {
                     batch_size,
                     slack: self.slack,
+                    policy: self.policy,
                 },
             );
-            Mode::Parallel { pool }
+            Mode::Parallel {
+                pool: Box::new(pool),
+            }
         } else {
             // Every kind builds from the plan compiled above — one
             // construction path, no second compile.
@@ -661,14 +684,17 @@ impl SessionBuilder {
     /// The snapshot is authoritative for queries, engine kinds, engine
     /// configuration and slack — a builder with `.query(...)`,
     /// `.engine(...)` or `.slack(...)` set is rejected
-    /// ([`CheckpointError::Unsupported`]). Two execution knobs may be
+    /// ([`CheckpointError::Unsupported`]). Three execution knobs may be
     /// overridden, because they do not change what the session computes:
     ///
     /// * `.workers(n)` — **elastic rescale**: the snapshot's merged
     ///   per-query states are re-sharded onto `n` workers by replaying the
     ///   group-prefix hash, so a session checkpointed at one width resumes
     ///   at another, byte-identically (`tests/checkpoint_props.rs`);
-    /// * `.batch_size(n)` — shard-transport batching.
+    /// * `.batch_size(n)` — shard-transport batching;
+    /// * `.on_worker_failure(policy)` — supervision policy (it is not
+    ///   serialized: how to react to a crash is an operational choice of
+    ///   the process doing the restoring, not stream state).
     ///
     /// Restore re-compiles the snapshot's canonical query texts against
     /// `registry`, so the registry must define the event types the queries
@@ -681,8 +707,8 @@ impl SessionBuilder {
     ) -> Result<Session, CheckpointError> {
         if !self.queries.is_empty() || self.engine.is_some() || self.slack.is_some() {
             return Err(CheckpointError::Unsupported(
-                "restore takes queries, engines and slack from the snapshot; \
-                 only .workers(n) and .batch_size(n) may be overridden"
+                "restore takes queries, engines and slack from the snapshot; only \
+                 .workers(n), .batch_size(n) and .on_worker_failure(p) may be overridden"
                     .to_string(),
             ));
         }
@@ -832,7 +858,11 @@ impl SessionBuilder {
             let mut pool = StreamingPool::restore(
                 runtimes,
                 workers,
-                PoolConfig { batch_size, slack },
+                PoolConfig {
+                    batch_size,
+                    slack,
+                    policy: self.policy,
+                },
                 states,
                 gate,
                 clock,
@@ -848,7 +878,12 @@ impl SessionBuilder {
                 }
                 pool.restage(query, event);
             }
-            (Mode::Parallel { pool }, None)
+            (
+                Mode::Parallel {
+                    pool: Box::new(pool),
+                },
+                None,
+            )
         } else {
             let engines = plans
                 .iter()
@@ -905,8 +940,9 @@ enum Mode {
     /// §8 sharded execution, live: every event is hashed to its shard's
     /// worker thread at ingest time and shipped in batches through ONE
     /// session-wide [`StreamingPool`]; drains emit watermark-final
-    /// results mid-stream.
-    Parallel { pool: StreamingPool },
+    /// results mid-stream. Boxed: the pool (staging buffers, recovery
+    /// journals, per-shard counters) dwarfs the streaming variant.
+    Parallel { pool: Box<StreamingPool> },
 }
 
 /// Push-based consumer of session results.
@@ -983,6 +1019,12 @@ pub struct SessionRun {
     /// a single entry in streaming mode. Under a skewed key distribution
     /// the spread between entries is the hot-key imbalance.
     pub shard_events: Vec<u64>,
+    /// Shards quarantined by [`FailurePolicy::Degrade`], in index order
+    /// ([`Session::degraded_shards`]) — empty on a healthy run.
+    pub degraded: Vec<usize>,
+    /// Events lost to quarantines ([`Session::dropped_events`]) — 0 on a
+    /// healthy run.
+    pub dropped_events: u64,
     /// Each query's compiled plan (granularity, automaton, window), in
     /// registration order — shared with the session, so consumers report
     /// on the plan without re-compiling.
@@ -1107,6 +1149,9 @@ impl Session {
             count += 1;
             if let Some(limit) = self.key_overflow() {
                 return Err(IngestError::KeyOverflow { limit });
+            }
+            if let Some(failure) = self.worker_failure() {
+                return Err(IngestError::WorkerFailed(failure.clone()));
             }
         }
         Ok(count)
@@ -1291,6 +1336,37 @@ impl Session {
         }
     }
 
+    /// Sticky worker failure: `Some` once a shard worker died under
+    /// [`FailurePolicy::Fail`] (or exhausted its restart budget under
+    /// [`FailurePolicy::Restart`]). A failed session accepts no further
+    /// events and emits nothing. Always `None` in streaming mode and
+    /// under successful Degrade/Restart recovery.
+    pub fn worker_failure(&self) -> Option<&WorkerFailure> {
+        match &self.mode {
+            Mode::Streaming { .. } => None,
+            Mode::Parallel { pool } => pool.failure(),
+        }
+    }
+
+    /// Shards quarantined by [`FailurePolicy::Degrade`], in index order —
+    /// empty on a healthy session (and always in streaming mode).
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        match &self.mode {
+            Mode::Streaming { .. } => Vec::new(),
+            Mode::Parallel { pool } => pool.degraded_shards(),
+        }
+    }
+
+    /// Events lost to [`FailurePolicy::Degrade`] quarantines: what the
+    /// dead shard had absorbed plus later events whose pinned query
+    /// had no live fallback. 0 on a healthy session.
+    pub fn dropped_events(&self) -> u64 {
+        match &self.mode {
+            Mode::Streaming { .. } => 0,
+            Mode::Parallel { pool } => pool.dropped_events(),
+        }
+    }
+
     /// Events ingested per shard worker, as of each worker's last drain
     /// (final once the session finished) — the observable for hot-key
     /// imbalance under skewed streams. Streaming mode reports one entry.
@@ -1380,7 +1456,7 @@ impl Session {
                 (states, enc.into_bytes())
             }
             Mode::Parallel { pool } => {
-                let (router_states, buffered) = pool.snapshot();
+                let (router_states, buffered) = pool.snapshot()?;
                 let states = router_states
                     .iter()
                     .map(|st| {
@@ -1477,14 +1553,17 @@ impl Session {
 
     /// The collect-everything loop shared by [`Session::run`],
     /// [`Session::run_stream`] and [`Session::run_csv`].
-    /// `strict_overflow` makes a `key_limit` overflow fail typed (the
-    /// CSV surfaces); the in-memory surfaces pass `false` and stay
-    /// infallible — the overflow remains observable via
-    /// [`Session::key_overflow`].
+    /// `strict` makes a `key_limit` overflow or a sticky worker failure
+    /// fail typed (the CSV surfaces); the in-memory surfaces pass
+    /// `false` and stay infallible — the overflow remains observable via
+    /// [`Session::key_overflow`], while a worker failure panics at the
+    /// end of the run (a controlled diagnostic: the alternative is
+    /// silently returning empty results for a stream that was never
+    /// processed).
     fn run_inner<'a>(
         mut self,
         events: impl Iterator<Item = Result<Fed<'a>, IngestError>>,
-        strict_overflow: bool,
+        strict: bool,
     ) -> Result<SessionRun, IngestError> {
         let mut per_query: Vec<Vec<WindowResult>> = vec![Vec::new(); self.queries()];
         let sharded = matches!(self.mode, Mode::Parallel { .. });
@@ -1497,9 +1576,12 @@ impl Session {
                     Fed::Ref(event) => self.process(event),
                     Fed::Owned(event) => self.process_owned(event),
                 }
-                if strict_overflow {
+                if strict {
                     if let Some(limit) = self.key_overflow() {
                         return Err(IngestError::KeyOverflow { limit });
+                    }
+                    if let Some(failure) = self.worker_failure() {
+                        return Err(IngestError::WorkerFailed(failure.clone()));
                     }
                 }
                 let i = count as usize;
@@ -1526,6 +1608,15 @@ impl Session {
             peak = peak.max(self.memory_bytes());
             self.finish_into(&mut sink);
         }
+        if let Some(failure) = self.worker_failure() {
+            if strict {
+                return Err(IngestError::WorkerFailed(failure.clone()));
+            }
+            // The infallible surfaces (`run`/`run_stream`) have no error
+            // channel; a controlled panic with the typed message beats
+            // silently handing back empty results.
+            panic!("{failure}");
+        }
         for results in &mut per_query {
             WindowResult::sort(results);
         }
@@ -1547,6 +1638,8 @@ impl Session {
             late_events: self.late_events(),
             stats: self.run_stats(),
             shard_events: self.shard_events(),
+            degraded: self.degraded_shards(),
+            dropped_events: self.dropped_events(),
             plans: self.plans.clone(),
         })
     }

@@ -66,6 +66,13 @@ pub struct ServerConfig {
     /// the kernel socket buffer fills; after this long mid-write it is
     /// treated as dead and dropped instead.
     pub subscriber_write_timeout: Duration,
+    /// Read timeout on command connections (`None` = wait forever, the
+    /// default). A client that connects and then goes silent holds a
+    /// connection thread and a file descriptor; with a timeout set, such
+    /// a connection gets one `ERR idle connection timed out` line and is
+    /// closed. Subscriber streams are unaffected — they are write-only
+    /// after `SUBSCRIBE`.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +82,7 @@ impl Default for ServerConfig {
             allow_nonlocal: false,
             drain_on_ingest: true,
             subscriber_write_timeout: Duration::from_secs(10),
+            read_timeout: None,
         }
     }
 }
@@ -255,6 +263,7 @@ impl Server {
             let shutdown = Arc::clone(&shutdown);
             let requests = requests.clone();
             let finished = Arc::clone(&finished);
+            let read_timeout = config.read_timeout;
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::SeqCst) {
@@ -271,7 +280,7 @@ impl Server {
                     let finished = Arc::clone(&finished);
                     std::thread::spawn(move || {
                         // Connection errors just end that connection.
-                        let _ = serve_connection(stream, requests, finished);
+                        let _ = serve_connection(stream, requests, finished, read_timeout);
                     });
                 }
             })
@@ -296,6 +305,36 @@ impl Server {
     /// elapses. Returns whether the session finished.
     pub fn wait_finished(&self, timeout: Duration) -> bool {
         wait_finished_flag(&self.finished, timeout)
+    }
+
+    /// Drain the session in-process — flush and push everything final at
+    /// the current watermark to subscribers, exactly as a client `DRAIN`
+    /// would. The graceful-shutdown path (`cogra-run serve` on SIGTERM)
+    /// drains before snapshotting so subscribers receive every result
+    /// the snapshot already accounts for.
+    pub fn drain(&self) -> Result<StatsReport, String> {
+        let (tx, rx) = mpsc::channel();
+        self.requests
+            .send(Req::Drain { reply: tx })
+            .map_err(|_| "server shutting down".to_string())?;
+        rx.recv().map_err(|_| "server shutting down".to_string())
+    }
+
+    /// Checkpoint the live session to a server-side file in-process,
+    /// exactly as a client `SNAPSHOT` would: the write is atomic
+    /// (`{path}.tmp` + fsync + rename) and the error string is the same
+    /// `{path}: {error}` text the wire protocol reports.
+    pub fn snapshot(&self, path: impl Into<String>) -> Result<(), String> {
+        let (tx, rx) = mpsc::channel();
+        self.requests
+            .send(Req::Snapshot {
+                path: path.into(),
+                reply: tx,
+            })
+            .map_err(|_| "server shutting down".to_string())?;
+        rx.recv()
+            .map_err(|_| "server shutting down".to_string())?
+            .map(|_| ())
     }
 
     /// Stop serving: close the accept loop and the session actor, then
@@ -405,6 +444,8 @@ fn session_actor(
             key_probes: run_stats.key_probes,
             key_allocs: run_stats.key_allocs,
             shard_events: session.shard_events(),
+            degraded: session.degraded_shards(),
+            dropped: session.dropped_events(),
             finished,
         }
     };
@@ -467,16 +508,13 @@ fn session_actor(
                 let _ = reply.send(outcome);
             }
             Req::Snapshot { path, reply } => {
-                // Error text is `{path}: {CheckpointError}` — identical to
-                // what the CLI's `--restore`/`--checkpoint` prints after
+                // Atomic write ({path}.tmp + fsync + rename): a crash
+                // mid-snapshot leaves the previous file intact, never a
+                // readable-but-truncated one. Error text stays
+                // `{path}: {CheckpointError}` — identical to what the
+                // CLI's `--restore`/`--checkpoint` prints after
                 // `error: `, so both surfaces pin the same messages.
-                let outcome = std::fs::File::create(&path)
-                    .map_err(CheckpointError::Io)
-                    .and_then(|file| {
-                        let mut w = io::BufWriter::new(file);
-                        session.checkpoint(&mut w)?;
-                        w.flush().map_err(CheckpointError::Io)
-                    })
+                let outcome = cogra_checkpoint::write_atomic(&path, |buf| session.checkpoint(buf))
                     .map(|()| path.clone())
                     .map_err(|e| format!("{path}: {e}"));
                 let _ = reply.send(outcome);
@@ -550,7 +588,13 @@ fn serve_connection(
     stream: TcpStream,
     requests: SyncSender<Req>,
     finished: Arc<(Mutex<bool>, Condvar)>,
+    read_timeout: Option<Duration>,
 ) -> io::Result<()> {
+    // A silent client must not hold this thread (and its fd) forever:
+    // with a timeout configured, a read that sits idle past it gets one
+    // ERR line and the connection closes. Subscriber streams are exempt —
+    // the actor owns their write half and this thread exits on SUBSCRIBE.
+    stream.set_read_timeout(read_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line_buf: Vec<u8> = Vec::new();
@@ -561,6 +605,10 @@ fn serve_connection(
             Ok(_) => {}
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 reply_err(&mut writer, "protocol line exceeds the line-length limit")?;
+                return Ok(());
+            }
+            Err(e) if idle_timeout(&e) => {
+                reply_err(&mut writer, "idle connection timed out")?;
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -603,6 +651,10 @@ fn serve_connection(
                         Ok(_) => {}
                         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                             failed = Some("protocol line exceeds the line-length limit");
+                            break;
+                        }
+                        Err(e) if idle_timeout(&e) => {
+                            failed = Some("idle connection timed out");
                             break;
                         }
                         Err(e) => return Err(e),
@@ -735,6 +787,16 @@ fn serve_connection(
             _ => reply_err(&mut writer, &format!("unknown command `{verb}`"))?,
         }
     }
+}
+
+/// Whether a read error is the configured idle timeout firing — the
+/// kernel reports `SO_RCVTIMEO` expiry as `WouldBlock` on Unix and
+/// `TimedOut` on Windows.
+fn idle_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 fn reply_ok(writer: &mut TcpStream, payload: &str) -> io::Result<()> {

@@ -108,6 +108,11 @@ pub struct StatsReport {
     /// distribution produces. One entry in streaming mode; empty only in
     /// replies from servers predating the field.
     pub shard_events: Vec<u64>,
+    /// Shards quarantined under `FailurePolicy::Degrade`, in index order
+    /// — empty on a healthy session.
+    pub degraded: Vec<usize>,
+    /// Events lost to quarantines — 0 on a healthy session.
+    pub dropped: u64,
     /// Whether `FINISH` has been processed.
     pub finished: bool,
 }
@@ -140,6 +145,20 @@ impl StatsReport {
                 out.push_str(&n.to_string());
             }
         }
+        // Degraded-status keys appear only on an unhealthy session, so
+        // healthy replies are byte-identical to pre-supervision servers.
+        if !self.degraded.is_empty() {
+            out.push_str(" degraded=");
+            for (i, s) in self.degraded.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&s.to_string());
+            }
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!(" dropped={}", self.dropped));
+        }
         out.push_str(&format!(" finished={}", self.finished));
         out
     }
@@ -170,6 +189,13 @@ impl StatsReport {
                         .map(|v| v.parse().map_err(|_| bad()))
                         .collect::<Result<_, _>>()?
                 }
+                "degraded" => {
+                    out.degraded = value
+                        .split(',')
+                        .map(|v| v.parse().map_err(|_| bad()))
+                        .collect::<Result<_, _>>()?
+                }
+                "dropped" => out.dropped = value.parse().map_err(|_| bad())?,
                 "finished" => out.finished = value.parse().map_err(|_| bad())?,
                 _ => {}
             }
@@ -196,12 +222,18 @@ mod tests {
             key_probes: 10,
             key_allocs: 3,
             shard_events: vec![6, 0, 4, 0],
+            degraded: vec![1, 3],
+            dropped: 5,
             finished: true,
         };
         assert_eq!(StatsReport::decode(&stats.encode()).unwrap(), stats);
-        // An empty shard list is omitted and decodes back to empty.
+        // Empty shard/degraded lists and a zero drop count are omitted
+        // and decode back to their defaults — healthy replies stay
+        // byte-identical to pre-supervision servers.
         let bare = StatsReport::default();
         assert!(!bare.encode().contains("shards="));
+        assert!(!bare.encode().contains("degraded="));
+        assert!(!bare.encode().contains("dropped="));
         assert_eq!(StatsReport::decode(&bare.encode()).unwrap(), bare);
         // Unknown keys are ignored; malformed pairs are not.
         assert_eq!(

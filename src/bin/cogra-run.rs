@@ -9,8 +9,10 @@
 //! cogra-run serve   --schema schema.csv --query query.cep
 //!           [--engine E] [--workers N] [--slack N] [--key-limit N]
 //!           [--listen 127.0.0.1:7878] [--restore snap.cogra]
+//!           [--read-timeout SECS] [--snapshot-on-term snap.cogra]
 //! cogra-run connect --addr HOST:PORT --events stream.csv
 //!           [--chunk N] [--stats] [--snapshot snap.cogra]
+//!           [--retry N] [--backoff-ms M]
 //! ```
 //!
 //! * `--schema` — CSV with rows `type,attr,kind` (kind ∈ int|float|str|bool)
@@ -43,11 +45,17 @@
 //! (loopback-only; `--listen 127.0.0.1:0` picks an ephemeral port,
 //! printed as `listening on ADDR`), serves `INGEST`/`SUBSCRIBE`/
 //! `DRAIN`/`STATS`/`FINISH`, and exits once a client sends `FINISH`.
+//! `--read-timeout SECS` disconnects silent command connections;
+//! on Unix, SIGTERM shuts down gracefully — drain, snapshot to the
+//! `--snapshot-on-term` path if given (a later `serve --restore` resumes
+//! there), exit 0.
 //! `connect` is the matching replay client: it subscribes to every
 //! query, replays a recorded CSV stream in `--chunk`-row blocks, sends
 //! `FINISH`, and prints the pushed results — the same rows the plain
 //! run mode would print, modulo the push-order vs sorted-order
 //! difference (`tests/cli.rs` pins the sorted outputs equal).
+//! `--retry N` retries a refused connection with `--backoff-ms M`
+//! exponential backoff, so a client racing its server's startup wins.
 
 use cogra::prelude::*;
 use cogra::query::{explain, to_dot};
@@ -341,12 +349,11 @@ fn checkpoint_run(
         }
     }
 
-    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut writer = std::io::BufWriter::new(file);
-    session
-        .checkpoint(&mut writer)
+    // Atomic write ({path}.tmp + fsync + rename): a crash mid-snapshot
+    // leaves any previous snapshot at PATH intact, never a truncated one.
+    // Same `{path}: {error}` text the server's SNAPSHOT verb reports.
+    cogra_checkpoint::write_atomic(path, |buf| session.checkpoint(buf))
         .map_err(|e| format!("{path}: {e}"))?;
-    writer.flush().map_err(|e| format!("{path}: {e}"))?;
 
     let total: usize = per_query.iter().map(Vec::len).sum();
     let late = session.late_events();
@@ -373,6 +380,8 @@ fn serve(argv: &[String]) -> Result<(), String> {
     let mut key_limit: Option<u32> = None;
     let mut restore: Option<String> = None;
     let mut listen = "127.0.0.1:7878".to_string();
+    let mut read_timeout: Option<Duration> = None;
+    let mut snapshot_on_term: Option<String> = None;
     let mut it = argv.iter().cloned();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -403,10 +412,24 @@ fn serve(argv: &[String]) -> Result<(), String> {
             }
             "--restore" => restore = Some(value("--restore")?),
             "--listen" => listen = value("--listen")?,
+            "--read-timeout" => {
+                let secs = value("--read-timeout")?
+                    .parse::<f64>()
+                    .map_err(|_| "--read-timeout needs a number of seconds".to_string())?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--read-timeout needs a positive number of seconds".into());
+                }
+                read_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--snapshot-on-term" => snapshot_on_term = Some(value("--snapshot-on-term")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    let config = ServerConfig {
+        read_timeout,
+        ..ServerConfig::default()
+    };
     if let Some(snap) = &restore {
         if !queries.is_empty() {
             return Err("--query cannot be combined with --restore \
@@ -427,10 +450,9 @@ fn serve(argv: &[String]) -> Result<(), String> {
         if let Some(workers) = workers {
             builder = builder.workers(workers);
         }
-        let server =
-            Server::spawn_restored(builder, registry, snap, &*listen, ServerConfig::default())
-                .map_err(|e| e.to_string())?;
-        return serve_loop(server);
+        let server = Server::spawn_restored(builder, registry, snap, &*listen, config)
+            .map_err(|e| e.to_string())?;
+        return serve_loop(server, snapshot_on_term);
     }
     if queries.is_empty() {
         return Err("--query is required".into());
@@ -451,22 +473,95 @@ fn serve(argv: &[String]) -> Result<(), String> {
     for path in &queries {
         builder = builder.query(parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?);
     }
-    let server = Server::spawn(builder, registry, &*listen, ServerConfig::default())
-        .map_err(|e| e.to_string())?;
-    serve_loop(server)
+    let server = Server::spawn(builder, registry, &*listen, config).map_err(|e| e.to_string())?;
+    serve_loop(server, snapshot_on_term)
+}
+
+/// SIGTERM → a process-wide flag, installed via the raw `signal(2)` FFI
+/// (no signal-handling crate in the workspace). The handler only stores
+/// an atomic — async-signal-safe by construction.
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn fired() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
 }
 
 /// The common serving tail: announce the port, serve until a client's
-/// `FINISH`, shut down.
-fn serve_loop(server: Server) -> Result<(), String> {
+/// `FINISH` — or, on Unix, until SIGTERM, which shuts down gracefully:
+/// drain results to subscribers, snapshot the live session to the
+/// `--snapshot-on-term` path (atomic write; a later `serve --restore`
+/// resumes exactly there), exit 0.
+fn serve_loop(server: Server, snapshot_on_term: Option<String>) -> Result<(), String> {
     // The port line is the handshake scripts parse — flush past the
     // pipe buffering println! would leave it in.
     println!("listening on {}", server.local_addr());
     std::io::stdout().flush().map_err(|e| e.to_string())?;
-    while !server.wait_finished(Duration::from_secs(1)) {}
-    server.shutdown();
-    eprintln!("session finished; server exiting");
-    Ok(())
+    #[cfg(unix)]
+    term_signal::install();
+    #[cfg(not(unix))]
+    let _ = &snapshot_on_term;
+    loop {
+        if server.wait_finished(Duration::from_secs(1)) {
+            server.shutdown();
+            eprintln!("session finished; server exiting");
+            return Ok(());
+        }
+        #[cfg(unix)]
+        if term_signal::fired() {
+            // Drain first so subscribers hold every result the snapshot
+            // accounts for, then checkpoint what is still live.
+            server.drain().map_err(|e| format!("drain: {e}"))?;
+            if let Some(path) = &snapshot_on_term {
+                server.snapshot(path.clone()).map_err(|e| e.to_string())?;
+                eprintln!("SIGTERM: snapshot → {path}");
+            }
+            server.shutdown();
+            eprintln!("terminated; server exiting");
+            return Ok(());
+        }
+    }
+}
+
+/// Dial `addr`, retrying a refused/unreachable connection up to `retry`
+/// times with exponential backoff (`backoff_ms`, doubling per attempt) —
+/// lets a `connect` launched before its `serve` counterpart finishes
+/// binding win the race instead of failing.
+fn connect_with_retry(addr: &str, retry: u32, backoff_ms: u64) -> std::io::Result<Client> {
+    let mut delay = backoff_ms.max(1);
+    let mut attempts_left = retry;
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(e) => {
+                if attempts_left == 0 {
+                    return Err(e);
+                }
+                attempts_left -= 1;
+                std::thread::sleep(Duration::from_millis(delay));
+                delay = delay.saturating_mul(2);
+            }
+        }
+    }
 }
 
 /// `connect`: replay a recorded CSV stream into a serving session and
@@ -477,6 +572,8 @@ fn connect(argv: &[String]) -> Result<(), String> {
     let mut chunk = 1_000usize;
     let mut stats = false;
     let mut snapshot: Option<String> = None;
+    let mut retry = 0u32;
+    let mut backoff_ms = 100u64;
     let mut it = argv.iter().cloned();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -491,6 +588,16 @@ fn connect(argv: &[String]) -> Result<(), String> {
             }
             "--stats" => stats = true,
             "--snapshot" => snapshot = Some(value("--snapshot")?),
+            "--retry" => {
+                retry = value("--retry")?
+                    .parse()
+                    .map_err(|_| "--retry needs an integer".to_string())?
+            }
+            "--backoff-ms" => {
+                backoff_ms = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|_| "--backoff-ms needs an integer".to_string())?
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -501,13 +608,15 @@ fn connect(argv: &[String]) -> Result<(), String> {
 
     let io_err = |e: std::io::Error| format!("{addr}: {e}");
     let srv_err = |e: String| format!("{addr}: server: {e}");
-    let mut control = Client::connect(&*addr).map_err(io_err)?;
+    let mut control = connect_with_retry(&addr, retry, backoff_ms).map_err(io_err)?;
     let pre = control.stats().map_err(io_err)?.map_err(srv_err)?;
     let multi = pre.queries > 1;
 
     // Subscription on its own connection: the server pushes RESULT lines
-    // there while this connection drives ingestion.
-    let subscription = Client::connect(&*addr)
+    // there while this connection drives ingestion. Retry applies here
+    // too — the server proved reachable above, but it may still be
+    // fd-starved for a moment under load.
+    let subscription = connect_with_retry(&addr, retry, backoff_ms)
         .map_err(io_err)?
         .subscribe(None)
         .map_err(io_err)?
@@ -566,10 +675,12 @@ const USAGE: &str = "usage: cogra-run --schema schema.csv --events stream.csv --
        cogra-run --schema schema.csv --events stream.csv --restore SNAP [--workers N] \
      [--checkpoint SNAP] [--memory]\n\
        cogra-run serve --schema schema.csv --query query.cep [--engine E] \
-     [--workers N] [--slack N] [--key-limit N] [--listen ADDR]\n\
-       cogra-run serve --schema schema.csv --restore SNAP [--workers N] [--listen ADDR]\n\
+     [--workers N] [--slack N] [--key-limit N] [--listen ADDR] [--read-timeout SECS] \
+     [--snapshot-on-term SNAP]\n\
+       cogra-run serve --schema schema.csv --restore SNAP [--workers N] [--listen ADDR] \
+     [--read-timeout SECS] [--snapshot-on-term SNAP]\n\
        cogra-run connect --addr HOST:PORT --events stream.csv [--chunk N] [--stats] \
-     [--snapshot SNAP]";
+     [--snapshot SNAP] [--retry N] [--backoff-ms M]";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -83,7 +83,7 @@ pub mod prelude {
     };
     pub use cogra_core::{
         run_parallel, run_to_completion, AggValue, CheckpointError, CograEngine, EngineConfig,
-        RunStats, TrendEngine, WindowResult,
+        FailurePolicy, RunStats, TrendEngine, WindowResult, WorkerFailure,
     };
     pub use cogra_events::{
         read_events, write_events, Event, EventBuilder, EventReader, Timestamp, TypeRegistry,

@@ -1,0 +1,694 @@
+//! The chaos battery: deterministic fault injection (`cogra-faults`)
+//! driven through the supervised runtime, pinning the fault-tolerance
+//! contracts end to end. Compiled only with `--features faults`:
+//!
+//! ```text
+//! cargo test -p cogra --test chaos_props --features faults
+//! ```
+//!
+//! Contracts pinned here:
+//!
+//! * **Restart ≡ no-fault run** — a shard worker killed at any
+//!   failpoint (batch / drain / finish / snapshot, any shard, any hit
+//!   count) under `FailurePolicy::Restart` is respawned from its last
+//!   drain baseline + journal, and the session's emitted results are
+//!   **byte-identical** to an uninterrupted run (stats/peak are
+//!   explicitly NOT part of the contract — replay re-probes).
+//! * **Degrade conserves the event accounting** — after a quarantine,
+//!   `routed_items == Σ live shard_events + dropped_events`, and the
+//!   losses surface through `SessionRun`.
+//! * **Fail is sticky and typed** — `ingest_csv` returns
+//!   `IngestError::WorkerFailed`, further input is refused, a failed or
+//!   degraded session refuses to checkpoint.
+//! * **A crash mid-snapshot never yields a readable-but-wrong file** —
+//!   `write_atomic` killed during the write or the rename leaves the
+//!   previous snapshot byte-intact (and the leftover `.tmp` of a
+//!   half-write does not restore), from the library *and* from the CLI.
+//!
+//! Every test serializes on one mutex: the fault registry is process
+//! global, and these tests would otherwise arm each other's failpoints.
+
+#![cfg(feature = "faults")]
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::{Arc, Mutex, MutexGuard, Once, OnceLock};
+
+use cogra::core::{PoolConfig, QueryRuntime, StreamingPool};
+use cogra::prelude::*;
+use cogra_checkpoint::write_atomic;
+use cogra_faults::{SeedSequence, Trigger};
+use proptest::prelude::*;
+
+/// One grouped Kleene query — shardable, so every worker-count knob and
+/// failpoint site is exercised.
+const QUERY: &str = "RETURN g, COUNT(*), SUM(A.v) PATTERN SEQ(A+, B) SEMANTICS ANY \
+                     GROUP-BY g WITHIN 10 SLIDE 5";
+
+fn registry() -> TypeRegistry {
+    let mut r = TypeRegistry::new();
+    r.register_type("A", vec![("g", ValueKind::Int), ("v", ValueKind::Int)]);
+    r.register_type("B", vec![("g", ValueKind::Int), ("v", ValueKind::Int)]);
+    r
+}
+
+/// Serialize the whole battery on the process-global fault registry,
+/// leaving it clean for the test body. Also quiets the injected panics:
+/// every kill below is intentional, and hundreds of backtraces would
+/// bury a real failure.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let g = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("injected fault at"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+    cogra_faults::reset();
+    g
+}
+
+/// A deterministic mixed A/B stream: 7 groups, B every third event.
+fn build_events(n: usize) -> Vec<Event> {
+    let reg = registry();
+    let a = reg.id_of("A").unwrap();
+    let b = reg.id_of("B").unwrap();
+    let mut builder = EventBuilder::new();
+    (0..n)
+        .map(|i| {
+            let ty = if i % 3 == 2 { b } else { a };
+            builder.event(
+                (i + 1) as u64,
+                ty,
+                vec![Value::Int((i % 7) as i64), Value::Int((i % 5) as i64)],
+            )
+        })
+        .collect()
+}
+
+/// Like [`build_events`], with bounded disorder (each 4-event cell is
+/// emitted 0,2,1,3) — repaired exactly by `.slack(2)` or wider.
+fn build_disordered_events(n: usize) -> Vec<Event> {
+    let mut events = build_events(n);
+    for cell in events.chunks_mut(4) {
+        if cell.len() == 4 {
+            cell.swap(1, 2);
+        }
+    }
+    events
+}
+
+/// Drive one session over the stream in chunks — process, drain per
+/// chunk, finish — returning the session (for its post-mortem counters)
+/// and everything it emitted, in emission order.
+fn run_chunked(
+    events: &[Event],
+    slack: Option<u64>,
+    workers: usize,
+    batch: usize,
+    policy: FailurePolicy,
+    chunk: usize,
+) -> (Session, Vec<TaggedResult>) {
+    let mut builder = Session::builder()
+        .query(QUERY)
+        .workers(workers)
+        .batch_size(batch)
+        .on_worker_failure(policy);
+    if let Some(s) = slack {
+        builder = builder.slack(s);
+    }
+    let mut session = builder.build(&registry()).expect("query builds");
+    let mut out = Vec::new();
+    for part in events.chunks(chunk) {
+        for e in part {
+            session.process(e);
+        }
+        out.extend(session.drain());
+    }
+    out.extend(session.finish());
+    (session, out)
+}
+
+/// The stream as the CSV document `ingest_csv` reads.
+fn build_csv(n: usize) -> String {
+    let mut s = String::from("type,time,g,v\n");
+    for i in 0..n {
+        let ty = if i % 3 == 2 { "B" } else { "A" };
+        s.push_str(&format!("{ty},{},{},{}\n", i + 1, i % 7, i % 5));
+    }
+    s
+}
+
+/// Self-cleaning scratch directory for snapshot files.
+struct TempDir {
+    dir: PathBuf,
+}
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("cogra-chaos-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir { dir }
+    }
+
+    fn path(&self, file: &str) -> String {
+        self.dir.join(file).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Restart ≡ no-fault run
+// ---------------------------------------------------------------------
+
+/// Kill one worker at every failpoint kind, on two shards, at different
+/// hit counts: the Restart recovery must reproduce the no-fault run's
+/// emitted rows byte-for-byte, leave no sticky failure and no
+/// quarantine. Each grid point also asserts the failpoint actually
+/// fired — a schedule that never reaches its site proves nothing.
+#[test]
+fn restart_recovers_byte_identically_across_sites() {
+    let _g = guard();
+    let events = build_events(240);
+    let (baseline_session, baseline) = run_chunked(&events, None, 4, 7, FailurePolicy::Fail, 31);
+    assert!(!baseline.is_empty());
+    for shard in [0usize, 1] {
+        for (kind, hit) in [("batch", 1), ("batch", 3), ("drain", 2), ("finish", 1)] {
+            cogra_faults::reset();
+            let site = format!("worker/{kind}/{shard}");
+            cogra_faults::configure(&site, Trigger::OnHit(hit));
+            let (session, out) = run_chunked(&events, None, 4, 7, FailurePolicy::Restart, 31);
+            assert!(
+                cogra_faults::hits(&site) >= hit,
+                "failpoint {site} was never reached (hits={})",
+                cogra_faults::hits(&site)
+            );
+            assert!(
+                session.worker_failure().is_none(),
+                "restart escalated at {site}: {:?}",
+                session.worker_failure()
+            );
+            assert!(session.degraded_shards().is_empty());
+            assert_eq!(out, baseline, "divergence after a kill at {site} hit {hit}");
+            assert_eq!(session.late_events(), baseline_session.late_events());
+        }
+    }
+}
+
+/// The recovery baseline includes each shard's reorder buffer: a worker
+/// killed while `.slack(n)` holds events in flight replays them too.
+#[test]
+fn restart_replays_the_reorder_buffer_under_slack() {
+    let _g = guard();
+    let events = build_disordered_events(200);
+    let (baseline_session, baseline) = run_chunked(&events, Some(3), 4, 5, FailurePolicy::Fail, 23);
+    assert!(!baseline.is_empty());
+    for site in ["worker/batch/0", "worker/drain/1"] {
+        cogra_faults::reset();
+        cogra_faults::configure(site, Trigger::OnHit(2));
+        let (session, out) = run_chunked(&events, Some(3), 4, 5, FailurePolicy::Restart, 23);
+        assert!(
+            cogra_faults::hits(site) >= 2,
+            "failpoint {site} never reached"
+        );
+        assert!(session.worker_failure().is_none());
+        assert_eq!(
+            out, baseline,
+            "divergence after a kill at {site} under slack"
+        );
+        assert_eq!(session.late_events(), baseline_session.late_events());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Randomized fault-schedule sweep (with shrinking): one seed derives
+    /// the whole schedule — pool shape, chunking, site, shard and hit
+    /// count — through `SeedSequence`, so a failing seed replays exactly.
+    #[test]
+    fn restart_matches_no_fault_run_for_random_schedules(seed in any::<u64>()) {
+        let _g = guard();
+        let mut seq = SeedSequence::new(seed);
+        let workers = 2 + (seq.next_u64() % 3) as usize; // 2..=4
+        let batch = 1 + (seq.next_u64() % 12) as usize; // 1..=12
+        let chunk = 8 + (seq.next_u64() % 32) as usize; // 8..=39
+        let n = 60 + (seq.next_u64() % 160) as usize; // 60..=219
+        let kind = ["batch", "drain", "finish"][(seq.next_u64() % 3) as usize];
+        let shard = (seq.next_u64() % workers as u64) as usize;
+        let hit = seq.next_hit(6);
+        let site = format!("worker/{kind}/{shard}");
+
+        let events = build_events(n);
+        let (baseline_session, baseline) =
+            run_chunked(&events, None, workers, batch, FailurePolicy::Fail, chunk);
+        cogra_faults::configure(&site, Trigger::OnHit(hit));
+        let (session, out) =
+            run_chunked(&events, None, workers, batch, FailurePolicy::Restart, chunk);
+        prop_assert!(
+            session.worker_failure().is_none(),
+            "seed {} escalated at {}: {:?}", seed, site, session.worker_failure()
+        );
+        prop_assert_eq!(&out, &baseline, "seed {} diverged at {} hit {}", seed, site, hit);
+        prop_assert_eq!(session.late_events(), baseline_session.late_events());
+    }
+}
+
+/// A worker killed *during* `SNAPSHOT` under Restart is respawned and
+/// re-asked: the checkpoint still completes, and the snapshot resumes to
+/// the same rows as one taken with no fault at the same point.
+#[test]
+fn snapshot_interrupted_by_a_worker_death_is_retried_under_restart() {
+    let _g = guard();
+    let events = build_events(160);
+    let (head, tail) = events.split_at(100);
+    let tmp = TempDir::new("snap-retry");
+    let mut paths = Vec::new();
+    for (name, site) in [("clean", None), ("killed", Some("worker/snapshot/0"))] {
+        cogra_faults::reset();
+        let mut session = Session::builder()
+            .query(QUERY)
+            .workers(4)
+            .batch_size(7)
+            .on_worker_failure(FailurePolicy::Restart)
+            .build(&registry())
+            .unwrap();
+        for e in head {
+            session.process(e);
+        }
+        let _ = session.drain();
+        if let Some(site) = site {
+            cogra_faults::configure(site, Trigger::OnHit(1));
+        }
+        let path = tmp.path(&format!("{name}.cogra"));
+        write_atomic(&path, |buf| session.checkpoint(buf)).expect("snapshot completes");
+        if let Some(site) = site {
+            assert!(
+                cogra_faults::hits(site) >= 1,
+                "failpoint {site} never reached"
+            );
+        }
+        paths.push(path);
+    }
+    cogra_faults::reset();
+    let mut resumed = Vec::new();
+    for path in &paths {
+        let bytes = std::fs::read(path).unwrap();
+        let mut session = Session::builder()
+            .restore(&registry(), &bytes[..])
+            .expect("snapshot restores");
+        let mut out = Vec::new();
+        for e in tail {
+            session.process(e);
+        }
+        out.extend(session.finish());
+        resumed.push(out);
+    }
+    assert!(!resumed[0].is_empty());
+    assert_eq!(
+        resumed[1], resumed[0],
+        "mid-snapshot kill changed the resumed rows"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Degrade: quarantine + conservation
+// ---------------------------------------------------------------------
+
+/// The conservation invariant, at the pool: every routed item is either
+/// in a live shard's count or in `dropped_events` — nothing vanishes
+/// silently when a shard is quarantined.
+#[test]
+fn degrade_conserves_event_accounting_at_the_pool() {
+    let _g = guard();
+    let reg = registry();
+    let q = cogra::query::parse(QUERY).unwrap();
+    let rt = Arc::new(QueryRuntime::new(
+        cogra::query::compile(&q, &reg).unwrap(),
+        &reg,
+    ));
+    let events = build_events(240);
+    cogra_faults::configure("worker/batch/1", Trigger::OnHit(2));
+    let mut pool = StreamingPool::new(
+        vec![rt],
+        4,
+        PoolConfig {
+            batch_size: 5,
+            slack: None,
+            policy: FailurePolicy::Degrade,
+        },
+    );
+    let mut results = Vec::new();
+    let mut push = |_q: usize, r: WindowResult| results.push(r);
+    for (i, e) in events.iter().enumerate() {
+        pool.route(e);
+        if i % 40 == 39 {
+            pool.drain_into(&mut push);
+        }
+    }
+    pool.finish_into(&mut push);
+    assert_eq!(pool.degraded_shards(), vec![1]);
+    assert!(pool.failure().is_none(), "Degrade must not fail the pool");
+    assert!(
+        pool.dropped_events() > 0,
+        "a quarantine with no losses proves nothing"
+    );
+    let live: u64 = pool.shard_events().iter().sum();
+    assert_eq!(
+        pool.routed_items(),
+        live + pool.dropped_events(),
+        "conservation violated: {} routed, {} live, {} dropped",
+        pool.routed_items(),
+        live,
+        pool.dropped_events()
+    );
+    assert!(!results.is_empty(), "live shards must keep emitting");
+}
+
+/// The same quarantine, observed from the batch surface: `SessionRun`
+/// reports the degraded shard and the losses instead of panicking or
+/// silently returning partial rows as if they were complete.
+#[test]
+fn degrade_quarantines_and_reports_through_session_run() {
+    let _g = guard();
+    let events = build_events(240);
+    cogra_faults::configure("worker/batch/1", Trigger::OnHit(2));
+    let run = Session::builder()
+        .query(QUERY)
+        .workers(4)
+        .batch_size(5)
+        .on_worker_failure(FailurePolicy::Degrade)
+        .build(&registry())
+        .unwrap()
+        .run(&events);
+    assert_eq!(run.degraded, vec![1]);
+    assert!(run.dropped_events > 0);
+    assert!(!run.results().is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Fail: sticky, typed, checkpoint-refusing
+// ---------------------------------------------------------------------
+
+/// Under the default policy a worker death surfaces as a typed
+/// `IngestError::WorkerFailed` from `ingest_csv`, stays sticky for
+/// further input, emits nothing at finish, and refuses to checkpoint.
+#[test]
+fn fail_policy_surfaces_a_typed_csv_error_and_stays_sticky() {
+    let _g = guard();
+    cogra_faults::configure("worker/batch/0", Trigger::OnHit(1));
+    let reg = registry();
+    let mut session = Session::builder()
+        .query(QUERY)
+        .workers(4)
+        .batch_size(2)
+        .build(&reg)
+        .unwrap();
+    let err = session
+        .ingest_csv(&build_csv(300), &reg)
+        .expect_err("the killed worker must surface");
+    assert!(
+        matches!(err, IngestError::WorkerFailed(_)),
+        "expected WorkerFailed, got {err:?}"
+    );
+    assert!(
+        err.to_string()
+            .contains("worker failed: injected fault at worker/batch/0"),
+        "untyped message: {err}"
+    );
+    // Sticky: the next document (in time order — the watermark check
+    // runs first) is refused with the same failure…
+    let again = session
+        .ingest_csv("type,time,g,v\nA,1000,0,0\n", &reg)
+        .expect_err("sticky");
+    assert_eq!(again.to_string(), err.to_string());
+    // …checkpointing is a typed refusal, not a partial snapshot…
+    let refusal = session
+        .checkpoint(&mut Vec::new())
+        .expect_err("no checkpoint");
+    assert!(
+        refusal
+            .to_string()
+            .contains("cannot checkpoint a failed session"),
+        "wrong refusal: {refusal}"
+    );
+    // …and the finish emits nothing (no partial rows masquerading as
+    // complete results).
+    assert!(session.drain().is_empty());
+    assert!(session.finish().is_empty());
+    assert!(session.worker_failure().is_some());
+}
+
+/// A degraded session's state is partially gone — it must refuse to
+/// checkpoint too.
+#[test]
+fn degraded_session_refuses_to_checkpoint() {
+    let _g = guard();
+    cogra_faults::configure("worker/batch/1", Trigger::OnHit(2));
+    let events = build_events(240);
+    let mut session = Session::builder()
+        .query(QUERY)
+        .workers(4)
+        .batch_size(5)
+        .on_worker_failure(FailurePolicy::Degrade)
+        .build(&registry())
+        .unwrap();
+    for e in &events {
+        session.process(e);
+    }
+    let _ = session.drain();
+    assert_eq!(session.degraded_shards(), vec![1]);
+    let refusal = session
+        .checkpoint(&mut Vec::new())
+        .expect_err("no checkpoint");
+    assert!(
+        refusal
+            .to_string()
+            .contains("cannot checkpoint a degraded session"),
+        "wrong refusal: {refusal}"
+    );
+}
+
+/// A shard that dies on *every* delivery cannot be restarted forever:
+/// the supervisor escalates to a sticky failure naming the restart cap.
+#[test]
+fn restart_escalates_after_max_restarts() {
+    let _g = guard();
+    cogra_faults::configure("worker/batch/0", Trigger::Always);
+    let events = build_events(300);
+    let mut session = Session::builder()
+        .query(QUERY)
+        .workers(4)
+        .batch_size(2)
+        .on_worker_failure(FailurePolicy::Restart)
+        .build(&registry())
+        .unwrap();
+    for e in &events {
+        session.process(e);
+    }
+    let _ = session.drain();
+    let _ = session.finish();
+    let failure = session
+        .worker_failure()
+        .expect("the restart loop must give up");
+    assert!(
+        failure.to_string().contains("giving up after 8 restarts"),
+        "missing escalation marker: {failure}"
+    );
+    assert!(
+        failure
+            .to_string()
+            .contains("injected fault at worker/batch/0"),
+        "escalation lost the root cause: {failure}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe snapshots
+// ---------------------------------------------------------------------
+
+/// `write_atomic` killed mid-write or mid-rename: the previous snapshot
+/// at the final path stays byte-intact, the half-written `.tmp` does not
+/// restore (readable-but-wrong is impossible), and a clean retry after
+/// the fault clears produces a working snapshot.
+#[test]
+fn crash_mid_snapshot_write_preserves_the_previous_checkpoint() {
+    let _g = guard();
+    let tmp = TempDir::new("atomic");
+    let path = tmp.path("snap.cogra");
+    let reg = registry();
+    let events = build_events(160);
+    let mut session = Session::builder()
+        .query(QUERY)
+        .workers(4)
+        .batch_size(7)
+        .build(&reg)
+        .unwrap();
+    for e in &events[..100] {
+        session.process(e);
+    }
+    let _ = session.drain();
+    write_atomic(&path, |buf| session.checkpoint(buf)).expect("first snapshot lands");
+    let previous = std::fs::read(&path).unwrap();
+
+    for e in &events[100..] {
+        session.process(e);
+    }
+    let _ = session.drain();
+
+    // Killed mid-write: a prefix of the new snapshot lands in `.tmp`.
+    cogra_faults::configure("checkpoint/write", Trigger::Always);
+    let err = write_atomic(&path, |buf| session.checkpoint(buf)).expect_err("injected");
+    assert_eq!(
+        err.to_string(),
+        "i/o error: injected fault at checkpoint/write"
+    );
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        previous,
+        "previous snapshot damaged"
+    );
+    let half = std::fs::read(format!("{path}.tmp")).expect("the crash leaves a .tmp");
+    assert!(!half.is_empty() && half.len() < previous.len() * 2);
+    assert!(
+        Session::builder().restore(&reg, &half[..]).is_err(),
+        "a half-written snapshot must never restore"
+    );
+
+    // Killed between write and rename: same contract.
+    cogra_faults::reset();
+    cogra_faults::configure("checkpoint/rename", Trigger::Always);
+    let err = write_atomic(&path, |buf| session.checkpoint(buf)).expect_err("injected");
+    assert_eq!(
+        err.to_string(),
+        "i/o error: injected fault at checkpoint/rename"
+    );
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        previous,
+        "previous snapshot damaged"
+    );
+
+    // Fault cleared: the retry replaces the snapshot atomically and the
+    // replacement restores to the same rows the live session finishes to.
+    cogra_faults::reset();
+    write_atomic(&path, |buf| session.checkpoint(buf)).expect("retry lands");
+    let bytes = std::fs::read(&path).unwrap();
+    assert_ne!(bytes, previous, "the retry must hold the newer state");
+    let restored_rows = Session::builder()
+        .restore(&reg, &bytes[..])
+        .expect("the retried snapshot restores")
+        .finish();
+    assert_eq!(restored_rows, session.finish());
+}
+
+/// The same crash, injected into the CLI through the `COGRA_FAULTS`
+/// environment schedule: `--checkpoint` exits non-zero with the typed
+/// `error: <path>: i/o error: …` line, the prior snapshot survives
+/// byte-identically, and a `--restore` run against it still works.
+#[test]
+fn cli_checkpoint_crash_leaves_prior_snapshot_restorable() {
+    const SCHEMA: &str = "type,attr,kind\n\
+                          Measurement,patient,int\n\
+                          Measurement,rate,int\n";
+    const CLI_QUERY: &str = "RETURN patient, COUNT(*)\n\
+                             PATTERN Measurement M+\n\
+                             SEMANTICS skip-till-any-match\n\
+                             WHERE [patient]\n\
+                             GROUP-BY patient\n\
+                             WITHIN 100 SLIDE 100\n";
+    const STREAM: &str = "type,time,patient,rate\n\
+                          Measurement,1,7,60\n\
+                          Measurement,2,7,62\n\
+                          Measurement,3,8,70\n\
+                          Measurement,4,8,75\n";
+    let _g = guard();
+    let tmp = TempDir::new("cli");
+    std::fs::write(tmp.path("schema.csv"), SCHEMA).unwrap();
+    std::fs::write(tmp.path("query.cep"), CLI_QUERY).unwrap();
+    std::fs::write(tmp.path("stream.csv"), STREAM).unwrap();
+    // The restore leg replays no events — the snapshot carries the state.
+    std::fs::write(tmp.path("empty.csv"), "type,time,patient,rate\n").unwrap();
+    let snap = tmp.path("snap.cogra");
+    let run = |extra: &[&str], faults: Option<&str>| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_cogra-run"));
+        cmd.arg("--schema").arg(tmp.path("schema.csv"));
+        cmd.args(extra);
+        if let Some(schedule) = faults {
+            cmd.env("COGRA_FAULTS", schedule);
+        }
+        let out = cmd.output().expect("binary runs");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+
+    // A clean checkpoint run seeds the snapshot.
+    let query = tmp.path("query.cep");
+    let stream = tmp.path("stream.csv");
+    let (ok, _, stderr) = run(
+        &[
+            "--events",
+            &stream,
+            "--query",
+            &query,
+            "--checkpoint",
+            &snap,
+        ],
+        None,
+    );
+    assert!(ok, "seed run failed: {stderr}");
+    let previous = std::fs::read(&snap).unwrap();
+
+    // The armed run crashes mid-write — typed stderr, intact snapshot.
+    let (ok, _, stderr) = run(
+        &[
+            "--events",
+            &stream,
+            "--query",
+            &query,
+            "--checkpoint",
+            &snap,
+        ],
+        Some("checkpoint/write=always"),
+    );
+    assert!(!ok, "the injected crash must fail the run");
+    assert!(
+        stderr.contains(&format!(
+            "error: {snap}: i/o error: injected fault at checkpoint/write"
+        )),
+        "wrong stderr: {stderr}"
+    );
+    assert_eq!(
+        std::fs::read(&snap).unwrap(),
+        previous,
+        "prior snapshot damaged"
+    );
+
+    // The surviving snapshot still restores and finishes the windows.
+    let empty = tmp.path("empty.csv");
+    let (ok, stdout, stderr) = run(&["--events", &empty, "--restore", &snap], None);
+    assert!(ok, "restore after the crash failed: {stderr}");
+    assert!(
+        stdout.contains("[7]") && stdout.contains("[8]"),
+        "missing rows: {stdout}"
+    );
+}

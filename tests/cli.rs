@@ -223,6 +223,211 @@ fn serve_refuses_nonlocal_listen() {
     assert!(stderr.contains("non-loopback"), "{stderr}");
 }
 
+/// Spawn `cogra-run serve` over the fixture's schema/query on `listen`,
+/// returning the child and the address it actually bound (parsed from
+/// the `listening on …` handshake line).
+fn spawn_serve(f: &Fixture, listen: &str, extra: &[&str]) -> (std::process::Child, String) {
+    use std::io::BufRead;
+    use std::process::Stdio;
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_cogra-run"))
+        .arg("serve")
+        .arg("--schema")
+        .arg(f.dir.join("schema.csv"))
+        .arg("--query")
+        .arg(f.dir.join("query.cep"))
+        .args(["--slack", "3", "--listen", listen])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut port_line = String::new();
+    std::io::BufReader::new(serve.stdout.take().expect("piped stdout"))
+        .read_line(&mut port_line)
+        .expect("serve prints its address");
+    let addr = port_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve handshake `{port_line}`"))
+        .to_string();
+    (serve, addr)
+}
+
+/// A client that races its server's startup wins with `--retry`: the
+/// connect mode is launched against a port nobody listens on yet, and
+/// the server arrives only after the first refusals.
+#[test]
+fn connect_retries_until_the_server_is_up() {
+    use std::process::Stdio;
+
+    let f = Fixture::new("retry");
+    let (ok, local_out, stderr) = f.run(&["--slack", "3"]);
+    assert!(ok, "stderr: {stderr}");
+
+    // Reserve a port the OS considers free, then release it for serve.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    drop(listener);
+
+    let connect = Command::new(env!("CARGO_BIN_EXE_cogra-run"))
+        .arg("connect")
+        .args(["--addr", &addr])
+        .arg("--events")
+        .arg(f.dir.join("stream.csv"))
+        .args(["--chunk", "3", "--retry", "40", "--backoff-ms", "10"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("connect starts");
+
+    // Let the client eat a few refused dials before the server exists.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let (mut serve, _) = spawn_serve(&f, &addr, &[]);
+
+    let out = connect.wait_with_output().expect("connect finishes");
+    let connect_err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "stderr: {connect_err}");
+    let sort = |s: &str| {
+        let mut lines: Vec<String> = s.lines().map(str::to_string).collect();
+        lines.sort();
+        lines
+    };
+    let remote_out = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(sort(&remote_out), sort(&local_out), "retried run diverged");
+    assert!(serve.wait().expect("serve exits after FINISH").success());
+}
+
+/// `--read-timeout` disconnects a command connection that goes silent:
+/// the server answers with one typed `ERR` line and closes, instead of
+/// pinning a thread on a dead client forever.
+#[test]
+fn serve_read_timeout_disconnects_silent_clients() {
+    use std::io::BufRead;
+
+    let f = Fixture::new("read-timeout");
+    let (mut serve, addr) = spawn_serve(&f, "127.0.0.1:0", &["--read-timeout", "0.3"]);
+
+    // A silent client: connect, say nothing, wait for the verdict.
+    let stream = std::net::TcpStream::connect(&addr).expect("server reachable");
+    let mut line = String::new();
+    std::io::BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("server replies before closing");
+    assert_eq!(line.trim(), "ERR idle connection timed out", "{line}");
+
+    serve.kill().expect("serve still running");
+    let _ = serve.wait();
+}
+
+/// SIGTERM is a graceful shutdown: the server drains, snapshots to the
+/// `--snapshot-on-term` path and exits zero — and a `--restore` run over
+/// the snapshot prints exactly what an uninterrupted run would have.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_snapshots_and_exits_cleanly() {
+    use std::io::{BufRead, BufReader, Read as _, Write as _};
+
+    let f = Fixture::new("sigterm");
+    let (ok, local_out, stderr) = f.run(&["--slack", "3"]);
+    assert!(ok, "stderr: {stderr}");
+
+    let snap = f.dir.join("term.cogra");
+    let snap = snap.to_string_lossy().into_owned();
+    let (mut serve, addr) = spawn_serve(&f, "127.0.0.1:0", &["--snapshot-on-term", &snap]);
+
+    // Ingest the whole stream over a raw connection — no FINISH, the
+    // session must still be live when the signal lands.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("server reachable");
+    let lines = STREAM.lines().count();
+    write!(stream, "INGEST {lines}\n{STREAM}").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("OK "), "{reply}");
+    writeln!(stream, "QUIT").unwrap();
+    drop(stream);
+
+    let term = Command::new("kill")
+        .args(["-TERM", &serve.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(term.success());
+    let status = serve.wait().expect("serve exits on SIGTERM");
+    assert!(status.success(), "SIGTERM exit must be clean");
+    let mut serve_err = String::new();
+    serve
+        .stderr
+        .take()
+        .expect("piped stderr")
+        .read_to_string(&mut serve_err)
+        .unwrap();
+    assert!(
+        serve_err.contains(&format!("SIGTERM: snapshot → {snap}")),
+        "{serve_err}"
+    );
+
+    // Nothing was final at the watermark, so the restored session holds
+    // every window: a restore + empty tail reprints the whole run.
+    std::fs::write(f.dir.join("empty.csv"), "type,time,patient,activity,rate\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_cogra-run"))
+        .arg("--schema")
+        .arg(f.dir.join("schema.csv"))
+        .arg("--events")
+        .arg(f.dir.join("empty.csv"))
+        .args(["--restore", &snap])
+        .output()
+        .expect("restore runs");
+    let restore_err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "stderr: {restore_err}");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        local_out,
+        "the snapshot lost state"
+    );
+}
+
+/// One failure, one message: a snapshot aimed at a missing directory
+/// produces byte-identical error text from the CLI's `--checkpoint`
+/// (after its `error: ` prefix) and the server's `SNAPSHOT` verb (after
+/// its `ERR ` prefix) — both route through the same atomic writer.
+#[test]
+fn snapshot_error_text_matches_between_cli_and_server() {
+    use std::io::{BufRead, BufReader, Write as _};
+
+    let f = Fixture::new("snap-parity");
+    let path = f.dir.join("missing").join("snap.cogra");
+    let path = path.to_string_lossy().into_owned();
+
+    let (ok, _, stderr) = f.run(&["--slack", "3", "--checkpoint", &path]);
+    assert!(!ok, "a missing directory must fail the checkpoint");
+    let cli_text = stderr
+        .lines()
+        .find_map(|l| l.strip_prefix("error: "))
+        .unwrap_or_else(|| panic!("no error line in {stderr}"))
+        .to_string();
+    assert!(
+        cli_text.starts_with(&format!("{path}: i/o error: ")),
+        "{cli_text}"
+    );
+
+    let (mut serve, addr) = spawn_serve(&f, "127.0.0.1:0", &[]);
+    let mut stream = std::net::TcpStream::connect(&addr).expect("server reachable");
+    writeln!(stream, "SNAPSHOT {path}").unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    let server_text = reply
+        .trim()
+        .strip_prefix("ERR ")
+        .unwrap_or_else(|| panic!("expected ERR, got {reply}"))
+        .to_string();
+    assert_eq!(server_text, cli_text, "CLI and server error text diverged");
+
+    serve.kill().expect("serve still running");
+    let _ = serve.wait();
+}
+
 #[test]
 fn bad_arguments_report_errors() {
     let out = Command::new(env!("CARGO_BIN_EXE_cogra-run"))

@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! cargo run -p cogra-bench --release --bin throughput -- \
-//!     [--events N] [--iters K] [--out BENCH.json] [--speedup-floor F] [--remote]
+//!     [--events N] [--iters K] [--out BENCH.json] [--speedup-floor F] \
+//!     [--remote] [--checkpoint] [--shared]
 //! ```
 //!
 //! Each configuration runs `K` times; the *best* run is reported (the
@@ -35,6 +36,13 @@
 //! `cogra-server` TCP front-end on a loopback socket (`path: "remote"`
 //! rows, with a live subscriber consuming every pushed result) — the
 //! delta against the in-process `csv` row is the protocol's overhead.
+//!
+//! `--shared` additionally measures the multi-query sharing pass: a
+//! 4-identical-query stock roster run shared (`path: "shared"` — one
+//! physical automaton, per-query fan-out; the session default) and with
+//! `.sharing(false)` (`path: "unshared"` — four independent runs). The
+//! ratio against the 1-worker stock `memory` row is the cost of serving
+//! four subscribers instead of one; sharing must keep it near 1×.
 //!
 //! `--checkpoint` additionally measures the durability subsystem: after
 //! ingesting each in-memory workload the session is checkpointed to a
@@ -61,6 +69,7 @@ struct Args {
     speedup_floor: Option<f64>,
     remote: bool,
     checkpoint: bool,
+    shared: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         speedup_floor: None,
         remote: false,
         checkpoint: false,
+        shared: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -97,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--remote" => args.remote = true,
             "--checkpoint" => args.checkpoint = true,
+            "--shared" => args.shared = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -376,7 +387,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: throughput [--events N] [--iters K] [--out BENCH.json] \
-                 [--speedup-floor F] [--remote]"
+                 [--speedup-floor F] [--remote] [--checkpoint] [--shared]"
             );
             std::process::exit(1);
         }
@@ -509,6 +520,42 @@ fn main() {
         }
     }
 
+    if args.shared {
+        // Multi-query sharing rows: an N-identical-query roster, shared
+        // (the default — one physical automaton run, per-query fan-out)
+        // vs `.sharing(false)` (N independent runs). Comparing either
+        // against the 1-worker stock `memory` row above gives the cost
+        // of serving N subscribers instead of one.
+        const ROSTER: usize = 4;
+        for (path, sharing) in [("shared", true), ("unshared", false)] {
+            rows.push(measure(
+                "stock-roster4",
+                path,
+                1,
+                stock_events.len(),
+                args.iters,
+                || {
+                    let mut b = Session::builder();
+                    for _ in 0..ROSTER {
+                        b = b.query(stock_q.as_str());
+                    }
+                    let s = b
+                        .sharing(sharing)
+                        .build(&stock_reg)
+                        .expect("harness roster builds");
+                    assert_eq!(
+                        s.physical_runs(),
+                        if sharing { 1 } else { ROSTER },
+                        "sharing must factor the duplicate roster"
+                    );
+                    let start = Instant::now();
+                    let run = s.run(&stock_events);
+                    (run, start.elapsed())
+                },
+            ));
+        }
+    }
+
     if args.checkpoint {
         // Durability rows: checkpoint + restore cost of each loaded
         // in-memory workload, streaming (1) and sharded (4).
@@ -550,6 +597,25 @@ fn main() {
     let text = json(&rows, args.events, args.iters, cpus);
     std::fs::write(&args.out, &text).expect("write bench JSON");
     eprintln!("wrote {}", args.out);
+
+    if args.shared {
+        // Roster-vs-single cost, in multiples of the single-query run:
+        // sharing should keep an N-identical roster near 1× (fan-out is
+        // a result clone, not a re-execution); unshared pays ~N×.
+        let rate = |workload: &str, path: &str| {
+            rows.iter()
+                .find(|r| r.workload == workload && r.path == path && r.workers == 1)
+                .map(|r| r.events_per_sec)
+                .expect("sharing rows are measured alongside the stock memory row")
+        };
+        let single = rate("stock", "memory");
+        for path in ["shared", "unshared"] {
+            eprintln!(
+                "stock-roster4 {path:>9} cost {:.2}x the single-query run",
+                single / rate("stock-roster4", path)
+            );
+        }
+    }
 
     // The scaling gate: the sharded path must actually pay for its
     // threads on the in-memory workloads — wherever threads can run in

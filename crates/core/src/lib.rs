@@ -49,5 +49,5 @@ pub use parallel::{
 };
 pub use session::{
     EngineKind, IngestError, ResultSink, Session, SessionBuilder, SessionError, SessionRun,
-    TaggedResult,
+    SharedPlan, TaggedResult,
 };

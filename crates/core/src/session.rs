@@ -63,7 +63,7 @@ use cogra_engine::runtime::{EngineConfig, QueryRuntime};
 use cogra_engine::{Router, RouterState, RunStats, TrendEngine, WindowResult};
 use cogra_events::csv::{CsvError, EventReader};
 use cogra_events::{Event, LateGate, Reorderer, Timestamp, TypeRegistry};
-use cogra_query::{compile, parse, CompiledQuery, Query, QueryError};
+use cogra_query::{canonical_signature, compile, parse, CompiledQuery, Query, QueryError};
 use std::fmt;
 use std::io;
 use std::str::FromStr;
@@ -476,6 +476,106 @@ impl From<&Query> for QuerySpec {
     }
 }
 
+/// The multi-query sharing factoring (ROADMAP direction 2): how a
+/// session's N roster entries map onto M ≤ N physical runtimes. Queries
+/// whose [canonical signature] and engine kind coincide execute as ONE
+/// physical run — one automaton, one set of partial aggregates — and the
+/// session fans every result of physical slot `j` out to all of
+/// `members[j]` through the [`TaggedResult`] path, so per-query output is
+/// byte-identical to unshared execution (asserted by
+/// `tests/sharing_battery.rs`).
+///
+/// [canonical signature]: cogra_query::canonical_signature
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedPlan {
+    /// Physical slot hosting each query (`physical_of[q] = j`); length is
+    /// the roster size N.
+    pub physical_of: Vec<usize>,
+    /// Member queries of each physical slot, in registration order; the
+    /// first member is the representative whose compiled plan runs.
+    /// Length is the physical count M; slots are numbered in first-
+    /// occurrence order, so every slot is non-empty.
+    pub members: Vec<Vec<usize>>,
+}
+
+impl SharedPlan {
+    /// Factor a roster by sharing key: entries with equal keys land in the
+    /// same physical slot. Slots appear in first-occurrence order.
+    pub fn factor(keys: &[String]) -> SharedPlan {
+        let mut physical_of = Vec::with_capacity(keys.len());
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut seen: Vec<&String> = Vec::new();
+        for (q, key) in keys.iter().enumerate() {
+            match seen.iter().position(|k| *k == key) {
+                Some(j) => {
+                    physical_of.push(j);
+                    members[j].push(q);
+                }
+                None => {
+                    physical_of.push(seen.len());
+                    seen.push(key);
+                    members.push(vec![q]);
+                }
+            }
+        }
+        SharedPlan {
+            physical_of,
+            members,
+        }
+    }
+
+    /// The no-sharing mapping: every query is its own physical run.
+    pub fn identity(n: usize) -> SharedPlan {
+        SharedPlan {
+            physical_of: (0..n).collect(),
+            members: (0..n).map(|q| vec![q]).collect(),
+        }
+    }
+
+    /// Rebuild from a stored `physical_of` vector (checkpoint restore).
+    /// Errors if the mapping is malformed: slots must be numbered densely
+    /// in first-occurrence order, exactly as [`SharedPlan::factor`] emits.
+    fn from_physical_of(physical_of: Vec<usize>) -> Result<SharedPlan, String> {
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        for (q, &j) in physical_of.iter().enumerate() {
+            if j > members.len() {
+                return Err(format!(
+                    "sharing map names physical slot {j} before slot {}",
+                    members.len()
+                ));
+            }
+            if j == members.len() {
+                members.push(Vec::new());
+            }
+            members[j].push(q);
+        }
+        Ok(SharedPlan {
+            physical_of,
+            members,
+        })
+    }
+
+    /// Number of roster queries N.
+    pub fn queries(&self) -> usize {
+        self.physical_of.len()
+    }
+
+    /// Number of physical runs M ≤ N.
+    pub fn physical(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when nothing factors (M == N).
+    pub fn is_identity(&self) -> bool {
+        self.physical() == self.queries()
+    }
+
+    /// The representative query of physical slot `j` (its plan runs).
+    fn representative(&self, j: usize) -> usize {
+        self.members[j][0]
+    }
+}
+
 /// Fluent configuration of a [`Session`].
 #[derive(Debug, Clone, Default)]
 pub struct SessionBuilder {
@@ -487,6 +587,7 @@ pub struct SessionBuilder {
     workers: usize,
     batch_size: Option<usize>,
     policy: FailurePolicy,
+    sharing: Option<bool>,
 }
 
 impl SessionBuilder {
@@ -585,6 +686,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Multi-query sharing (default on): roster entries whose
+    /// [canonical signature] and engine kind coincide execute as one
+    /// physical run, with results fanned out per query — N identical
+    /// subscriptions cost one query, not N. Per-query output is
+    /// byte-identical either way (`tests/sharing_battery.rs`); disable to
+    /// benchmark the unshared baseline or to keep per-query engine state
+    /// separate for inspection via [`Session::engine`].
+    ///
+    /// [canonical signature]: cogra_query::canonical_signature
+    pub fn sharing(mut self, sharing: bool) -> SessionBuilder {
+        self.sharing = Some(sharing);
+        self
+    }
+
     /// Resolve queries and construct the engines.
     pub fn build(self, registry: &TypeRegistry) -> Result<Session, SessionError> {
         if self.queries.is_empty() {
@@ -626,10 +741,24 @@ impl SessionBuilder {
             .batch_size
             .unwrap_or(crate::parallel::DEFAULT_BATCH_SIZE);
 
-        let mode = if self.workers > 1 {
-            let runtimes = plans
+        // Multi-query sharing (default on): queries with the same
+        // canonical signature AND engine kind are one physical run; the
+        // engine kind joins the key because a shared slot hosts exactly
+        // one runtime. Results fan out per query at drain/finish.
+        let shared = if self.sharing.unwrap_or(true) {
+            let keys: Vec<String> = queries
                 .iter()
-                .map(|plan| cogra_runtime(plan, registry, &self.config))
+                .zip(&kinds)
+                .map(|(q, kind)| format!("{}\u{1f}{}", kind.name(), canonical_signature(q)))
+                .collect();
+            SharedPlan::factor(&keys)
+        } else {
+            SharedPlan::identity(queries.len())
+        };
+
+        let mode = if self.workers > 1 {
+            let runtimes = (0..shared.physical())
+                .map(|j| cogra_runtime(&plans[shared.representative(j)], registry, &self.config))
                 .collect();
             let pool = StreamingPool::new(
                 runtimes,
@@ -645,13 +774,13 @@ impl SessionBuilder {
             }
         } else {
             // Every kind builds from the plan compiled above — one
-            // construction path, no second compile.
-            let engines = plans
-                .iter()
-                .zip(&kinds)
-                .enumerate()
-                .map(|(i, (plan, &kind))| {
-                    kind.build_plan(plan, registry, &self.config)
+            // construction path, no second compile. One engine per
+            // physical slot, built from the representative's plan.
+            let engines = (0..shared.physical())
+                .map(|j| {
+                    let i = shared.representative(j);
+                    kinds[i]
+                        .build_plan(&plans[i], registry, &self.config)
                         .map_err(attribute(i))
                 })
                 .collect::<Result<Vec<_>, SessionError>>()?;
@@ -671,6 +800,7 @@ impl SessionBuilder {
             texts,
             config: self.config,
             batch_size,
+            shared,
             mode,
             reorderer,
             scratch: Vec::new(),
@@ -705,10 +835,15 @@ impl SessionBuilder {
         registry: &TypeRegistry,
         reader: impl io::Read,
     ) -> Result<Session, CheckpointError> {
-        if !self.queries.is_empty() || self.engine.is_some() || self.slack.is_some() {
+        if !self.queries.is_empty()
+            || self.engine.is_some()
+            || self.slack.is_some()
+            || self.sharing.is_some()
+        {
             return Err(CheckpointError::Unsupported(
-                "restore takes queries, engines and slack from the snapshot; only \
-                 .workers(n), .batch_size(n) and .on_worker_failure(p) may be overridden"
+                "restore takes queries, engines, slack and sharing from the snapshot; \
+                 only .workers(n), .batch_size(n) and .on_worker_failure(p) may be \
+                 overridden"
                     .to_string(),
             ));
         }
@@ -738,6 +873,25 @@ impl SessionBuilder {
         } else {
             None
         };
+        // The multi-query sharing map was appended after `key_limit` (same
+        // guarded-tail discipline): physical slot per query. Snapshots
+        // written before sharing existed decode as the identity mapping —
+        // one physical run per query, exactly what they stored.
+        let shared = if dec.remaining() > 0 {
+            let n = dec.usize()?;
+            if n != n_queries {
+                return Err(CheckpointError::Corrupt(format!(
+                    "sharing map covers {n} queries, snapshot has {n_queries}"
+                )));
+            }
+            let mut physical_of = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                physical_of.push(dec.usize()?);
+            }
+            SharedPlan::from_physical_of(physical_of).map_err(CheckpointError::Corrupt)?
+        } else {
+            SharedPlan::identity(n_queries)
+        };
         let config = EngineConfig {
             flatten_cap,
             key_limit,
@@ -762,8 +916,11 @@ impl SessionBuilder {
             _ => {}
         }
 
-        let mut states = Vec::with_capacity(n_queries);
-        for i in 0..n_queries {
+        // One engine-state section per PHYSICAL run: a shared slot's state
+        // is snapshotted once, however many queries it serves.
+        let n_physical = shared.physical();
+        let mut states = Vec::with_capacity(n_physical);
+        for i in 0..n_physical {
             let bytes = r.expect(&format!("q{i}"))?;
             let mut dec = Dec::new(&bytes);
             states.push(RouterState::load(&mut dec)?);
@@ -805,9 +962,8 @@ impl SessionBuilder {
         }
 
         let (mode, reorderer) = if use_pool {
-            let runtimes: Vec<Arc<QueryRuntime>> = plans
-                .iter()
-                .map(|plan| cogra_runtime(plan, registry, &config))
+            let runtimes: Vec<Arc<QueryRuntime>> = (0..shared.physical())
+                .map(|j| cogra_runtime(&plans[shared.representative(j)], registry, &config))
                 .collect();
             let (gate, clock, front_buffered, gate_buffered) = match reorder {
                 ReorderSnap::Absent { clock } => (None, clock, Vec::new(), Vec::new()),
@@ -871,9 +1027,9 @@ impl SessionBuilder {
                 pool.restage_all(event);
             }
             for (query, event) in gate_buffered {
-                if query as usize >= n_queries {
+                if query as usize >= n_physical {
                     return Err(CheckpointError::Corrupt(format!(
-                        "buffered item references query {query} of {n_queries}"
+                        "buffered item references physical run {query} of {n_physical}"
                     )));
                 }
                 pool.restage(query, event);
@@ -885,11 +1041,13 @@ impl SessionBuilder {
                 None,
             )
         } else {
-            let engines = plans
-                .iter()
-                .zip(&kinds)
-                .zip(states)
-                .map(|((plan, &kind), state)| kind.restore_plan(plan, registry, &config, state))
+            let engines = states
+                .into_iter()
+                .enumerate()
+                .map(|(j, state)| {
+                    let i = shared.representative(j);
+                    kinds[i].restore_plan(&plans[i], registry, &config, state)
+                })
                 .collect::<Result<Vec<_>, CheckpointError>>()?;
             let reorderer = match reorder {
                 ReorderSnap::Absent { .. } => None,
@@ -916,6 +1074,7 @@ impl SessionBuilder {
             texts,
             config,
             batch_size,
+            shared,
             mode,
             reorderer,
             scratch: Vec::new(),
@@ -971,6 +1130,19 @@ impl ResultSink for Vec<TaggedResult> {
     fn emit(&mut self, query: usize, result: WindowResult) {
         self.push(TaggedResult { query, result });
     }
+}
+
+/// Fan one physical run's result out to every member query of its slot,
+/// in query-registration order; the last member takes the value by move
+/// (the unshared common case never clones).
+fn fan_out(members: &[usize], result: WindowResult, sink: &mut dyn ResultSink) {
+    let Some((&last, rest)) = members.split_last() else {
+        return;
+    };
+    for &q in rest {
+        sink.emit(q, result.clone());
+    }
+    sink.emit(last, result);
 }
 
 /// A window result tagged with the query that produced it (multi-query
@@ -1029,6 +1201,13 @@ pub struct SessionRun {
     /// registration order — shared with the session, so consumers report
     /// on the plan without re-compiling.
     pub plans: Vec<Arc<CompiledQuery>>,
+    /// Physical runs actually executed (M ≤ N queries): queries with the
+    /// same [canonical signature] and engine kind shared one automaton
+    /// run; results were fanned out per query. Equals `per_query.len()`
+    /// when nothing shared or `.sharing(false)` was set.
+    ///
+    /// [canonical signature]: cogra_query::canonical_signature
+    pub physical: usize,
 }
 
 impl SessionRun {
@@ -1066,6 +1245,9 @@ pub struct Session {
     config: EngineConfig,
     /// Resolved shard-transport batch size, kept for checkpointing.
     batch_size: usize,
+    /// The multi-query sharing factoring: which physical run serves each
+    /// query, and which queries each physical run fans out to.
+    shared: SharedPlan,
     mode: Mode,
     reorderer: Option<Reorderer>,
     scratch: Vec<Event>,
@@ -1209,13 +1391,16 @@ impl Session {
     /// watermark to the shards first, so results flow live even when some
     /// shard's sub-stream went quiet.
     pub fn drain_into(&mut self, sink: &mut dyn ResultSink) {
+        let shared = &self.shared;
         match &mut self.mode {
             Mode::Streaming { engines } => {
-                for (i, engine) in engines.iter_mut().enumerate() {
-                    engine.drain_into(&mut |r| sink.emit(i, r));
+                for (j, engine) in engines.iter_mut().enumerate() {
+                    engine.drain_into(&mut |r| fan_out(&shared.members[j], r, sink));
                 }
             }
-            Mode::Parallel { pool } => pool.drain_into(&mut |q, r| sink.emit(q, r)),
+            Mode::Parallel { pool } => {
+                pool.drain_into(&mut |j, r| fan_out(&shared.members[j], r, sink))
+            }
         }
     }
 
@@ -1228,13 +1413,16 @@ impl Session {
     pub fn finish_into(&mut self, sink: &mut dyn ResultSink) {
         self.finished = true;
         self.pump(|reorderer, out| reorderer.flush(out));
+        let shared = &self.shared;
         match &mut self.mode {
             Mode::Streaming { engines } => {
-                for (i, engine) in engines.iter_mut().enumerate() {
-                    engine.finish_into(&mut |r| sink.emit(i, r));
+                for (j, engine) in engines.iter_mut().enumerate() {
+                    engine.finish_into(&mut |r| fan_out(&shared.members[j], r, sink));
                 }
             }
-            Mode::Parallel { pool } => pool.finish_into(&mut |q, r| sink.emit(q, r)),
+            Mode::Parallel { pool } => {
+                pool.finish_into(&mut |j, r| fan_out(&shared.members[j], r, sink))
+            }
         }
     }
 
@@ -1300,12 +1488,26 @@ impl Session {
         }
     }
 
-    /// Access one query's engine (streaming mode only).
+    /// Access one query's engine (streaming mode only). With sharing
+    /// active the returned engine may serve other queries too — it is the
+    /// query's physical run.
     pub fn engine(&self, query: usize) -> Option<&dyn TrendEngine> {
+        let j = *self.shared.physical_of.get(query)?;
         match &self.mode {
-            Mode::Streaming { engines } => engines.get(query).map(|e| e.as_ref()),
+            Mode::Streaming { engines } => engines.get(j).map(|e| e.as_ref()),
             Mode::Parallel { .. } => None,
         }
+    }
+
+    /// The multi-query sharing factoring in effect: which physical run
+    /// serves each query. Identity when sharing is off or nothing shares.
+    pub fn shared_plan(&self) -> &SharedPlan {
+        &self.shared
+    }
+
+    /// Number of physical runs actually executing (M ≤ N queries).
+    pub fn physical_runs(&self) -> usize {
+        self.shared.physical()
     }
 
     /// Summed routing hot-path counters ([`RunStats`]) across the
@@ -1513,6 +1715,13 @@ impl Session {
         enc.u64(self.workers() as u64);
         enc.u64(self.batch_size as u64);
         enc.opt_u64(self.config.key_limit.map(u64::from));
+        // Sharing map, appended behind the tail guard (like `key_limit`
+        // before it) so pre-sharing snapshots keep decoding: physical slot
+        // per query. The `q<i>` sections below are per PHYSICAL run.
+        enc.usize(self.shared.queries());
+        for &j in &self.shared.physical_of {
+            enc.usize(j);
+        }
         w.section("config", enc.as_slice())?;
         w.section("reorder", &reorder)?;
         for (i, state) in states.iter().enumerate() {
@@ -1641,6 +1850,7 @@ impl Session {
             degraded: self.degraded_shards(),
             dropped_events: self.dropped_events(),
             plans: self.plans.clone(),
+            physical: self.shared.physical(),
         })
     }
 }
@@ -2146,6 +2356,48 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_restore_shared_roster_re_derives_fan_out() {
+        // A duplicate roster snapshots its shared runtime ONCE; restore
+        // re-derives the per-query fan-out from the stored sharing map —
+        // across worker rescales, since shared slots live in the pool too.
+        let reg = registry();
+        let events = stream(&reg, 40);
+        for restore_w in [1, 4] {
+            let builder = Session::builder().query(Q_ANY).query(Q_ANY).query(Q_NEXT);
+            round_trip(builder, restore_w, &events, 17, &reg);
+        }
+
+        let mut session = Session::builder()
+            .query(Q_ANY)
+            .query(Q_ANY)
+            .query(Q_NEXT)
+            .build(&reg)
+            .unwrap();
+        for e in &events[..17] {
+            session.process(e);
+        }
+        let mut snap = Vec::new();
+        session.checkpoint(&mut snap).unwrap();
+        let restored = Session::builder().restore(&reg, snap.as_slice()).unwrap();
+        assert_eq!(restored.queries(), 3);
+        assert_eq!(restored.physical_runs(), 2);
+        assert_eq!(restored.shared_plan().members, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn restore_rejects_sharing_override() {
+        let reg = registry();
+        let mut session = Session::builder().query(Q_ANY).build(&reg).unwrap();
+        let mut snap = Vec::new();
+        session.checkpoint(&mut snap).unwrap();
+        let err = Session::builder()
+            .sharing(false)
+            .restore(&reg, snap.as_slice())
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Unsupported(_)), "{err:?}");
+    }
+
+    #[test]
     fn checkpoint_after_finish_is_unsupported() {
         let reg = registry();
         let mut session = Session::builder().query(Q_ANY).build(&reg).unwrap();
@@ -2233,6 +2485,7 @@ mod tests {
         let mut session = Session::builder()
             .query(Q_ANY)
             .query(Q_ANY)
+            .sharing(false)
             .build(&reg)
             .unwrap();
         for e in &events {
@@ -2249,5 +2502,78 @@ mod tests {
         assert_eq!(session.watermark(), Timestamp(5));
         assert_eq!(session.queries(), 2);
         assert_eq!(session.engine(0).unwrap().name(), "cogra");
+
+        // With sharing (the default) the duplicate roster runs ONE
+        // physical automaton: memory is the single-query footprint.
+        let mut shared = Session::builder()
+            .query(Q_ANY)
+            .query(Q_ANY)
+            .build(&reg)
+            .unwrap();
+        for e in &events {
+            shared.process(e);
+        }
+        assert_eq!(shared.physical_runs(), 1);
+        assert_eq!(shared.memory_bytes(), single);
+    }
+
+    #[test]
+    fn shared_plan_factors_by_signature_and_kind() {
+        // Same query modulo variable renaming → same slot; different
+        // predicate constant or engine kind → separate slots.
+        let keys = vec![
+            "cogra\u{1f}Q1".to_string(),
+            "cogra\u{1f}Q2".to_string(),
+            "cogra\u{1f}Q1".to_string(),
+            "greta\u{1f}Q1".to_string(),
+            "cogra\u{1f}Q2".to_string(),
+        ];
+        let plan = SharedPlan::factor(&keys);
+        assert_eq!(plan.physical_of, vec![0, 1, 0, 2, 1]);
+        assert_eq!(plan.members, vec![vec![0, 2], vec![1, 4], vec![3]]);
+        assert_eq!(plan.queries(), 5);
+        assert_eq!(plan.physical(), 3);
+        assert!(!plan.is_identity());
+        assert!(SharedPlan::identity(4).is_identity());
+    }
+
+    #[test]
+    fn renamed_duplicate_queries_share_one_run_with_identical_results() {
+        let reg = registry();
+        let events = stream(&reg, 40);
+        let renamed = Q_ANY.replace("SEQ(A+, B)", "SEQ(A P+, B Q)");
+        assert_ne!(renamed, Q_ANY, "rename must actually change the text");
+        let run = Session::builder()
+            .query(Q_ANY)
+            .query(renamed.as_str())
+            .query(Q_NEXT)
+            .build(&reg)
+            .unwrap()
+            .run(&events);
+        assert_eq!(run.physical, 2, "two of three queries share");
+        assert_eq!(run.per_query[0], run.per_query[1]);
+        let unshared = Session::builder()
+            .query(Q_ANY)
+            .query(renamed.as_str())
+            .query(Q_NEXT)
+            .sharing(false)
+            .build(&reg)
+            .unwrap()
+            .run(&events);
+        assert_eq!(unshared.physical, 3);
+        assert_eq!(run.per_query, unshared.per_query);
+    }
+
+    #[test]
+    fn sharing_respects_engine_kind_boundaries() {
+        let reg = registry();
+        let session = Session::builder()
+            .query(Q_ANY) // default kind: COGRA
+            .query_with_engine(Q_ANY, EngineKind::Greta)
+            .build(&reg)
+            .unwrap();
+        assert_eq!(session.physical_runs(), 2, "kinds differ → no sharing");
+        assert_eq!(session.engine(0).unwrap().name(), "cogra");
+        assert_eq!(session.engine(1).unwrap().name(), "greta");
     }
 }

@@ -25,6 +25,7 @@ pub mod explain;
 pub mod lexer;
 pub mod parser;
 pub mod rewrite;
+pub mod signature;
 
 pub use ast::{
     AggCall, AttrRef, CmpOp, Leaf, Literal, PatternExpr, PredicateExpr, Query, ReturnItem,
@@ -38,3 +39,4 @@ pub use compile::{
 pub use error::{QueryError, QueryResult};
 pub use explain::{explain, explain_text, to_dot};
 pub use parser::parse;
+pub use signature::canonical_signature;

@@ -480,7 +480,8 @@ impl Parser {
         } else {
             1
         };
-        Ok(n * factor)
+        n.checked_mul(factor)
+            .ok_or_else(|| self.err_at(t.offset, "duration overflows the tick counter".into()))
     }
 }
 

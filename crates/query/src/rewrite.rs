@@ -32,16 +32,89 @@ use crate::error::{QueryError, QueryResult};
 /// ```
 pub fn to_disjuncts(expr: &PatternExpr) -> QueryResult<Vec<PatternExpr>> {
     let alts = expand(expr)?;
-    let non_empty: Vec<PatternExpr> = alts.into_iter().flatten().collect();
+    // Structural dedup, first occurrence wins. `SEQ(A?, A?)` expands to
+    // {SEQ(A, A), A, A, ε}: the duplicated `A` would compile into two
+    // identical automata whose SUM-combined COUNT/SUM aggregates count
+    // every matching trend twice. Disjuncts form a set, not a multiset —
+    // the same reason automaton adjacency dedupes repeated edges.
+    let mut non_empty: Vec<PatternExpr> = Vec::new();
+    for alt in alts.into_iter().flatten() {
+        if !non_empty.contains(&alt) {
+            non_empty.push(alt);
+        }
+    }
     if non_empty.is_empty() {
         return Err(QueryError::compile(
             "pattern matches only the empty trend (e.g. a bare `P*`); a trend needs at least one event",
         ));
     }
+    let non_empty: Vec<PatternExpr> = non_empty.iter().map(alias_repeated_leaves).collect();
     for d in &non_empty {
         check_core(d, false)?;
     }
     Ok(non_empty)
+}
+
+/// Rename repeated `(event type, variable)` leaves within one disjunct so
+/// the compiled automaton gets uniquely-named states. Expanding `SEQ(A?, A?)`
+/// produces the disjunct `SEQ(A, A)` — the same type under the same implicit
+/// variable twice — which [`crate::automaton::Automaton::build`] would
+/// otherwise reject. Later occurrences reuse the `__unroll` prefix convention
+/// from [`unroll_min_length`], so predicates and aggregates written against
+/// `A` resolve to every copy. Leaves that share a variable across *different*
+/// event types are left untouched: that is a user error the automaton
+/// reports with an actionable message.
+fn alias_repeated_leaves(expr: &PatternExpr) -> PatternExpr {
+    let mut seen: Vec<((String, String), usize)> = Vec::new();
+    rename_repeats(expr, &mut seen)
+}
+
+fn rename_repeats(expr: &PatternExpr, seen: &mut Vec<((String, String), usize)>) -> PatternExpr {
+    match expr {
+        PatternExpr::Leaf(l) => {
+            let key = (l.event_type.clone(), l.var.clone());
+            match seen.iter_mut().find(|(k, _)| *k == key) {
+                None => {
+                    seen.push((key, 1));
+                    expr.clone()
+                }
+                Some((_, n)) => {
+                    *n += 1;
+                    PatternExpr::Leaf(Leaf::aliased(
+                        &l.event_type,
+                        &format!("{}__unroll_dup{n}", l.var),
+                    ))
+                }
+            }
+        }
+        // Negated states live in a separate namespace; leave them alone.
+        PatternExpr::Not(_) => expr.clone(),
+        PatternExpr::Plus(p) => rename_repeats(p, seen).plus(),
+        PatternExpr::Star(p) => rename_repeats(p, seen).star(),
+        PatternExpr::Opt(p) => rename_repeats(p, seen).opt(),
+        PatternExpr::Seq(ps) => {
+            PatternExpr::Seq(ps.iter().map(|p| rename_repeats(p, seen)).collect())
+        }
+        PatternExpr::Or(ps) => {
+            PatternExpr::Or(ps.iter().map(|p| rename_repeats(p, seen)).collect())
+        }
+    }
+}
+
+/// Hard cap on the number of disjuncts a surface pattern may expand to.
+/// Each `?`/`*` doubles the alternatives of its SEQ, so a hostile pattern
+/// like `SEQ(A?, A?, ..., A?)` is exponential; past this bound the query is
+/// rejected with a typed error instead of exhausting memory.
+pub const MAX_DISJUNCTS: usize = 4096;
+
+fn cap_alternatives(n: usize) -> QueryResult<()> {
+    if n > MAX_DISJUNCTS {
+        return Err(QueryError::compile(format!(
+            "pattern expands to more than {MAX_DISJUNCTS} disjuncts; \
+             simplify nested `?`/`*`/`OR` alternatives"
+        )));
+    }
+    Ok(())
 }
 
 /// Expansion alternatives; `None` encodes the empty match (ε).
@@ -78,6 +151,7 @@ fn expand(expr: &PatternExpr) -> QueryResult<Vec<Option<PatternExpr>>> {
             let mut alts = Vec::new();
             for part in parts {
                 alts.extend(expand(part)?);
+                cap_alternatives(alts.len())?;
             }
             Ok(alts)
         }
@@ -89,6 +163,7 @@ fn expand(expr: &PatternExpr) -> QueryResult<Vec<Option<PatternExpr>>> {
             let mut acc: Vec<Vec<PatternExpr>> = vec![Vec::new()];
             for part in parts {
                 let part_alts = expand(part)?;
+                cap_alternatives(acc.len().saturating_mul(part_alts.len()))?;
                 let mut next = Vec::with_capacity(acc.len() * part_alts.len());
                 for prefix in &acc {
                     for alt in &part_alts {
@@ -103,9 +178,9 @@ fn expand(expr: &PatternExpr) -> QueryResult<Vec<Option<PatternExpr>>> {
             }
             Ok(acc
                 .into_iter()
-                .map(|seq| match seq.len() {
+                .map(|mut seq| match seq.len() {
                     0 => None,
-                    1 => Some(seq.into_iter().next().expect("len checked")),
+                    1 => seq.pop(),
                     _ => Some(PatternExpr::Seq(seq)),
                 })
                 .collect())
@@ -329,6 +404,70 @@ mod tests {
         let p2 = PatternExpr::seq(vec![leaf("A").opt()]);
         let d2 = to_disjuncts(&p2).unwrap();
         assert_eq!(d2, vec![leaf("A")]);
+    }
+
+    #[test]
+    fn repeated_optionals_dedup_and_alias() {
+        // SEQ(A?, A?) = SEQ(A, A) ∨ A ∨ A ∨ ε. The duplicate `A` disjunct
+        // must appear once (it would double-count) and the SEQ(A, A)
+        // disjunct gets a unique alias for its second state.
+        let p = PatternExpr::seq(vec![leaf("A").opt(), leaf("A").opt()]);
+        let d = to_disjuncts(&p).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(
+            d[0],
+            PatternExpr::seq(vec![
+                leaf("A"),
+                PatternExpr::Leaf(Leaf::aliased("A", "A__unroll_dup2")),
+            ])
+        );
+        assert_eq!(d[1], leaf("A"));
+    }
+
+    #[test]
+    fn repeated_stars_dedup_and_alias() {
+        // SEQ(A*, A*) = SEQ(A+, A+) ∨ A+ ∨ A+ ∨ ε → two disjuncts.
+        let p = PatternExpr::seq(vec![leaf("A").star(), leaf("A").star()]);
+        let d = to_disjuncts(&p).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(
+            d[0],
+            PatternExpr::seq(vec![
+                leaf("A").plus(),
+                PatternExpr::Leaf(Leaf::aliased("A", "A__unroll_dup2")).plus(),
+            ])
+        );
+        assert_eq!(d[1], leaf("A").plus());
+    }
+
+    #[test]
+    fn or_with_repeated_arms_dedups() {
+        let p = PatternExpr::or(vec![leaf("A"), leaf("B"), leaf("A")]);
+        let d = to_disjuncts(&p).unwrap();
+        assert_eq!(d, vec![leaf("A"), leaf("B")]);
+    }
+
+    #[test]
+    fn distinct_variables_are_not_deduped() {
+        // SEQ(A a?, A b?): the single-leaf disjuncts differ by variable, so
+        // aggregates targeting `a` or `b` keep their distinct meanings.
+        let a = PatternExpr::Leaf(Leaf::aliased("A", "a"));
+        let b = PatternExpr::Leaf(Leaf::aliased("A", "b"));
+        let p = PatternExpr::seq(vec![a.clone().opt(), b.clone().opt()]);
+        let d = to_disjuncts(&p).unwrap();
+        assert_eq!(d, vec![PatternExpr::seq(vec![a.clone(), b.clone()]), a, b]);
+    }
+
+    #[test]
+    fn shared_var_across_types_is_left_for_the_automaton() {
+        // Same variable name over two *different* event types is a user
+        // error; the rewrite must not mask it with an alias.
+        let p = PatternExpr::seq(vec![
+            PatternExpr::Leaf(Leaf::aliased("X", "A")),
+            PatternExpr::Leaf(Leaf::aliased("Y", "A")),
+        ]);
+        let d = to_disjuncts(&p).unwrap();
+        assert_eq!(d, vec![p]);
     }
 
     #[test]

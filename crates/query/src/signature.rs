@@ -1,0 +1,215 @@
+//! Canonical query signatures for multi-query sharing.
+//!
+//! Two queries that differ only in their pattern variable names compile to
+//! runtimes that produce byte-identical results: variable names label
+//! automaton states but never appear in window results (groups and
+//! aggregate values are attribute-level). [`canonical_signature`] renames
+//! the pattern variables to `V0, V1, ...` in left-to-right pattern order —
+//! consistently across the pattern, predicates, aggregates and dotted
+//! `GROUP-BY`/`RETURN` attributes — and prints the canonical query text.
+//! Equal signatures ⇒ sharable: one physical run can serve all roster
+//! entries with that signature (the session planner in `cogra-core` builds
+//! the factoring; see `SharedPlan` there).
+
+use crate::ast::{AggCall, Leaf, PatternExpr, PredicateExpr, Query, ReturnItem};
+
+/// The canonical signature of a query: its text after canonical variable
+/// renaming. Everything that affects execution — pattern shape and event
+/// types, semantics, predicates, grouping, window — is part of the
+/// signature; variable spelling is not.
+///
+/// ```
+/// use cogra_query::{parse, signature::canonical_signature};
+/// let a = parse("RETURN COUNT(X) PATTERN Stock X+ WHERE X.v > 1 WITHIN 10 SLIDE 10").unwrap();
+/// let b = parse("RETURN COUNT(Y) PATTERN Stock Y+ WHERE Y.v > 1 WITHIN 10 SLIDE 10").unwrap();
+/// let c = parse("RETURN COUNT(Y) PATTERN Stock Y+ WHERE Y.v > 2 WITHIN 10 SLIDE 10").unwrap();
+/// assert_eq!(canonical_signature(&a), canonical_signature(&b));
+/// assert_ne!(canonical_signature(&a), canonical_signature(&c));
+/// ```
+pub fn canonical_signature(query: &Query) -> String {
+    let mut map: Vec<(String, String)> = Vec::new();
+    let pattern = rename_pattern(&query.pattern, &mut map);
+    let rename = |var: &str| -> String {
+        map.iter()
+            .find(|(from, _)| from == var)
+            .map(|(_, to)| to.clone())
+            .unwrap_or_else(|| var.to_string())
+    };
+    let rename_dotted = |name: &str| -> String {
+        match name.split_once('.') {
+            Some((var, attr)) => format!("{}.{attr}", rename(var)),
+            None => name.to_string(),
+        }
+    };
+    let ret = query
+        .ret
+        .iter()
+        .map(|item| match item {
+            ReturnItem::Attr(a) => ReturnItem::Attr(rename_dotted(a)),
+            ReturnItem::Agg(call) => ReturnItem::Agg(match call {
+                AggCall::CountStar => AggCall::CountStar,
+                AggCall::CountVar(v) => AggCall::CountVar(rename(v)),
+                AggCall::Min(v, a) => AggCall::Min(rename(v), a.clone()),
+                AggCall::Max(v, a) => AggCall::Max(rename(v), a.clone()),
+                AggCall::Sum(v, a) => AggCall::Sum(rename(v), a.clone()),
+                AggCall::Avg(v, a) => AggCall::Avg(rename(v), a.clone()),
+            }),
+        })
+        .collect();
+    let predicates = query
+        .predicates
+        .iter()
+        .map(|p| match p {
+            PredicateExpr::Equivalence { attr } => {
+                PredicateExpr::Equivalence { attr: attr.clone() }
+            }
+            PredicateExpr::Local { lhs, op, rhs } => PredicateExpr::Local {
+                lhs: crate::ast::AttrRef {
+                    var: rename(&lhs.var),
+                    attr: lhs.attr.clone(),
+                    next: lhs.next,
+                },
+                op: *op,
+                rhs: rhs.clone(),
+            },
+            PredicateExpr::Adjacent { lhs, op, rhs } => PredicateExpr::Adjacent {
+                lhs: crate::ast::AttrRef {
+                    var: rename(&lhs.var),
+                    attr: lhs.attr.clone(),
+                    next: lhs.next,
+                },
+                op: *op,
+                rhs: crate::ast::AttrRef {
+                    var: rename(&rhs.var),
+                    attr: rhs.attr.clone(),
+                    next: rhs.next,
+                },
+            },
+        })
+        .collect();
+    let group_by = query.group_by.iter().map(|g| rename_dotted(g)).collect();
+    Query {
+        ret,
+        pattern,
+        semantics: query.semantics,
+        predicates,
+        group_by,
+        window: query.window,
+    }
+    .to_string()
+}
+
+/// Rename pattern variables to `V<n>` in left-to-right order. A variable
+/// seen before reuses its canonical name (the same surface variable is the
+/// same logical variable wherever it recurs).
+fn rename_pattern(p: &PatternExpr, map: &mut Vec<(String, String)>) -> PatternExpr {
+    match p {
+        PatternExpr::Leaf(l) => PatternExpr::Leaf(rename_leaf(l, map)),
+        PatternExpr::Not(inner) => match inner.as_ref() {
+            // Negated leaves carry variables too (predicates may target
+            // them); rename through the same map.
+            PatternExpr::Leaf(l) => PatternExpr::Leaf(rename_leaf(l, map)).not(),
+            other => rename_pattern(other, map).not(),
+        },
+        PatternExpr::Plus(q) => rename_pattern(q, map).plus(),
+        PatternExpr::Star(q) => rename_pattern(q, map).star(),
+        PatternExpr::Opt(q) => rename_pattern(q, map).opt(),
+        PatternExpr::Seq(qs) => {
+            PatternExpr::Seq(qs.iter().map(|q| rename_pattern(q, map)).collect())
+        }
+        PatternExpr::Or(qs) => PatternExpr::Or(qs.iter().map(|q| rename_pattern(q, map)).collect()),
+    }
+}
+
+fn rename_leaf(l: &Leaf, map: &mut Vec<(String, String)>) -> Leaf {
+    let canon = match map.iter().find(|(from, _)| *from == l.var) {
+        Some((_, to)) => to.clone(),
+        None => {
+            let to = format!("V{}", map.len());
+            map.push((l.var.clone(), to.clone()));
+            to
+        }
+    };
+    Leaf::aliased(&l.event_type, &canon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn sig(src: &str) -> String {
+        canonical_signature(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn renaming_is_invisible() {
+        let a = sig(
+            "RETURN sector, COUNT(*), AVG(B.price) PATTERN SEQ(Stock A+, Stock B+) \
+             SEMANTICS ANY WHERE [company] AND A.price > NEXT(A).price \
+             GROUP-BY sector, A.company WITHIN 10 SLIDE 10",
+        );
+        let b = sig(
+            "RETURN sector, COUNT(*), AVG(Y.price) PATTERN SEQ(Stock X+, Stock Y+) \
+             SEMANTICS ANY WHERE [company] AND X.price > NEXT(X).price \
+             GROUP-BY sector, X.company WITHIN 10 SLIDE 10",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_texts_share() {
+        let q = "RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10";
+        assert_eq!(sig(q), sig(q));
+    }
+
+    #[test]
+    fn every_execution_knob_separates() {
+        let base = "RETURN COUNT(*) PATTERN Stock A+ SEMANTICS ANY \
+                    WHERE A.price > 1 GROUP-BY sector WITHIN 10 SLIDE 10";
+        for other in [
+            // different aggregate
+            "RETURN COUNT(A) PATTERN Stock A+ SEMANTICS ANY \
+             WHERE A.price > 1 GROUP-BY sector WITHIN 10 SLIDE 10",
+            // different event type
+            "RETURN COUNT(*) PATTERN Trade A+ SEMANTICS ANY \
+             WHERE A.price > 1 GROUP-BY sector WITHIN 10 SLIDE 10",
+            // different semantics
+            "RETURN COUNT(*) PATTERN Stock A+ SEMANTICS NEXT \
+             WHERE A.price > 1 GROUP-BY sector WITHIN 10 SLIDE 10",
+            // different predicate constant
+            "RETURN COUNT(*) PATTERN Stock A+ SEMANTICS ANY \
+             WHERE A.price > 2 GROUP-BY sector WITHIN 10 SLIDE 10",
+            // different grouping
+            "RETURN COUNT(*) PATTERN Stock A+ SEMANTICS ANY \
+             WHERE A.price > 1 GROUP-BY company WITHIN 10 SLIDE 10",
+            // different window
+            "RETURN COUNT(*) PATTERN Stock A+ SEMANTICS ANY \
+             WHERE A.price > 1 GROUP-BY sector WITHIN 10 SLIDE 5",
+            // different pattern shape
+            "RETURN COUNT(*) PATTERN SEQ(Stock A+, Stock B) SEMANTICS ANY \
+             WHERE A.price > 1 GROUP-BY sector WITHIN 10 SLIDE 10",
+        ] {
+            assert_ne!(sig(base), sig(other), "{other}");
+        }
+    }
+
+    #[test]
+    fn variable_attribute_names_still_matter() {
+        // Renaming covers pattern variables, never attribute names.
+        let a = sig("RETURN COUNT(*) PATTERN Stock A+ WHERE A.price > 1 WITHIN 10 SLIDE 10");
+        let b = sig("RETURN COUNT(*) PATTERN Stock A+ WHERE A.volume > 1 WITHIN 10 SLIDE 10");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn signature_is_reparseable() {
+        let s = sig(
+            "RETURN patient, MIN(M.rate) PATTERN Measurement M+ SEMANTICS contiguous \
+             WHERE [patient] AND M.rate < NEXT(M).rate GROUP-BY patient \
+             WITHIN 10 minutes SLIDE 30 seconds",
+        );
+        let reparsed = parse(&s).unwrap();
+        assert_eq!(canonical_signature(&reparsed), s);
+    }
+}

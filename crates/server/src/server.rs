@@ -446,6 +446,7 @@ fn session_actor(
             shard_events: session.shard_events(),
             degraded: session.degraded_shards(),
             dropped: session.dropped_events(),
+            physical: session.physical_runs(),
             finished,
         }
     };

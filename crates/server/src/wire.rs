@@ -113,6 +113,10 @@ pub struct StatsReport {
     pub degraded: Vec<usize>,
     /// Events lost to quarantines — 0 on a healthy session.
     pub dropped: u64,
+    /// Physical runs actually executing under multi-query sharing
+    /// (M ≤ `queries`). 0 when the session shares nothing — the key is
+    /// emitted only when sharing collapsed the roster.
+    pub physical: usize,
     /// Whether `FINISH` has been processed.
     pub finished: bool,
 }
@@ -159,6 +163,11 @@ impl StatsReport {
         if self.dropped > 0 {
             out.push_str(&format!(" dropped={}", self.dropped));
         }
+        // Emitted only when sharing collapsed the roster (M < N): replies
+        // from an unshared session are byte-identical to older servers.
+        if self.physical > 0 && self.physical < self.queries {
+            out.push_str(&format!(" physical={}", self.physical));
+        }
         out.push_str(&format!(" finished={}", self.finished));
         out
     }
@@ -196,6 +205,7 @@ impl StatsReport {
                         .collect::<Result<_, _>>()?
                 }
                 "dropped" => out.dropped = value.parse().map_err(|_| bad())?,
+                "physical" => out.physical = value.parse().map_err(|_| bad())?,
                 "finished" => out.finished = value.parse().map_err(|_| bad())?,
                 _ => {}
             }
@@ -224,6 +234,7 @@ mod tests {
             shard_events: vec![6, 0, 4, 0],
             degraded: vec![1, 3],
             dropped: 5,
+            physical: 2,
             finished: true,
         };
         assert_eq!(StatsReport::decode(&stats.encode()).unwrap(), stats);
@@ -234,7 +245,16 @@ mod tests {
         assert!(!bare.encode().contains("shards="));
         assert!(!bare.encode().contains("degraded="));
         assert!(!bare.encode().contains("dropped="));
+        assert!(!bare.encode().contains("physical="));
         assert_eq!(StatsReport::decode(&bare.encode()).unwrap(), bare);
+        // `physical=` appears only when sharing collapsed the roster.
+        let unshared = StatsReport {
+            queries: 3,
+            physical: 3,
+            ..StatsReport::default()
+        };
+        assert!(!unshared.encode().contains("physical="));
+        assert_eq!(StatsReport::decode(&unshared.encode()).unwrap().physical, 0);
         // Unknown keys are ignored; malformed pairs are not.
         assert_eq!(
             StatsReport::decode("events=5 future_field=1")

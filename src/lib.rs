@@ -79,7 +79,7 @@ pub use cogra_workloads as workloads;
 pub mod prelude {
     pub use cogra_core::session::{
         EngineKind, IngestError, ResultSink, Session, SessionBuilder, SessionError, SessionRun,
-        TaggedResult,
+        SharedPlan, TaggedResult,
     };
     pub use cogra_core::{
         run_parallel, run_to_completion, AggValue, CheckpointError, CograEngine, EngineConfig,

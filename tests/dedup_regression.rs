@@ -1,0 +1,88 @@
+//! Regression tests for disjunct double-counting (§8 rewrite).
+//!
+//! Surface patterns expand into a disjunction of core patterns, and
+//! disjunct aggregates combine by SUM for COUNT/SUM. Before the structural
+//! dedup in `to_disjuncts`, `SEQ(A?, A?)` emitted the disjunct `A` twice,
+//! so every single-event trend was counted twice; `OR` with repeated arms
+//! double-counted every trend of the repeated alternative. Each test below
+//! pins the aggregate values against a hand-computed reference.
+
+use cogra::core::run_to_completion;
+use cogra::prelude::*;
+
+fn registry() -> TypeRegistry {
+    let mut r = TypeRegistry::new();
+    r.register_type("A", vec![("v", ValueKind::Int)]);
+    r
+}
+
+/// Three `A` events at t = 1, 2, 3 with v = 10, 20, 30.
+fn three_events(b: &mut EventBuilder) -> Vec<Event> {
+    let reg = registry();
+    let a = reg.id_of("A").unwrap();
+    vec![
+        b.event(1, a, vec![Value::Int(10)]),
+        b.event(2, a, vec![Value::Int(20)]),
+        b.event(3, a, vec![Value::Int(30)]),
+    ]
+}
+
+fn run(query: &str) -> Vec<WindowResult> {
+    let reg = registry();
+    let mut engine = CograEngine::from_text(query, &reg).unwrap();
+    let mut b = EventBuilder::new();
+    let events = three_events(&mut b);
+    let (results, _) = run_to_completion(&mut engine, &events, 1);
+    results
+}
+
+#[test]
+fn or_with_repeated_arms_counts_each_trend_once() {
+    // OR(A, A) ≡ A: each of the three events is one single-event trend.
+    // Before the dedup both identical arms compiled and their SUM-combined
+    // aggregates counted every trend twice (COUNT 6, SUM 120).
+    let results =
+        run("RETURN COUNT(*), SUM(A.v) PATTERN OR(A, A) SEMANTICS ANY WITHIN 10 SLIDE 10");
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].values[0], AggValue::Count(3));
+    assert_eq!(results[0].values[1], AggValue::Float(60.0));
+}
+
+#[test]
+fn repeated_optional_counts_match_hand_reference() {
+    // SEQ(A?, A?) = SEQ(A, A) ∨ A (after dedup; ε is dropped).
+    //   disjunct A:         trends {e1}, {e2}, {e3}            → 3 trends
+    //   disjunct SEQ(A, A): ordered pairs (e1,e2) (e1,e3) (e2,e3) → 3 trends
+    // COUNT(*) = 6. SUM(A.v): singles contribute 10+20+30 = 60; each event
+    // sits in exactly two pairs, so pairs contribute 2·60 = 120; total 180.
+    // The duplicated `A` disjunct would have added 3 to COUNT and 60 to SUM.
+    let results =
+        run("RETURN COUNT(*), SUM(A.v) PATTERN SEQ(A?, A?) SEMANTICS ANY WITHIN 10 SLIDE 10");
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].values[0], AggValue::Count(6));
+    assert_eq!(results[0].values[1], AggValue::Float(180.0));
+}
+
+#[test]
+fn repeated_star_counts_match_hand_reference() {
+    // SEQ(A*, A*) = SEQ(A+, A+) ∨ A+ (after dedup; ε is dropped).
+    //   disjunct A+: every non-empty subsequence of {e1,e2,e3} → 2³−1 = 7
+    //   disjunct SEQ(A+, A+): an increasing sequence of k ≥ 2 events with a
+    //   split point; k=2 → 3 sequences × 1 split, k=3 → 1 sequence × 2
+    //   splits → 5 trends.
+    // COUNT(*) = 12; the duplicate A+ would have made it 19.
+    let results = run("RETURN COUNT(*) PATTERN SEQ(A*, A*) SEMANTICS ANY WITHIN 10 SLIDE 10");
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].values[0], AggValue::Count(12));
+}
+
+#[test]
+fn repeated_optional_min_max_are_unaffected_by_dedup() {
+    // MIN/MAX combine by min/max across disjuncts, so duplicates never
+    // changed them — pin them anyway to lock the full aggregate row.
+    let results = run("RETURN COUNT(*), MIN(A.v), MAX(A.v) PATTERN SEQ(A?, A?) \
+         SEMANTICS ANY WITHIN 10 SLIDE 10");
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].values[1], AggValue::Float(10.0));
+    assert_eq!(results[0].values[2], AggValue::Float(30.0));
+}

@@ -282,6 +282,61 @@ proptest! {
 }
 
 #[test]
+fn duplicate_query_roster_shares_one_run_and_fans_out_identically() {
+    watchdog("duplicate-roster", || {
+        let (registry, query, events) = workload(0, 5, 300);
+        let csv = write_events(&events, &registry);
+        let server = Server::spawn(
+            Session::builder()
+                .query(query.as_str())
+                .query(query.as_str()),
+            registry,
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("server starts");
+        let addr = server.local_addr();
+
+        // One subscriber per roster entry: both SUBSCRIBE streams must be
+        // byte-identical — the shared physical run fans out to each.
+        let collectors: Vec<_> = (0..2)
+            .map(|q| {
+                let subscription = Client::connect(addr)
+                    .expect("subscriber connects")
+                    .subscribe(Some(q))
+                    .expect("subscribe io")
+                    .expect("subscribe accepted");
+                std::thread::spawn(move || {
+                    subscription
+                        .map(|item| item.expect("well-formed result line").1)
+                        .collect::<Vec<String>>()
+                })
+            })
+            .collect();
+
+        let mut feed = Client::connect(addr).expect("feed connects");
+        feed.ingest(&csv).expect("ingest io").expect("ingest ok");
+        let stats = feed.stats().expect("stats io").expect("stats ok");
+        let finish = feed.finish().expect("finish io").expect("finish ok");
+
+        // STATS says the shared run executed once: 2 queries, 1 physical.
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.physical, 1, "STATS must report the collapsed roster");
+        assert_eq!(finish.physical, 1);
+
+        let mut streams = collectors
+            .into_iter()
+            .map(|c| c.join().expect("subscriber joins"));
+        let q0 = streams.next().unwrap();
+        let q1 = streams.next().unwrap();
+        assert!(!q0.is_empty(), "the workload must produce results");
+        assert_eq!(q0, q1, "duplicate SUBSCRIBE streams must be byte-identical");
+        assert_eq!(finish.results, (q0.len() + q1.len()) as u64);
+        server.shutdown();
+    });
+}
+
+#[test]
 fn reconnect_after_finish_is_an_error() {
     watchdog("reconnect-after-finish", || {
         let (registry, query, events) = workload(0, 3, 60);
